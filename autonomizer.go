@@ -1,0 +1,166 @@
+// Package autonomizer is the public API of Autonomizer, a programming
+// framework that retrofits traditional software with neural-network
+// control, reproducing "Programming Support for Autonomizing Software"
+// (Lee, Liu, Liu, Ma, Zhang — PLDI 2019).
+//
+// # Overview
+//
+// Autonomizer targets two classes of programs:
+//
+//   - Parameterized programs (data processing, scientific computation)
+//     whose output quality depends on input-specific parameter choices.
+//     Supervised learning predicts good parameters per input.
+//   - Interactive programs (games, driving, control loops) that act in
+//     an environment. Reinforcement learning (deep Q-learning) selects
+//     actions.
+//
+// A host program is "autonomized" by adding a few primitive calls:
+//
+//	rt := autonomizer.New(autonomizer.Train, 42)
+//	rt.Config(autonomizer.ModelSpec{
+//		Name: "Mario", Algo: autonomizer.QLearn,
+//		Hidden: []int{256, 64}, Actions: 5,
+//	})
+//	...
+//	rt.Checkpoint(game, stateBytes)          // au_checkpoint
+//	for {
+//		rt.Extract("PX", px)                 // au_extract
+//		rt.Extract("PY", py)
+//		key := rt.Serialize("PX", "PY")      // au_serialize
+//		rt.NNRL("Mario", key, reward, term, "output") // au_NN
+//		action, _ := rt.WriteBackAction("output")     // au_write_back
+//		act(action)
+//		if term {
+//			rt.Restore(game)                 // au_restore
+//		}
+//	}
+//
+// The seven primitives and their exact semantics follow Fig. 8 of the
+// paper; internal/semantics carries a literal executable transcription
+// of the rules, and internal/core implements the production runtime
+// this package re-exports.
+//
+// # Feature extraction
+//
+// The FeaturesSL and FeaturesRL functions expose the paper's two
+// automatic feature-variable extraction algorithms over a dynamic
+// dependence graph (built with NewDepGraph and the instrumented
+// subjects' Def/Use events).
+package autonomizer
+
+import (
+	"github.com/autonomizer/autonomizer/internal/core"
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+// Mode is the execution mode ω: Train (TR) or Test (TS).
+type Mode = core.Mode
+
+// Execution modes.
+const (
+	// Train builds and trains models (the TR executable).
+	Train = core.Train
+	// Test loads trained models and only predicts (the TS executable).
+	Test = core.Test
+)
+
+// ModelType selects the model family δ.
+type ModelType = core.ModelType
+
+// Model families.
+const (
+	// DNN is a fully connected network over extracted feature variables.
+	DNN = core.DNN
+	// CNN is the convolutional network for raw screen inputs.
+	CNN = core.CNN
+)
+
+// Algorithm selects the learning algorithm α.
+type Algorithm = core.Algorithm
+
+// Learning algorithms.
+const (
+	// QLearn is deep Q-learning, for interactive programs.
+	QLearn = core.QLearn
+	// AdamOpt is Adam-optimized supervised learning, for parameterized
+	// programs.
+	AdamOpt = core.AdamOpt
+)
+
+// ModelSpec describes one named model (the au_config argument list).
+type ModelSpec = core.ModelSpec
+
+// Runtime is one autonomized execution: the primitives au_config,
+// au_extract, au_serialize, au_NN, au_write_back, au_checkpoint and
+// au_restore are its methods (Config, Extract, Serialize, NN/NNRL,
+// WriteBack, Checkpoint, Restore).
+type Runtime = core.Runtime
+
+// AgentStats surfaces Q-learning statistics (exploration rate, replay
+// occupancy, trace bytes).
+type AgentStats = core.AgentStats
+
+// New creates a runtime in the given mode with a deterministic seed.
+func New(mode Mode, seed uint64) *Runtime {
+	return core.NewRuntime(mode, seed)
+}
+
+// DepGraph is the dynamic program dependence graph consumed by the
+// feature-extraction algorithms. Instrumented programs report Def
+// (dst computed from srcs) and Use (variable used in function) events.
+type DepGraph = dep.Graph
+
+// NewDepGraph returns an empty dependence graph.
+func NewDepGraph() *DepGraph { return dep.NewGraph() }
+
+// TraceRecorder accumulates runtime value traces of candidate feature
+// variables for the RL extraction's pruning.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns an empty trace recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// RankedFeature is a feature variable with its dependence distance.
+type RankedFeature = extract.RankedFeature
+
+// FeaturesSL runs the paper's Algorithm 1: supervised-learning feature
+// extraction. inputs is the program-input variable set, targets the
+// annotated target variables. Each target maps to features ranked by
+// dependence distance (nearest — most abstract — first).
+func FeaturesSL(g *DepGraph, inputs, targets []string) map[string][]RankedFeature {
+	return extract.SL(g, inputs, targets)
+}
+
+// RLExtraction reports what Algorithm 2 selected and pruned.
+type RLExtraction = extract.RLReport
+
+// FeaturesRL runs the paper's Algorithm 2: reinforcement-learning
+// feature extraction with redundancy pruning (epsilon1 over scaled
+// trace distance) and unchanging-variable pruning (epsilon2 over trace
+// variance).
+func FeaturesRL(g *DepGraph, rec *TraceRecorder, targets, progVars []string, epsilon1, epsilon2 float64) RLExtraction {
+	return extract.RL(g, rec, targets, progVars, extract.RLConfig{
+		Epsilon1: epsilon1, Epsilon2: epsilon2,
+	})
+}
+
+// Pick selects a feature by distance band for the Raw/Med/Min
+// comparison of the paper's evaluation.
+type Pick = extract.Pick
+
+// Feature distance bands.
+const (
+	// Min selects the nearest (most abstract) feature.
+	Min = extract.Min
+	// Med selects the median-distance feature.
+	Med = extract.Med
+	// Raw selects the farthest feature (raw program input).
+	Raw = extract.Raw
+)
+
+// SelectFeature picks one ranked feature at the requested band.
+func SelectFeature(feats []RankedFeature, p Pick) (RankedFeature, bool) {
+	return extract.Select(feats, p)
+}

@@ -1,0 +1,124 @@
+package autonomizer_test
+
+import (
+	"math"
+	"testing"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+)
+
+// prog is a trivial Snapshotter host program.
+type prog struct{ x float64 }
+
+func (p *prog) Snapshot() any    { return p.x }
+func (p *prog) Restore(snap any) { p.x = snap.(float64) }
+
+// TestPublicAPISupervisedFlow exercises the documented SL lifecycle
+// end-to-end through the facade only.
+func TestPublicAPISupervisedFlow(t *testing.T) {
+	rt := autonomizer.New(autonomizer.Train, 1)
+	err := rt.Config(autonomizer.ModelSpec{
+		Name: "SigmaNN", Type: autonomizer.DNN, Algo: autonomizer.AdamOpt,
+		Hidden: []int{8}, LR: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		x := float64(i%10) / 10
+		if err := rt.RecordExample("SigmaNN", []float64{x}, []float64{x * 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Fit("SigmaNN", 30, 16); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.Predict("SigmaNN", []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1.5) > 0.2 {
+		t.Errorf("Predict(0.5) = %v, want ~1.5", out[0])
+	}
+}
+
+// TestPublicAPIRLFlow exercises the documented RL lifecycle including
+// checkpoint/restore.
+func TestPublicAPIRLFlow(t *testing.T) {
+	rt := autonomizer.New(autonomizer.Train, 2)
+	err := rt.Config(autonomizer.ModelSpec{
+		Name: "Mario", Algo: autonomizer.QLearn, Hidden: []int{8}, Actions: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &prog{}
+	rt.Checkpoint(p, 8)
+	for step := 0; step < 30; step++ {
+		rt.Extract("PX", p.x)
+		rt.Extract("PY", 1)
+		key := rt.Serialize("PX", "PY")
+		term := p.x > 5
+		if err := rt.NNRL("Mario", key, 1, term, "output"); err != nil {
+			t.Fatal(err)
+		}
+		a, err := rt.WriteBackAction("output")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a < 0 || a > 2 {
+			t.Fatalf("action %d out of range", a)
+		}
+		if term {
+			if err := rt.Restore(p); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		p.x++
+	}
+	if st, ok := rt.RLStats("Mario"); !ok || st.Steps == 0 {
+		t.Errorf("RLStats = %+v, %v", st, ok)
+	}
+}
+
+// TestPublicAPIFeatureExtraction exercises both extraction algorithms
+// through the facade.
+func TestPublicAPIFeatureExtraction(t *testing.T) {
+	g := autonomizer.NewDepGraph()
+	g.MarkInput("image")
+	g.Def("sImg", "image", "sigma")
+	g.Def("hist", "sImg")
+	g.Def("result", "hist", "lo")
+
+	sl := autonomizer.FeaturesSL(g, []string{"image"}, []string{"lo"})
+	if len(sl["lo"]) == 0 || sl["lo"][0].Name != "hist" {
+		t.Errorf("SL features = %v", sl["lo"])
+	}
+	if f, ok := autonomizer.SelectFeature(sl["lo"], autonomizer.Min); !ok || f.Name != "hist" {
+		t.Errorf("SelectFeature Min = %v, %v", f, ok)
+	}
+	if f, ok := autonomizer.SelectFeature(sl["lo"], autonomizer.Raw); !ok || f.Name != "image" {
+		t.Errorf("SelectFeature Raw = %v, %v", f, ok)
+	}
+
+	rec := autonomizer.NewTraceRecorder()
+	g2 := autonomizer.NewDepGraph()
+	g2.Def("pos", "pos", "act")
+	g2.Def("collide", "pos", "enemy")
+	g2.Def("dup", "pos")
+	g2.Def("collide", "dup")
+	for _, v := range []string{"pos", "enemy", "dup", "collide", "act"} {
+		g2.Use("loop", v)
+	}
+	for i := 0; i < 20; i++ {
+		rec.Record("pos", float64(i))
+		rec.Record("dup", float64(i)*2+1)
+		rec.Record("enemy", math.Sin(float64(i)))
+	}
+	rl := autonomizer.FeaturesRL(g2, rec, []string{"act"}, []string{"pos", "enemy", "dup"}, 1e-6, 1e-9)
+	feats := rl.Features["act"]
+	if len(feats) != 2 {
+		t.Errorf("RL features = %v, want pos+enemy (dup pruned)", feats)
+	}
+}

@@ -1,0 +1,345 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at test scale. Each benchmark runs the same harness the
+// cmd/autonomizer CLI uses, with reduced budgets so `go test -bench=.`
+// completes in minutes; the CLI (without -quick) runs the full-scale
+// versions that EXPERIMENTS.md records.
+//
+// Custom metrics are attached via b.ReportMetric so benchmark output
+// carries the experiment's headline numbers (scores, improvements),
+// not just nanoseconds.
+package autonomizer_test
+
+import (
+	"io"
+	"testing"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+
+	"github.com/autonomizer/autonomizer/internal/bench"
+	"github.com/autonomizer/autonomizer/internal/canny"
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/games/torcs"
+	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+// BenchmarkTable1 regenerates the program-analysis statistics: nine
+// subjects' dependence graphs, Algorithm 1/2 runs, and variable counts.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.BuildTable1(uint64(i + 1))
+		if len(rows) != 9 {
+			b.Fatalf("expected 9 rows, got %d", len(rows))
+		}
+		bench.RenderTable1(io.Discard, rows)
+	}
+}
+
+// BenchmarkTable2 regenerates the model statistics (trace/model sizes
+// and checkpoint costs) from quick SL and RL runs.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sl, err := bench.RunSLSuite(bench.SLSuiteConfig{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rl, err := bench.RunRLSuite(bench.RLSuiteConfig{
+			Quick: true, Seed: uint64(i + 1),
+			Subjects: []*bench.RLSubject{bench.FlappySubject()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := bench.BuildTable2(sl, rl)
+		bench.RenderTable2(io.Discard, rows)
+		// The central Table 2 relationship: raw traces dwarf
+		// internal-state traces.
+		for _, r := range rows {
+			if r.MinTrace > 0 && r.RawTrace < r.MinTrace {
+				b.Errorf("%s: raw trace %d below Min/All trace %d", r.Program, r.RawTrace, r.MinTrace)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3SL regenerates the supervised half of Table 3 (quick
+// scale) and reports the Min version's improvement over the baseline.
+func BenchmarkTable3SL(b *testing.B) {
+	var lastImprove float64
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunSLSuite(bench.SLSuiteConfig{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderTable3SL(io.Discard, results)
+		total := 0.0
+		for _, r := range results {
+			total += r.Improvement(bench.PickMin)
+		}
+		lastImprove = total / float64(len(results))
+	}
+	b.ReportMetric(lastImprove, "mean-Min-improvement-%")
+}
+
+// BenchmarkTable3RL regenerates the interactive half of Table 3 at
+// quick scale on Flappybird (the full five-game run is the CLI's job).
+func BenchmarkTable3RL(b *testing.B) {
+	var score float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunRLSuite(bench.RLSuiteConfig{
+			Quick: true, Seed: uint64(i + 1),
+			Subjects: []*bench.RLSubject{bench.FlappySubject()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderTable3RL(io.Discard, rows)
+		score = rows[0].All.Score
+	}
+	b.ReportMetric(score, "All-score")
+}
+
+// BenchmarkFig12 regenerates the Canny per-input comparison.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunSL(bench.CannySubject{}, bench.SLConfig{
+			TrainN: 24, TestN: 10, Epochs: 12, Hidden: []int{32, 16}, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderFig12(io.Discard, res)
+		if len(res.BaselinePer) != 10 {
+			b.Fatalf("Fig. 12 needs 10 inputs, got %d", len(res.BaselinePer))
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates the Canny learning curves.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunSL(bench.CannySubject{}, bench.SLConfig{
+			TrainN: 24, TestN: 6, Epochs: 15, Hidden: []int{32, 16}, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderFig13(io.Discard, res, 3)
+		if len(res.Versions[bench.PickMin].Curve) < 3 {
+			b.Fatal("curve too short")
+		}
+	}
+}
+
+// BenchmarkFig17 regenerates the TORCS curves (All / Manual / Raw) at
+// quick scale.
+func BenchmarkFig17(b *testing.B) {
+	subject := bench.TORCSSubject()
+	for i := 0; i < b.N; i++ {
+		run := func(mode bench.InputMode, steps int) *bench.RLResult {
+			res, err := bench.RunRL(subject, bench.RLConfig{
+				Mode: mode, TrainSteps: steps, EvalEpisodes: 3,
+				EpsilonDecaySteps: steps / 3, Seed: uint64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		}
+		all := run(bench.InputAll, 6000)
+		manual := run(bench.InputManual, 6000)
+		raw := run(bench.InputRaw, 400)
+		bench.RenderFig17(io.Discard, all, manual, raw)
+	}
+}
+
+// BenchmarkMarioAllVsRaw is the Section 2 comparison: internal-state
+// model vs DeepMind-style raw-pixel model under the same wall-clock
+// budget.
+func BenchmarkMarioAllVsRaw(b *testing.B) {
+	subject := bench.MarioSubject()
+	var allScore, rawScore float64
+	for i := 0; i < b.N; i++ {
+		all, err := bench.RunRL(subject, bench.RLConfig{
+			Mode: bench.InputAll, TrainSteps: 8000, EvalEpisodes: 2,
+			EpsilonDecaySteps: 4000, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := bench.RunRL(subject, bench.RLConfig{
+			Mode: bench.InputRaw, TrainSteps: 8000, EvalEpisodes: 2,
+			EpsilonDecaySteps: 4000, Seed: uint64(i + 1),
+			TrainWallClock: all.TrainTime,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		allScore, rawScore = all.Score, raw.Score
+	}
+	b.ReportMetric(allScore, "All-score")
+	b.ReportMetric(rawScore, "Raw-score")
+}
+
+// BenchmarkSelfTestCoverage regenerates the coverage case study at
+// quick scale.
+func BenchmarkSelfTestCoverage(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunSelfTest(bench.SelfTestConfig{
+			TrainSteps: 2000, PlayWindow: 300, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov = res.CoverageAgent
+	}
+	b.ReportMetric(100*cov, "coverage-%")
+}
+
+// BenchmarkAblationRanking isolates DESIGN.md decision #1: Algorithm
+// 1's distance ranking versus picking the farthest feature. It reports
+// both versions' scores on the same corpus; the ranked (Min) feature
+// must not lose.
+func BenchmarkAblationRanking(b *testing.B) {
+	var minScore, rawScore float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunSL(bench.CannySubject{}, bench.SLConfig{
+			TrainN: 30, TestN: 8, Epochs: 25, Hidden: []int{32, 16}, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		minScore = res.Versions[bench.PickMin].Score
+		rawScore = res.Versions[bench.PickRaw].Score
+	}
+	b.ReportMetric(minScore, "ranked-Min-score")
+	b.ReportMetric(rawScore, "unranked-Raw-score")
+}
+
+// BenchmarkAblationPruning isolates DESIGN.md decision #2: Algorithm
+// 2's ε₁ redundancy pruning. It compares the TORCS feature count with
+// and without pruning; training cost scales with input width.
+func BenchmarkAblationPruning(b *testing.B) {
+	var pruned, unpruned float64
+	for i := 0; i < b.N; i++ {
+		game := torcs.New(uint64(i + 1))
+		rec := trace.NewRecorder()
+		env.RunEpisode(game, func(e env.Env) int {
+			rec.RecordAll(e.StateVars())
+			return torcs.ScriptedPlayer(e)
+		}, 400)
+		g := torcs.DepGraph()
+		vars := env.SortedVarNames(game)
+		with := extract.RL(g, rec, torcs.TargetVars(), vars, extract.RLConfig{Epsilon1: 0.05, Epsilon2: 0.01})
+		without := extract.RL(g, rec, torcs.TargetVars(), vars, extract.RLConfig{Epsilon1: 0, Epsilon2: 0})
+		pruned = float64(len(with.Features["steer"]))
+		unpruned = float64(len(without.Features["steer"]))
+		if pruned >= unpruned {
+			b.Errorf("pruning removed nothing: %v vs %v", pruned, unpruned)
+		}
+	}
+	b.ReportMetric(pruned, "features-with-pruning")
+	b.ReportMetric(unpruned, "features-without-pruning")
+}
+
+// BenchmarkCannyDetect measures the raw subject cost that the Table 3
+// exec-time overhead columns are relative to.
+func BenchmarkCannyDetect(b *testing.B) {
+	sc := imaging.GenerateScene(stats.NewRNG(1), imaging.SceneConfig{W: 32, H: 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := canny.Detect(sc.Img, canny.DefaultParams(), nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeatureExtractionSL measures Algorithm 1's cost on the
+// Canny dependence graph.
+func BenchmarkFeatureExtractionSL(b *testing.B) {
+	g := dep.NewGraph()
+	sc := imaging.GenerateScene(stats.NewRNG(1), imaging.SceneConfig{W: 32, H: 32})
+	if _, err := canny.Detect(sc.Img, canny.DefaultParams(), g, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		extract.SL(g, canny.Inputs(), canny.Targets())
+	}
+}
+
+// BenchmarkPrimitiveExtract measures the au_extract fast path — the
+// per-frame cost every autonomized loop pays.
+func BenchmarkPrimitiveExtract(b *testing.B) {
+	rt := autonomizerNewTrain(1)
+	vals := []float64{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Extract("STATE", vals...)
+		if i%1024 == 0 {
+			rt.DB().Reset("STATE") // keep the list from growing unboundedly
+		}
+	}
+}
+
+// BenchmarkPrimitiveNNRL measures one full annotated-loop iteration
+// (extract + au_NN + write-back) against a trained 10-feature model —
+// the "All" per-frame overhead of Table 3.
+func BenchmarkPrimitiveNNRL(b *testing.B) {
+	rt := autonomizerNewTrain(2)
+	if err := rt.Config(autonomizerModelSpec()); err != nil {
+		b.Fatal(err)
+	}
+	state := make([]float64, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Extract("STATE", state...)
+		if err := rt.NNRL("M", "STATE", 0.5, false, "out"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.WriteBackAction("out"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRestore measures the in-process ⟨σ, π⟩ snapshot
+// cost (the KVM-scale figures in Table 2 come from the cost model, not
+// this measured copy).
+func BenchmarkCheckpointRestore(b *testing.B) {
+	rt := autonomizerNewTrain(3)
+	prog := &benchProg{vals: make([]float64, 4096)}
+	rt.Extract("STATE", make([]float64, 1024)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Checkpoint(prog, 8*4096)
+		if err := rt.Restore(prog); err != nil {
+			b.Fatal(err)
+		}
+		rt.Checkpoints().Pop()
+	}
+}
+
+type benchProg struct{ vals []float64 }
+
+func (p *benchProg) Snapshot() any {
+	return append([]float64(nil), p.vals...)
+}
+
+func (p *benchProg) Restore(s any) {
+	p.vals = append([]float64(nil), s.([]float64)...)
+}
+
+func autonomizerNewTrain(seed uint64) *autonomizer.Runtime {
+	return autonomizer.New(autonomizer.Train, seed)
+}
+
+func autonomizerModelSpec() autonomizer.ModelSpec {
+	return autonomizer.ModelSpec{
+		Name: "M", Algo: autonomizer.QLearn, Actions: 3, Hidden: []int{64, 32},
+	}
+}

@@ -1,0 +1,92 @@
+// Command ausem executes programs written in the concrete syntax of the
+// paper's operational semantics (Fig. 8) on the literal rule
+// interpreter, printing the final ⟨σ, π, θ⟩ configuration. It is a
+// teaching/debugging tool for the primitives' exact meaning.
+//
+// Usage:
+//
+//	ausem [-mode TR|TS] program.au
+//	echo '@au_checkpoint()' | ausem -
+//
+// Example program:
+//
+//	one := 1
+//	px  := 3.5
+//	@au_config(Mario, DNN, Q, 2, 256, 64)
+//	@au_checkpoint()
+//	@au_extract(PX, one, px)
+//	@au_NN(Mario, PX, output)
+//	@au_write_back(output, one, actionKey)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/autonomizer/autonomizer/internal/semantics"
+)
+
+func main() {
+	mode := flag.String("mode", "TR", "execution mode ω: TR (training) or TS (testing)")
+	trace := flag.Bool("trace", false, "print each statement before executing it")
+	lintOnly := flag.Bool("lint", false, "check annotations for mistakes without executing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ausem [-mode TR|TS] [-trace] <program.au | ->")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	stmts, err := semantics.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	if issues := semantics.Lint(stmts); len(issues) > 0 {
+		for _, issue := range issues {
+			fmt.Fprintln(os.Stderr, "lint:", issue)
+		}
+		if *lintOnly {
+			os.Exit(1)
+		}
+	} else if *lintOnly {
+		fmt.Println("no issues")
+		return
+	}
+
+	var m *semantics.Machine
+	switch *mode {
+	case "TR":
+		m = semantics.NewMachine(semantics.TR)
+	case "TS":
+		m = semantics.NewMachine(semantics.TS)
+	default:
+		fmt.Fprintf(os.Stderr, "error: unknown mode %q (want TR or TS)\n", *mode)
+		os.Exit(2)
+	}
+
+	for i, s := range stmts {
+		if *trace {
+			fmt.Printf("[%2d] %#v\n", i, s)
+		}
+		if err := m.Exec(s); err != nil {
+			fmt.Fprintf(os.Stderr, "error: statement %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Print(m.FormatStores())
+}

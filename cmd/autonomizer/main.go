@@ -1,0 +1,273 @@
+// Command autonomizer regenerates the paper's evaluation: every table
+// and figure of "Programming Support for Autonomizing Software" (PLDI
+// 2019), reproduced on the Go reimplementation.
+//
+// Usage:
+//
+//	autonomizer table1            program-analysis statistics
+//	autonomizer table2            model statistics (runs the SL+RL suites)
+//	autonomizer table3            effectiveness (SL and RL halves)
+//	autonomizer fig12             Canny per-input scores
+//	autonomizer fig13             Canny score-vs-epoch curves
+//	autonomizer fig17             TORCS driving-score curves (All/Manual/Raw)
+//	autonomizer coverage          self-testing case study + bug hunt
+//	autonomizer demo              quick end-to-end demonstration
+//	autonomizer all               everything above
+//
+// Flags:
+//
+//	-quick    smaller budgets (seconds instead of minutes)
+//	-seed N   experiment seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced budgets")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	start := time.Now()
+	var err error
+	switch cmd {
+	case "table1":
+		err = runTable1(*seed)
+	case "table2":
+		err = runTable2(*quick, *seed)
+	case "table3":
+		err = runTable3(*quick, *seed)
+	case "fig12", "fig13":
+		err = runCannyFigs(cmd, *quick, *seed)
+	case "fig17":
+		err = runFig17(*quick, *seed)
+	case "coverage":
+		err = runCoverage(*quick, *seed)
+	case "ablation":
+		err = runAblation(*quick, *seed)
+	case "depgraph":
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: autonomizer depgraph <subject>")
+			os.Exit(2)
+		}
+		err = runDepGraph(flag.Arg(1), *seed)
+	case "demo":
+		err = runDemo(*seed)
+	case "all":
+		for _, c := range []func() error{
+			func() error { return runTable1(*seed) },
+			func() error { return runTable3(*quick, *seed) },
+			func() error { return runTable2(*quick, *seed) },
+			func() error { return runCannyFigs("fig12+fig13", *quick, *seed) },
+			func() error { return runFig17(*quick, *seed) },
+			func() error { return runCoverage(*quick, *seed) },
+		} {
+			if err = c(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond*100))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: autonomizer [-quick] [-seed N] <command>
+
+commands:
+  table1     program-analysis statistics (paper Table 1)
+  table2     model statistics (paper Table 2)
+  table3     effectiveness comparison (paper Table 3)
+  fig12      Canny per-input scores (paper Fig. 12)
+  fig13      Canny score vs epochs (paper Fig. 13)
+  fig17      TORCS driving curves (paper Fig. 17)
+  coverage   self-testing case study + bug hunt (paper Section 2)
+  ablation   design-choice ablations (feature ranking, trace pruning)
+  depgraph   dump a subject's dynamic dependence graph as Graphviz DOT
+  demo       quick end-to-end demonstration
+  all        run everything`)
+}
+
+func runTable1(seed uint64) error {
+	bench.RenderTable1(os.Stdout, bench.BuildTable1(seed))
+	return nil
+}
+
+func slSuite(quick bool, seed uint64) ([]*bench.SLResult, error) {
+	return bench.RunSLSuite(bench.SLSuiteConfig{Quick: quick, Seed: seed})
+}
+
+func rlSuite(quick bool, seed uint64) ([]bench.Table3RLRow, error) {
+	return bench.RunRLSuite(bench.RLSuiteConfig{Quick: quick, Seed: seed})
+}
+
+func runTable2(quick bool, seed uint64) error {
+	sl, err := slSuite(quick, seed)
+	if err != nil {
+		return err
+	}
+	rl, err := rlSuite(quick, seed)
+	if err != nil {
+		return err
+	}
+	bench.RenderTable2(os.Stdout, bench.BuildTable2(sl, rl))
+	return nil
+}
+
+func runTable3(quick bool, seed uint64) error {
+	sl, err := slSuite(quick, seed)
+	if err != nil {
+		return err
+	}
+	bench.RenderTable3SL(os.Stdout, sl)
+	fmt.Println()
+	rl, err := rlSuite(quick, seed)
+	if err != nil {
+		return err
+	}
+	bench.RenderTable3RL(os.Stdout, rl)
+	return nil
+}
+
+func runCannyFigs(which string, quick bool, seed uint64) error {
+	cfg := bench.SLConfig{Seed: seed, TrainN: 60, TestN: 10, Epochs: 60, Hidden: []int{64, 32}}
+	if quick {
+		cfg.TrainN, cfg.TestN, cfg.Epochs = 24, 10, 15
+		cfg.Hidden = []int{32, 16}
+	}
+	res, err := bench.RunSL(bench.CannySubject{}, cfg)
+	if err != nil {
+		return err
+	}
+	if which != "fig13" {
+		bench.RenderFig12(os.Stdout, res)
+	}
+	if which != "fig12" {
+		fmt.Println()
+		bench.RenderFig13(os.Stdout, res, 3)
+	}
+	return nil
+}
+
+func runFig17(quick bool, seed uint64) error {
+	subject := bench.TORCSSubject()
+	run := func(mode bench.InputMode, wall time.Duration) (*bench.RLResult, error) {
+		cfg := bench.TunedRLConfig(subject, mode, wall)
+		cfg.Seed = seed
+		// Disable early stopping so the full curves render, as in the
+		// paper's figure.
+		cfg.NoEarlyStop = true
+		cfg.EvalEpisodes = 5
+		cfg.EvalEvery = cfg.TrainSteps / 20
+		if quick {
+			cfg.TrainSteps = 6000
+			cfg.EpsilonDecaySteps = 3000
+			cfg.EvalEvery = 500
+		}
+		return bench.RunRL(subject, cfg)
+	}
+	all, err := run(bench.InputAll, 0)
+	if err != nil {
+		return err
+	}
+	manual, err := run(bench.InputManual, 0)
+	if err != nil {
+		return err
+	}
+	raw, err := run(bench.InputRaw, all.TrainTime+manual.TrainTime)
+	if err != nil {
+		return err
+	}
+	bench.RenderFig17(os.Stdout, all, manual, raw)
+	return nil
+}
+
+func runCoverage(quick bool, seed uint64) error {
+	cfg := bench.SelfTestConfig{Seed: seed}
+	huntSteps := 150000
+	if quick {
+		cfg.TrainSteps = 4000
+		cfg.PlayWindow = 400
+		huntSteps = 30000
+	}
+	res, err := bench.RunSelfTest(cfg)
+	if err != nil {
+		return err
+	}
+	hunt := bench.RunBugHunt(seed, huntSteps)
+	bench.RenderSelfTest(os.Stdout, res, hunt)
+	return nil
+}
+
+func runAblation(quick bool, seed uint64) error {
+	// Ablation 1: Algorithm 1's distance ranking. Min vs Raw on the
+	// same Canny corpus isolates the ranking's contribution.
+	cfg := bench.SLConfig{Seed: seed, TrainN: 60, TestN: 10, Epochs: 60, Hidden: []int{64, 32}}
+	if quick {
+		cfg.TrainN, cfg.TestN, cfg.Epochs = 24, 8, 15
+		cfg.Hidden = []int{32, 16}
+	}
+	res, err := bench.RunSL(bench.CannySubject{}, cfg)
+	if err != nil {
+		return err
+	}
+	min, raw := res.Versions[bench.PickMin], res.Versions[bench.PickRaw]
+	fmt.Println("Ablation 1: Algorithm 1 distance ranking (Canny)")
+	fmt.Printf("  ranked (Min):   score %.3f, %d inputs, train %v\n",
+		min.Score, min.InputSize, min.TrainTime.Round(time.Millisecond))
+	fmt.Printf("  unranked (Raw): score %.3f, %d inputs, train %v\n",
+		raw.Score, raw.InputSize, raw.TrainTime.Round(time.Millisecond))
+	fmt.Printf("  ranking wins by %+.0f%% score at %.1fx less training time\n\n",
+		100*(min.Score-raw.Score)/raw.Score, float64(raw.TrainTime)/float64(min.TrainTime))
+
+	// Ablation 2: Algorithm 2's pruning on TORCS.
+	fmt.Println("Ablation 2: Algorithm 2 trace pruning (TORCS)")
+	for _, with := range []bool{true, false} {
+		feats := bench.TORCSFeatureAblation(seed, with)
+		fmt.Printf("  pruning=%v: %d features: %v\n", with, len(feats), feats)
+	}
+	return nil
+}
+
+func runDepGraph(subject string, seed uint64) error {
+	g, err := bench.SubjectDepGraph(subject, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(g.DOT(subject))
+	return nil
+}
+
+func runDemo(seed uint64) error {
+	fmt.Println("== Autonomizer demo: Flappybird with internal-state features ==")
+	res, err := bench.RunRL(bench.FlappySubject(), bench.RLConfig{
+		Mode: bench.InputAll, TrainSteps: 30000, EvalEpisodes: 5,
+		EpsilonDecaySteps: 8000, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("players %.0f%%  trained agent %.0f%% (train %v, competitive at step %d)\n",
+		100*res.PlayerScore, 100*res.Score, res.TrainTime.Round(time.Millisecond*100),
+		res.StepsToCompetitive)
+	return nil
+}

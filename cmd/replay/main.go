@@ -1,0 +1,114 @@
+// Command replay plays one episode of any RL subject and renders it —
+// the reproduction's analog of the paper's demo videos. Frames go to
+// stdout as ASCII art and optionally to disk as PGM images.
+//
+// Usage:
+//
+//	replay -game mario                 # ASCII playback with the scripted player
+//	replay -game torcs -policy random  # random controller
+//	replay -game flappy -frames /tmp/f # also dump PGM frames
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/autonomizer/autonomizer/internal/bench"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+var subjects = map[string]func() *bench.RLSubject{
+	"flappy":   bench.FlappySubject,
+	"mario":    bench.MarioSubject,
+	"arkanoid": bench.ArkanoidSubject,
+	"torcs":    bench.TORCSSubject,
+	"breakout": bench.BreakoutSubject,
+}
+
+func main() {
+	game := flag.String("game", "mario", "flappy|mario|arkanoid|torcs|breakout")
+	policyName := flag.String("policy", "scripted", "scripted|random")
+	hunt := flag.Bool("hunt", false, "run the armed-bug hunt instead of a playback (mario only)")
+	steps := flag.Int("steps", 300, "maximum steps to play")
+	every := flag.Int("every", 10, "render every Nth frame")
+	framesDir := flag.String("frames", "", "directory to write PGM frames into")
+	seed := flag.Uint64("seed", 1, "game seed")
+	flag.Parse()
+
+	if *hunt {
+		res := bench.RunBugHunt(*seed, 200000)
+		if res.Found {
+			fmt.Printf("CRASH after %d steps:\n  %s\n", res.Steps, res.Crash)
+		} else {
+			fmt.Printf("no crash within %d steps; try another -seed\n", res.Steps)
+		}
+		return
+	}
+
+	mk, ok := subjects[*game]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown game %q\n", *game)
+		os.Exit(2)
+	}
+	subject := mk()
+	e := subject.NewEnv(*seed)
+
+	var policy env.Policy
+	switch *policyName {
+	case "scripted":
+		policy = subject.Player
+	case "random":
+		rng := stats.NewRNG(*seed + 1)
+		policy = func(env.Env) int { return rng.Intn(subject.Actions) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+
+	if *framesDir != "" {
+		if err := os.MkdirAll(*framesDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
+	e.Reset()
+	total := 0.0
+	for step := 0; step < *steps; step++ {
+		if step%*every == 0 {
+			fmt.Printf("--- %s step %d  score %.3f  reward %.1f ---\n", subject.Name, step, e.Score(), total)
+			fmt.Print(imaging.ASCII(e.Screen(), 2, 2))
+		}
+		if *framesDir != "" {
+			path := filepath.Join(*framesDir, fmt.Sprintf("frame-%05d.pgm", step))
+			if err := writeFrame(path, e.Screen()); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		r, terminal := e.Step(policy(e))
+		total += r
+		if terminal {
+			fmt.Printf("--- terminal at step %d: score %.3f, success %v, total reward %.1f ---\n",
+				step+1, e.Score(), e.Success(), total)
+			break
+		}
+	}
+	if *framesDir != "" {
+		fmt.Printf("frames written to %s\n", *framesDir)
+	}
+}
+
+// writeFrame writes one screen to disk as a binary PGM image.
+func writeFrame(path string, img *imaging.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return imaging.WritePGM(f, img)
+}

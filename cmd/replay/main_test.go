@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/imaging"
+)
+
+func TestSubjectsMapComplete(t *testing.T) {
+	for _, name := range []string{"flappy", "mario", "arkanoid", "torcs", "breakout"} {
+		mk, ok := subjects[name]
+		if !ok {
+			t.Errorf("missing subject %q", name)
+			continue
+		}
+		s := mk()
+		e := s.NewEnv(1)
+		if e.Screen() == nil || s.Player == nil {
+			t.Errorf("%s: incomplete subject", name)
+		}
+	}
+}
+
+func TestWriteFrame(t *testing.T) {
+	dir := t.TempDir()
+	img := imaging.NewImage(8, 8)
+	img.Set(3, 3, 255)
+	path := filepath.Join(dir, "f.pgm")
+	if err := writeFrame(path, img); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := imaging.ReadPGM(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(3, 3) != 255 {
+		t.Error("frame round trip lost data")
+	}
+	if err := writeFrame(filepath.Join(dir, "no/such/dir/f.pgm"), img); err == nil {
+		t.Error("writing into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,75 @@
+package autonomizer_test
+
+import (
+	"fmt"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+)
+
+// ExampleRuntime_supervised shows the parameterized-program lifecycle:
+// record oracle-labeled examples during training runs, fit offline,
+// then predict parameters for new inputs.
+func ExampleRuntime_supervised() {
+	rt := autonomizer.New(autonomizer.Train, 1)
+	_ = rt.Config(autonomizer.ModelSpec{
+		Name: "ParamNN", Algo: autonomizer.AdamOpt, Hidden: []int{8}, LR: 0.01,
+	})
+	// During training runs the oracle supplies the desirable parameter
+	// per input; here the ideal parameter is simply 2x the feature.
+	for i := 0; i < 300; i++ {
+		x := float64(i%10) / 10
+		_ = rt.RecordExample("ParamNN", []float64{x}, []float64{2 * x})
+	}
+	_, _ = rt.Fit("ParamNN", 40, 16)
+	out, _ := rt.Predict("ParamNN", []float64{0.4})
+	fmt.Printf("predicted parameter: %.1f\n", out[0])
+	// Output: predicted parameter: 0.8
+}
+
+// ExampleFeaturesSL runs Algorithm 1 on the paper's Fig. 9 dependence
+// structure: the histogram is the nearest (best) feature for the
+// hysteresis threshold.
+func ExampleFeaturesSL() {
+	g := autonomizer.NewDepGraph()
+	g.MarkInput("image")
+	g.Def("sImg", "image", "sigma")
+	g.Def("mag", "sImg")
+	g.Def("hist", "mag")
+	g.Def("result", "hist", "lo", "hi")
+
+	ranked := autonomizer.FeaturesSL(g, []string{"image"}, []string{"lo"})
+	for _, f := range ranked["lo"] {
+		fmt.Printf("%s (distance %d)\n", f.Name, f.Dist)
+	}
+	// Output:
+	// hist (distance 1)
+	// mag (distance 2)
+	// sImg (distance 3)
+	// image (distance 4)
+}
+
+// ExampleFeaturesRL runs Algorithm 2 on a Fig. 10-style structure: the
+// duplicate variable is pruned by the trace-similarity threshold.
+func ExampleFeaturesRL() {
+	g := autonomizer.NewDepGraph()
+	g.Def("playerX", "playerX", "actionKey")
+	g.Def("speed", "playerX")
+	g.Def("pX", "playerX") // redundant duplicate
+	g.Def("collide", "speed", "pX")
+	for _, v := range []string{"playerX", "speed", "pX", "collide", "actionKey"} {
+		g.Use("gameLoop", v)
+	}
+	rec := autonomizer.NewTraceRecorder()
+	for i := 0; i < 20; i++ {
+		rec.Record("playerX", float64(i))
+		rec.Record("pX", float64(i)) // identical trace
+		rec.Record("speed", float64(i%3))
+	}
+	report := autonomizer.FeaturesRL(g, rec, []string{"actionKey"},
+		[]string{"playerX", "pX", "speed"}, 1e-9, 1e-9)
+	fmt.Println(report.Features["actionKey"])
+	fmt.Println("pruned pairs:", len(report.PrunedRedundant))
+	// Output:
+	// [pX speed]
+	// pruned pairs: 1
+}

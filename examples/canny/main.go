@@ -1,0 +1,107 @@
+// Canny autonomization: the paper's flagship supervised case study
+// (Section 6.3, Fig. 11), end to end.
+//
+// The annotation below mirrors Fig. 11 line by line: the user marks the
+// three target parameters (sigma, lo, hi); Algorithm 1 recommends the
+// gradient-magnitude histogram as the feature for lo/hi and the image
+// statistics for sigma; the runtime trains a model per annotation and
+// the deployed build predicts good parameters for every new image on
+// the fly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+	"github.com/autonomizer/autonomizer/internal/canny"
+	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+func main() {
+	// Step 1: the user annotates the targets; Autonomizer recommends
+	// features from the dynamic dependence graph of a profiled run.
+	g := autonomizer.NewDepGraph()
+	sample := imaging.GenerateScene(stats.NewRNG(7), imaging.SceneConfig{W: 32, H: 32})
+	if _, err := canny.Detect(sample.Img, canny.DefaultParams(), g, nil); err != nil {
+		log.Fatal(err)
+	}
+	ranked := autonomizer.FeaturesSL(g, canny.Inputs(), canny.Targets())
+	for _, target := range canny.Targets() {
+		if f, ok := autonomizer.SelectFeature(ranked[target], autonomizer.Min); ok {
+			fmt.Printf("recommended feature for %-5s: %-8s (dependence distance %d)\n",
+				target, f.Name, f.Dist)
+		}
+	}
+
+	// Step 2: training run. The oracle (autotuning against ground
+	// truth) provides the desirable parameter values per image.
+	rt := autonomizer.New(autonomizer.Train, 11)
+	if err := rt.Config(autonomizer.ModelSpec{ // au_config("MinNN", DNN, AdamOpt, 6, ...)
+		Name: "MinNN", Algo: autonomizer.AdamOpt,
+		Hidden: []int{48, 24}, LR: 3e-3, OutputActivation: "sigmoid",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	train := imaging.GenerateCorpus(100, 48, imaging.SceneConfig{W: 32, H: 32, MaxNoise: 55})
+	for _, sc := range train {
+		var tr canny.Trace
+		if _, err := canny.Detect(sc.Img, canny.DefaultParams(), nil, &tr); err != nil {
+			log.Fatal(err)
+		}
+		ideal, _ := canny.Oracle(sc)
+
+		// au_extract("HIST", 32767, hist) — the Min feature.
+		rt.Extract("HIST", stats.Normalize(tr.Hist)...)
+		// The desirable outputs for this input (Section 3's "decisions
+		// made by human users" recorded as the objective):
+		rt.DB().Put("PARAMS", []float64{ideal.Sigma / 4, ideal.Lo, ideal.Hi})
+		// au_NN("MinNN", "HIST", "PARAMS") — trains online and records
+		// the example for offline fitting.
+		if err := rt.NN("MinNN", "HIST", "PARAMS"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := rt.Fit("MinNN", 60, 16); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: production run on ten fresh images (the Fig. 12 setup).
+	test := imaging.GenerateCorpus(2100, 10, imaging.SceneConfig{W: 32, H: 32, MaxNoise: 55})
+	var baseSum, autoSum float64
+	fmt.Println("\nimage  baseline  autonomized")
+	for i, sc := range test {
+		var tr canny.Trace
+		if _, err := canny.Detect(sc.Img, canny.DefaultParams(), nil, &tr); err != nil {
+			log.Fatal(err)
+		}
+		baseResult, err := canny.Detect(sc.Img, canny.DefaultParams(), nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseScore := canny.Score(baseResult, sc.Truth)
+
+		rt.Extract("HIST", stats.Normalize(tr.Hist)...)
+		if err := rt.NN("MinNN", "HIST", "OUT"); err != nil {
+			log.Fatal(err)
+		}
+		var out [3]float64
+		if _, err := rt.WriteBack("OUT", out[:]); err != nil { // au_write_back
+			log.Fatal(err)
+		}
+		p := canny.Params{Sigma: out[0] * 4, Lo: out[1], Hi: out[2]}.Clamp()
+		autoResult, err := canny.Detect(sc.Img, p, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		autoScore := canny.Score(autoResult, sc.Truth)
+
+		fmt.Printf("%5d %9.3f %12.3f\n", i+1, baseScore, autoScore)
+		baseSum += baseScore
+		autoSum += autoScore
+	}
+	fmt.Printf("mean  %9.3f %12.3f  (%.0f%% improvement)\n",
+		baseSum/10, autoSum/10, 100*(autoSum-baseSum)/baseSum)
+}

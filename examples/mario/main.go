@@ -1,0 +1,126 @@
+// Mario autonomization: the paper's running example (Section 2, Fig. 2).
+//
+// The game loop below is annotated exactly as in Fig. 2: au_checkpoint
+// before the loop, au_extract for the player and minion positions each
+// iteration, au_serialize to combine them, au_NN with the reward and
+// terminal flag, au_write_back into actionKey, and au_restore at end
+// states. Model state survives every restore, so learning accumulates
+// across Mario's many deaths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/games/mario"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+func main() {
+	game := mario.New(1, mario.Options{})
+	rt := autonomizer.New(autonomizer.Train, 9)
+
+	// au_config("Mario", DNN, QLearn, 2, 256, 64) — Fig. 2 line 3
+	// (scaled-down hidden layers for this demo's budget).
+	if err := rt.Config(autonomizer.ModelSpec{
+		Name: "Mario", Algo: autonomizer.QLearn, Actions: 5,
+		Hidden: []int{64, 32}, LR: 1e-3,
+		EpsilonDecaySteps: 20000, TargetSyncEvery: 150,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	vec := func(g *mario.Game) []float64 {
+		v := g.StateVars()
+		return []float64{
+			v["playerX"] / 212, v["playerY"] / 16, v["playerVX"] / 0.5, v["playerVY"] / 1.2,
+			v["onGround"], v["minionDX"] / 40, v["minionDY"] / 4,
+			v["ditchDist"] / 40, v["pipeDist"] / 40, v["objAhead"] / 3,
+		}
+	}
+
+	// Evaluate the learned policy greedily against the scripted player.
+	policy := func(e env.Env) int {
+		out, err := rt.Predict("Mario", vec(e.(*mario.Game)))
+		if err != nil {
+			return 0
+		}
+		return stats.ArgMax(out)
+	}
+
+	const trainSteps = 50000
+	start := time.Now()
+	game.Reset()
+	rt.Checkpoint(game, 1<<20) // au_checkpoint() — Fig. 2 line 27
+	pendReward := 0.0
+	episodeSteps, episodes := 0, 0
+	bestScore := -1.0
+	var bestParams []byte
+	for step := 0; step < trainSteps; step++ {
+		// au_extract(...) — Fig. 2 lines 9-10, 17, 21-22.
+		v := vec(game)
+		rt.Extract("PX", v[0])
+		rt.Extract("PY", v[1])
+		rt.Extract("VX", v[2])
+		rt.Extract("VY", v[3])
+		rt.Extract("OG", v[4])
+		rt.Extract("MnX", v[5])
+		rt.Extract("MnY", v[6])
+		rt.Extract("DD", v[7])
+		rt.Extract("PD", v[8])
+		rt.Extract("OBJ", v[9])
+		key := rt.Serialize("PX", "PY", "VX", "VY", "OG", "MnX", "MnY", "DD", "PD", "OBJ")
+
+		// au_NN("Mario", au_serialize(...), reward, term, "output") —
+		// Fig. 2 lines 40-43.
+		if err := rt.NNRL("Mario", key, pendReward, false, "output"); err != nil {
+			log.Fatal(err)
+		}
+		// au_write_back("output", 5, actionKey) — Fig. 2 line 44.
+		actionKey, err := rt.WriteBackAction("output")
+		if err != nil {
+			log.Fatal(err)
+		}
+		reward, terminated := game.Step(actionKey) // act(actionKey)
+		pendReward = reward
+		episodeSteps++
+
+		if terminated || episodeSteps > 1500 {
+			episodes++
+			if err := rt.Restore(game); err != nil { // au_restore() — line 48
+				log.Fatal(err)
+			}
+			pendReward = 0
+			episodeSteps = 0
+		}
+		// Keep the best evaluated snapshot, as the paper stops training
+		// at the best competitive score.
+		if (step+1)%2500 == 0 {
+			score, _ := env.AverageScore(mario.New(1, mario.Options{}), policy, 2, 2000)
+			if score > bestScore {
+				bestScore = score
+				if data, err := rt.SaveModel("Mario"); err == nil {
+					bestParams = data
+				}
+			}
+		}
+	}
+	if bestParams != nil {
+		if err := rt.LoadModelParams("Mario", bestParams); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("trained for %d steps / %d episodes in %v\n",
+		trainSteps, episodes, time.Since(start).Round(time.Millisecond*100))
+
+	agentScore, agentSuccess := env.AverageScore(mario.New(1, mario.Options{}), policy, 5, 2000)
+	playerScore, playerSuccess := env.AverageScore(mario.New(1, mario.Options{}), mario.ScriptedPlayer, 5, 2000)
+	fmt.Printf("scripted player: progress %.0f%%, clears %.0f%%\n", 100*playerScore, 100*playerSuccess)
+	fmt.Printf("trained agent:   progress %.0f%%, clears %.0f%%\n", 100*agentScore, 100*agentSuccess)
+	if st, ok := rt.RLStats("Mario"); ok {
+		fmt.Printf("replay trace: %d transitions, %d KB\n", st.ReplayLen, st.TraceBytes/1024)
+	}
+}

@@ -1,0 +1,157 @@
+// Quickstart: autonomize a tiny parameterized program.
+//
+// The subject is a toy signal-smoothing routine with one parameter (the
+// smoothing window). Its ideal window depends on the input's noise
+// level — exactly the structure the paper's supervised autonomization
+// targets. We annotate it with the Autonomizer primitives, train
+// against an autotuning oracle, save the model, and run the deployed
+// (TS-mode) build on fresh inputs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+)
+
+// smooth is the "traditional program": a moving average with a window
+// parameter the user would normally have to pick per input.
+func smooth(signal []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(signal))
+	for i := range signal {
+		lo, hi := i-window, i+window
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(signal) {
+			hi = len(signal) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += signal[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// quality scores a smoothing against the clean reference (higher is
+// better): negative mean squared error.
+func quality(smoothed, clean []float64) float64 {
+	mse := 0.0
+	for i := range clean {
+		d := smoothed[i] - clean[i]
+		mse += d * d
+	}
+	return -mse / float64(len(clean))
+}
+
+// makeInput synthesizes one workload: a sine wave with seed-dependent
+// noise. The best window grows with the noise level.
+func makeInput(seed int) (signal, clean []float64, noise float64) {
+	n := 128
+	noise = 0.05 + 0.5*float64(seed%10)/10
+	clean = make([]float64, n)
+	signal = make([]float64, n)
+	state := uint64(seed)*2654435761 + 1
+	rnd := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1000)/500 - 1
+	}
+	for i := range clean {
+		clean[i] = math.Sin(float64(i) / 6)
+		signal[i] = clean[i] + noise*rnd()
+	}
+	return signal, clean, noise
+}
+
+// features extracts the program's internal feature variable: an
+// estimate of the input's noisiness (mean absolute first difference),
+// the kind of derived quantity Algorithm 1 would surface.
+func features(signal []float64) []float64 {
+	sum := 0.0
+	for i := 1; i < len(signal); i++ {
+		sum += math.Abs(signal[i] - signal[i-1])
+	}
+	return []float64{sum / float64(len(signal)-1)}
+}
+
+func main() {
+	// ---- Training run (the TR executable) ----
+	rt := autonomizer.New(autonomizer.Train, 42)
+	err := rt.Config(autonomizer.ModelSpec{ // au_config("WindowNN", DNN, AdamOpt, ...)
+		Name: "WindowNN", Type: autonomizer.DNN, Algo: autonomizer.AdamOpt,
+		Hidden: []int{16}, LR: 0.01, OutputActivation: "sigmoid",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for seed := 0; seed < 200; seed++ {
+		signal, clean, _ := makeInput(seed)
+		// The oracle stands in for the user/autotuner picking the ideal
+		// window for this input by trying a few.
+		bestW, bestQ := 1, math.Inf(-1)
+		for _, w := range []int{1, 2, 4, 7, 11} {
+			if q := quality(smooth(signal, w), clean); q > bestQ {
+				bestQ, bestW = q, w
+			}
+		}
+		if err := rt.RecordExample("WindowNN", features(signal), []float64{float64(bestW) / 12}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := rt.Fit("WindowNN", 60, 16); err != nil {
+		log.Fatal(err)
+	}
+	saved, err := rt.SaveModel("WindowNN")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained WindowNN on 200 inputs, model %d bytes\n", len(saved))
+
+	// ---- Production run (the TS executable) ----
+	prod := autonomizer.New(autonomizer.Test, 43)
+	prod.LoadModel("WindowNN", saved)
+	if err := prod.Config(autonomizer.ModelSpec{
+		Name: "WindowNN", Type: autonomizer.DNN, Algo: autonomizer.AdamOpt,
+		Hidden: []int{16}, OutputActivation: "sigmoid",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	var defQ, autoQ float64
+	fresh := 0
+	for seed := 1000; seed < 1020; seed++ {
+		signal, clean, _ := makeInput(seed)
+
+		// The annotated program: extract → NN → write back → use.
+		prod.Extract("NOISE", features(signal)...)                     // au_extract
+		if err := prod.NN("WindowNN", "NOISE", "WINDOW"); err != nil { // au_NN
+			log.Fatal(err)
+		}
+		var wv [1]float64
+		if _, err := prod.WriteBack("WINDOW", wv[:]); err != nil { // au_write_back
+			log.Fatal(err)
+		}
+		window := int(wv[0]*12 + 0.5)
+
+		defQ += quality(smooth(signal, 3), clean) // fixed default window
+		autoQ += quality(smooth(signal, window), clean)
+		fresh++
+	}
+	fmt.Printf("mean quality on %d fresh inputs: default window -%.5f, autonomized -%.5f\n",
+		fresh, -defQ/float64(fresh), -autoQ/float64(fresh))
+	if autoQ > defQ {
+		fmt.Println("autonomized program wins: parameters now adapt to each input")
+	} else {
+		fmt.Println("unexpected: defaults won on this corpus")
+	}
+}

@@ -1,0 +1,94 @@
+// TORCS autonomization: the paper's self-driving case study (Section
+// 6.3). The steering command is the annotated target variable;
+// Algorithm 2 extracts the feature variables from the control loop's
+// dependence graph and prunes the redundant (roll ≈ posX, Fig. 15) and
+// unchanging (accX, Fig. 16) candidates. The surviving features feed a
+// Q-learning model that learns to keep the car on the track.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/games/torcs"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+func main() {
+	// Step 1: feature extraction over a profiled run (Algorithm 2 with
+	// the paper's thresholds: prune duplicates and near-constants).
+	game := torcs.New(1)
+	rec := autonomizer.NewTraceRecorder()
+	env.RunEpisode(game, func(e env.Env) int {
+		rec.RecordAll(e.StateVars())
+		return torcs.ScriptedPlayer(e)
+	}, 400)
+	report := autonomizer.FeaturesRL(torcs.DepGraph(), rec,
+		torcs.TargetVars(), env.SortedVarNames(game), 0.05, 0.01)
+
+	fmt.Println("Algorithm 2 on the TORCS control loop:")
+	fmt.Printf("  features for steer: %v\n", report.Features["steer"])
+	for _, pair := range report.PrunedRedundant {
+		fmt.Printf("  pruned redundant:   %s ~ %s (Fig. 15: EucDist ≈ 0)\n", pair[1], pair[0])
+	}
+	fmt.Printf("  pruned unchanging:  %v (Fig. 16: variance <= 0.01)\n\n", report.PrunedUnchanging)
+
+	// Step 2: train the steering model through the annotated loop.
+	rt := autonomizer.New(autonomizer.Train, 3)
+	if err := rt.Config(autonomizer.ModelSpec{
+		Name: "Steer", Algo: autonomizer.QLearn, Actions: 3,
+		Hidden: []int{64, 32}, LR: 1e-3, EpsilonDecaySteps: 8000,
+		TargetSyncEvery: 150,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	feats := report.Features["steer"]
+	encode := func(e env.Env) []float64 {
+		v := env.StateVector(e, feats)
+		for i := range v {
+			v[i] /= 10 // telemetry values into rough unit scale
+		}
+		return v
+	}
+
+	const trainSteps = 20000
+	start := time.Now()
+	game.Reset()
+	rt.Checkpoint(game, 1<<20)
+	pendReward := 0.0
+	for step := 0; step < trainSteps; step++ {
+		rt.Extract("STATE", encode(game)...)
+		if err := rt.NNRL("Steer", "STATE", pendReward, false, "steerOut"); err != nil {
+			log.Fatal(err)
+		}
+		action, err := rt.WriteBackAction("steerOut")
+		if err != nil {
+			log.Fatal(err)
+		}
+		reward, terminal := game.Step(action)
+		pendReward = reward
+		if terminal {
+			if err := rt.Restore(game); err != nil {
+				log.Fatal(err)
+			}
+			pendReward = 0
+		}
+	}
+	fmt.Printf("trained %d steps in %v\n", trainSteps, time.Since(start).Round(time.Millisecond*100))
+
+	// Step 3: drive with the learned model.
+	policy := func(e env.Env) int {
+		out, err := rt.Predict("Steer", encode(e))
+		if err != nil {
+			return 0
+		}
+		return stats.ArgMax(out)
+	}
+	agentScore, agentDone := env.AverageScore(torcs.New(1), policy, 5, 2000)
+	refScore, refDone := env.AverageScore(torcs.New(1), torcs.ScriptedPlayer, 5, 2000)
+	fmt.Printf("reference driver: %.0f%% of the track, finishes %.0f%% of runs\n", 100*refScore, 100*refDone)
+	fmt.Printf("learned driver:   %.0f%% of the track, finishes %.0f%% of runs\n", 100*agentScore, 100*agentDone)
+}

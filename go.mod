@@ -1,0 +1,3 @@
+module github.com/autonomizer/autonomizer
+
+go 1.22

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/games/arkanoid"
+	"github.com/autonomizer/autonomizer/internal/games/breakout"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/games/flappy"
+	"github.com/autonomizer/autonomizer/internal/games/mario"
+	"github.com/autonomizer/autonomizer/internal/games/torcs"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+// TestAlgorithm2AcrossAllGames runs the full RL feature extraction on
+// every game's dependence graph with profiled traces and checks the
+// Table 1 relationships: a non-empty surviving feature set, strictly
+// smaller than the candidate set (pruning did work), and free of the
+// games' planted constant variables.
+func TestAlgorithm2AcrossAllGames(t *testing.T) {
+	cases := []struct {
+		subject   *RLSubject
+		graph     *dep.Graph
+		targets   []string
+		constants []string
+	}{
+		{FlappySubject(), flappy.DepGraph(), flappy.TargetVars(), []string{"gravity", "worldH", "flapImp"}},
+		{MarioSubject(), mario.DepGraph(), mario.TargetVars(), []string{"accG", "gravityC", "worldW"}},
+		{ArkanoidSubject(), arkanoid.DepGraph(), arkanoid.TargetVars(), []string{"fieldWc", "speedC"}},
+		{TORCSSubject(), torcs.DepGraph(), torcs.TargetVars(), []string{"gear", "damage", "accX"}},
+		{BreakoutSubject(), breakout.DepGraph(), breakout.TargetVars(), []string{"fieldWc", "paddleWc", "ballSpeed"}},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.subject.Name, func(t *testing.T) {
+			game := tc.subject.NewEnv(1)
+			rec := trace.NewRecorder()
+			env.RunEpisode(game, func(e env.Env) int {
+				rec.RecordAll(e.StateVars())
+				return tc.subject.Player(e)
+			}, 400)
+			report := extract.RL(tc.graph, rec, tc.targets, env.SortedVarNames(game),
+				extract.RLConfig{Epsilon1: 0.05, Epsilon2: 0.01})
+
+			total, candidates := 0, 0
+			for _, tgt := range tc.targets {
+				total += len(report.Features[tgt])
+				candidates += report.Candidates[tgt]
+			}
+			if total == 0 {
+				t.Fatalf("no features survived (candidates %d)", candidates)
+			}
+			if total >= candidates {
+				t.Errorf("no pruning: %d features from %d candidates", total, candidates)
+			}
+			for _, tgt := range tc.targets {
+				for _, f := range report.Features[tgt] {
+					for _, c := range tc.constants {
+						if f == c {
+							t.Errorf("constant %q survived for target %q", c, tgt)
+						}
+					}
+				}
+			}
+		})
+	}
+}

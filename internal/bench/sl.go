@@ -1,0 +1,292 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Tables 1-3, Figs. 12, 13, 17,
+// and the Section 2 Mario comparison and self-testing case study) on
+// top of the reimplemented subjects and the Autonomizer runtime.
+//
+// Scale note: the paper trains for hours on real datasets; this harness
+// trains for seconds on synthetic workloads. Absolute numbers differ —
+// EXPERIMENTS.md records both — but the harness preserves the paper's
+// comparisons: which configuration wins, by roughly what factor, and
+// where the orderings (Min > Med > Raw > baseline for SL; All beating
+// Raw for RL) hold.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/core"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// SLWorkload is one input with ground truth for a supervised subject.
+type SLWorkload interface{}
+
+// SLSubject adapts one parameterized program to the harness.
+type SLSubject interface {
+	// Name is the subject's display name ("Canny").
+	Name() string
+	// HigherBetter reports the score direction (Table 3's ↑/↓ mark).
+	HigherBetter() bool
+	// Workloads generates n inputs from a seed.
+	Workloads(seed uint64, n int) []SLWorkload
+	// OracleLabel returns the normalized ideal parameter vector for a
+	// workload (the training label, from autotuning against ground
+	// truth).
+	OracleLabel(w SLWorkload) []float64
+	// Features encodes the workload's feature variables for a distance
+	// band (Raw / Med / Min, per Algorithm 1's ranking).
+	Features(w SLWorkload, pick FeaturePick) []float64
+	// BaselineScore runs the program with default parameters.
+	BaselineScore(w SLWorkload) float64
+	// ScoreWithLabel runs the program with the (predicted, normalized)
+	// parameter vector and scores the result.
+	ScoreWithLabel(w SLWorkload, label []float64) float64
+}
+
+// FeaturePick is the feature distance band.
+type FeaturePick int
+
+// Feature bands, mirroring the paper's comparison axes.
+const (
+	PickMin FeaturePick = iota
+	PickMed
+	PickRaw
+)
+
+// String implements fmt.Stringer.
+func (p FeaturePick) String() string {
+	switch p {
+	case PickMin:
+		return "Min"
+	case PickMed:
+		return "Med"
+	default:
+		return "Raw"
+	}
+}
+
+// SLConfig sizes one supervised experiment.
+type SLConfig struct {
+	// TrainN and TestN are corpus sizes (defaults 48 and 10 — ten test
+	// inputs, as in Fig. 12).
+	TrainN, TestN int
+	// Epochs is the offline training budget (default 30, as in the
+	// Canny case study).
+	Epochs int
+	// Hidden is the model architecture shared by all versions except
+	// the input layer (default {48, 24} — a scaled-down version of the
+	// paper's six-layer network).
+	Hidden []int
+	// LR is the Adam learning rate (default 3e-3).
+	LR float64
+	// Seed drives workload generation and initialization.
+	Seed uint64
+}
+
+func (c *SLConfig) fillDefaults() {
+	if c.TrainN == 0 {
+		c.TrainN = 48
+	}
+	if c.TestN == 0 {
+		c.TestN = 10
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{48, 24}
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SLVersionResult is one (subject, version) measurement: a Table 3 cell
+// group.
+type SLVersionResult struct {
+	Pick       FeaturePick
+	Score      float64
+	TrainTime  time.Duration
+	ExecTime   time.Duration // per input, model-assisted run
+	FinalLoss  float64
+	InputSize  int
+	ModelBytes int
+	TraceBytes int
+	// PerInput holds the held-out per-input scores (Fig. 12's bars).
+	PerInput []float64
+	// Curve holds score-vs-epoch samples (Fig. 13's series).
+	Curve []float64
+}
+
+// SLResult is one subject's full comparison.
+type SLResult struct {
+	Subject       string
+	HigherBetter  bool
+	BaselineScore float64
+	BaselineExec  time.Duration
+	BaselinePer   []float64
+	Versions      map[FeaturePick]*SLVersionResult
+	OracleScore   float64
+}
+
+// Improvement returns a version's relative improvement over the
+// baseline in percent, oriented so positive is better regardless of
+// score direction.
+func (r *SLResult) Improvement(p FeaturePick) float64 {
+	v, ok := r.Versions[p]
+	if !ok || r.BaselineScore == 0 {
+		return 0
+	}
+	if r.HigherBetter {
+		return 100 * (v.Score - r.BaselineScore) / r.BaselineScore
+	}
+	return 100 * (r.BaselineScore - v.Score) / r.BaselineScore
+}
+
+// RunSL executes the full supervised comparison for one subject:
+// baseline vs Raw vs Med vs Min, each trained to the same budget on the
+// same corpus, evaluated on the same held-out inputs.
+func RunSL(subject SLSubject, cfg SLConfig) (*SLResult, error) {
+	cfg.fillDefaults()
+	train := subject.Workloads(cfg.Seed, cfg.TrainN)
+	test := subject.Workloads(cfg.Seed+1000, cfg.TestN)
+
+	// Oracle labels once (shared across versions). Each workload's grid
+	// search is independent, so they run in parallel.
+	labels := make([][]float64, len(train))
+	oracleTest := make([]float64, len(test))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, w := range train {
+		wg.Add(1)
+		go func(i int, w SLWorkload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			labels[i] = subject.OracleLabel(w)
+		}(i, w)
+	}
+	for i, w := range test {
+		wg.Add(1)
+		go func(i int, w SLWorkload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			oracleTest[i] = subject.ScoreWithLabel(w, subject.OracleLabel(w))
+		}(i, w)
+	}
+	wg.Wait()
+	oracleTestSum := 0.0
+	for _, s := range oracleTest {
+		oracleTestSum += s
+	}
+
+	result := &SLResult{
+		Subject:      subject.Name(),
+		HigherBetter: subject.HigherBetter(),
+		Versions:     make(map[FeaturePick]*SLVersionResult),
+		OracleScore:  oracleTestSum / float64(len(test)),
+	}
+
+	// Baseline.
+	baseStart := time.Now()
+	for _, w := range test {
+		s := subject.BaselineScore(w)
+		result.BaselinePer = append(result.BaselinePer, s)
+		result.BaselineScore += s
+	}
+	result.BaselineScore /= float64(len(test))
+	result.BaselineExec = time.Since(baseStart) / time.Duration(len(test))
+
+	for _, pick := range []FeaturePick{PickRaw, PickMed, PickMin} {
+		vr, err := runSLVersion(subject, cfg, pick, train, labels, test)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%v: %w", subject.Name(), pick, err)
+		}
+		result.Versions[pick] = vr
+	}
+	return result, nil
+}
+
+// runSLVersion trains and evaluates one feature-band version.
+func runSLVersion(subject SLSubject, cfg SLConfig, pick FeaturePick,
+	train []SLWorkload, labels [][]float64, test []SLWorkload) (*SLVersionResult, error) {
+
+	model := fmt.Sprintf("%s-%v", subject.Name(), pick)
+	rt := core.NewRuntime(core.Train, cfg.Seed+uint64(pick)*7+3)
+	spec := core.ModelSpec{
+		Name: model, Algo: core.AdamOpt, Hidden: cfg.Hidden, LR: cfg.LR,
+		OutputActivation: "sigmoid",
+	}
+	if err := rt.Config(spec); err != nil {
+		return nil, err
+	}
+
+	vr := &SLVersionResult{Pick: pick}
+	traceBytes := 0
+	for i, w := range train {
+		feat := subject.Features(w, pick)
+		traceBytes += 8 * len(feat)
+		vr.InputSize = len(feat)
+		if err := rt.RecordExample(model, feat, labels[i]); err != nil {
+			return nil, err
+		}
+	}
+	vr.TraceBytes = traceBytes
+
+	evalMean := func() float64 {
+		sum := 0.0
+		for _, w := range test {
+			out, err := rt.Predict(model, subject.Features(w, pick))
+			if err != nil {
+				return 0
+			}
+			sum += subject.ScoreWithLabel(w, out)
+		}
+		return sum / float64(len(test))
+	}
+
+	start := time.Now()
+	for e := 0; e < cfg.Epochs; e++ {
+		loss, err := rt.Fit(model, 1, 16)
+		if err != nil {
+			return nil, err
+		}
+		vr.FinalLoss = loss
+		// Sample the learning curve every few epochs (Fig. 13).
+		if e%3 == 0 || e == cfg.Epochs-1 {
+			vr.Curve = append(vr.Curve, evalMean())
+		}
+	}
+	vr.TrainTime = time.Since(start)
+
+	size, err := rt.ModelSizeBytes(model)
+	if err != nil {
+		return nil, err
+	}
+	vr.ModelBytes = size
+
+	execStart := time.Now()
+	sum := 0.0
+	for _, w := range test {
+		out, err := rt.Predict(model, subject.Features(w, pick))
+		if err != nil {
+			return nil, err
+		}
+		s := subject.ScoreWithLabel(w, out)
+		vr.PerInput = append(vr.PerInput, s)
+		sum += s
+	}
+	vr.ExecTime = time.Since(execStart) / time.Duration(len(test))
+	vr.Score = sum / float64(len(test))
+	return vr, nil
+}
+
+// meanOf is a small helper for subject adapters.
+func meanOf(xs []float64) float64 { return stats.Mean(xs) }

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"github.com/autonomizer/autonomizer/internal/canny"
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/games/arkanoid"
+	"github.com/autonomizer/autonomizer/internal/games/breakout"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/games/flappy"
+	"github.com/autonomizer/autonomizer/internal/games/mario"
+	"github.com/autonomizer/autonomizer/internal/games/torcs"
+	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/phylip"
+	"github.com/autonomizer/autonomizer/internal/rothwell"
+	"github.com/autonomizer/autonomizer/internal/sphinx"
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+// addedLOC is the number of annotation lines each subject's
+// autonomization requires with our primitives, counted from the
+// annotated examples in examples/ (config + extract + serialize + NN +
+// write-back + checkpoint/restore sites). The paper's Column 3 numbers
+// are of the same order (6-89).
+var addedLOC = map[string]int{
+	"Canny":      9, // matches Fig. 11 exactly
+	"Rothwell":   7,
+	"Phylip":     8,
+	"Sphinx":     10,
+	"Flappybird": 9,
+	"Mario":      12, // the Fig. 2 loop plus feature extracts
+	"Arkanoid":   8,
+	"TORCS":      9,
+	"Breakout":   8,
+}
+
+// subjectDirs maps each subject to its implementation package,
+// relative to the repository root, for live LOC counting.
+var subjectDirs = map[string]string{
+	"Canny":      "internal/canny",
+	"Rothwell":   "internal/rothwell",
+	"Phylip":     "internal/phylip",
+	"Sphinx":     "internal/sphinx",
+	"Flappybird": "internal/games/flappy",
+	"Mario":      "internal/games/mario",
+	"Arkanoid":   "internal/games/arkanoid",
+	"TORCS":      "internal/games/torcs",
+	"Breakout":   "internal/games/breakout",
+}
+
+// repoRoot locates the module root from this source file's compiled-in
+// path; LOC counting degrades to zero when sources are not present.
+func repoRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return ""
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// countLOC counts non-test Go source lines under dir.
+func countLOC(dir string) int {
+	root := repoRoot()
+	if root == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(filepath.Join(root, dir))
+	if err != nil {
+		return 0
+	}
+	total := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(root, dir, name))
+		if err != nil {
+			continue
+		}
+		total += strings.Count(string(data), "\n")
+	}
+	return total
+}
+
+// BuildTable1 computes the program-analysis statistics for every
+// subject by actually running the instrumented programs and the
+// extraction algorithms, mirroring how the paper's Table 1 was
+// produced.
+func BuildTable1(seed uint64) []Table1Row {
+	var rows []Table1Row
+
+	// Supervised subjects: dynamic dependence graph from one profiled
+	// run, then Algorithm 1.
+	slGraph := func(name string) (*dep.Graph, []string, []string) {
+		g := dep.NewGraph()
+		switch name {
+		case "Canny":
+			sc := imaging.GenerateScene(stats.NewRNG(seed), imaging.SceneConfig{W: 32, H: 32})
+			_, _ = canny.Detect(sc.Img, canny.DefaultParams(), g, nil)
+			return g, canny.Inputs(), canny.Targets()
+		case "Rothwell":
+			sc := imaging.GenerateScene(stats.NewRNG(seed+1), imaging.SceneConfig{W: 32, H: 32})
+			_, _ = rothwell.Detect(sc.Img, rothwell.DefaultParams(), g, nil)
+			return g, rothwell.Inputs(), rothwell.Targets()
+		case "Phylip":
+			ds := phylip.Evolve(stats.NewRNG(seed+2), phylip.EvolveConfig{Taxa: 6, SeqLen: 80})
+			_, _ = phylip.InferTree(ds.Seqs, phylip.DefaultParams(), g, nil)
+			return g, phylip.Inputs(), phylip.Targets()
+		default: // Sphinx
+			u := sphinx.Generate(stats.NewRNG(seed+3), sphinx.GenConfig{})
+			_, _ = sphinx.Recognize(u.Samples, sphinx.DefaultParams(), g, nil)
+			return g, sphinx.Inputs(), sphinx.Targets()
+		}
+	}
+	for _, name := range []string{"Canny", "Rothwell", "Phylip", "Sphinx"} {
+		g, inputs, targets := slGraph(name)
+		res := extract.SL(g, inputs, targets)
+		counts := make([]int, 0, len(targets))
+		for _, t := range targets {
+			counts = append(counts, len(res[t]))
+		}
+		rows = append(rows, Table1Row{
+			Kind: "SL", Program: name,
+			LOC:      countLOC(subjectDirs[name]),
+			AddedLOC: addedLOC[name],
+			TrgVars:  len(targets), Candidate: extract.CandidateCount(g, inputs),
+			FeatureCounts: counts,
+		})
+	}
+
+	// Interactive subjects: dependence graph + profiled value traces,
+	// then Algorithm 2.
+	type rlEntry struct {
+		name    string
+		g       *dep.Graph
+		e       env.Env
+		player  env.Policy
+		targets []string
+		note    string
+	}
+	entries := []rlEntry{
+		{"Flappybird", flappy.DepGraph(), flappy.New(seed), flappy.ScriptedPlayer, flappy.TargetVars(), ""},
+		{"Mario", mario.DepGraph(), mario.New(seed, mario.Options{}), mario.ScriptedPlayer, mario.TargetVars(), ""},
+		{"Arkanoid", arkanoid.DepGraph(), arkanoid.New(seed), arkanoid.ScriptedPlayer, arkanoid.TargetVars(), "emulator-annotated"},
+		{"TORCS", torcs.DepGraph(), torcs.New(seed), torcs.ScriptedPlayer, torcs.TargetVars(), ""},
+		{"Breakout", breakout.DepGraph(), breakout.New(seed), breakout.ScriptedPlayer, breakout.TargetVars(), "emulator-annotated"},
+	}
+	for _, e := range entries {
+		rec := trace.NewRecorder()
+		env.RunEpisode(e.e, func(ev env.Env) int {
+			rec.RecordAll(ev.StateVars())
+			return e.player(ev)
+		}, 400)
+		report := extract.RL(e.g, rec, e.targets, env.SortedVarNames(e.e), extract.RLConfig{
+			Epsilon1: 0.05, Epsilon2: 0.01,
+		})
+		candidates := 0
+		for _, c := range report.Candidates {
+			candidates += c
+		}
+		rows = append(rows, Table1Row{
+			Kind: "RL", Program: e.name,
+			LOC:      countLOC(subjectDirs[e.name]),
+			AddedLOC: addedLOC[e.name],
+			TrgVars:  len(e.targets), Candidate: candidates,
+			FeatureCounts: []int{len(report.CombinedFeatures())},
+			Note:          e.note,
+		})
+	}
+	return rows
+}

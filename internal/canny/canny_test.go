@@ -1,0 +1,186 @@
+package canny
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Sigma: 0, Lo: 0.1, Hi: 0.3},
+		{Sigma: 100, Lo: 0.1, Hi: 0.3},
+		{Sigma: 1, Lo: 0, Hi: 0.3},
+		{Sigma: 1, Lo: 0.5, Hi: 0.3},
+		{Sigma: 1, Lo: 0.1, Hi: 1.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v validated", p)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	p := Params{Sigma: 99, Lo: -1, Hi: 0}.Clamp()
+	if err := p.Validate(); err != nil {
+		t.Errorf("clamped params still invalid: %v (%+v)", err, p)
+	}
+	p = Params{Sigma: 1, Lo: 0.9, Hi: 0.2}.Clamp()
+	if p.Lo > p.Hi {
+		t.Errorf("clamp did not order thresholds: %+v", p)
+	}
+}
+
+func TestDetectRejectsBadParams(t *testing.T) {
+	img := imaging.NewImage(8, 8)
+	if _, err := Detect(img, Params{}, nil, nil); err == nil {
+		t.Error("Detect with zero params succeeded")
+	}
+}
+
+func TestDetectFindsStepEdge(t *testing.T) {
+	img := imaging.NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			img.Set(x, y, 220)
+		}
+	}
+	result, err := Detect(img, DefaultParams(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An edge column near x=15/16 must be marked.
+	found := 0
+	for y := 4; y < 28; y++ {
+		for x := 14; x <= 17; x++ {
+			if result.At(x, y) == 255 {
+				found++
+				break
+			}
+		}
+	}
+	if found < 20 {
+		t.Errorf("step edge detected on only %d rows", found)
+	}
+	// Flat interior must be edge-free.
+	for y := 4; y < 28; y++ {
+		if result.At(5, y) != 0 || result.At(26, y) != 0 {
+			t.Errorf("spurious edge in flat region at y=%d", y)
+		}
+	}
+}
+
+func TestDetectBlankImageHasNoEdges(t *testing.T) {
+	img := imaging.NewImage(16, 16)
+	result, err := Detect(img, DefaultParams(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range result.Pix {
+		if v != 0 {
+			t.Fatal("blank image produced edges")
+		}
+	}
+}
+
+func TestTraceCaptured(t *testing.T) {
+	sc := imaging.GenerateScene(stats.NewRNG(1), imaging.SceneConfig{W: 32, H: 32})
+	var tr Trace
+	if _, err := Detect(sc.Img, DefaultParams(), nil, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Image) != 32*32 || len(tr.SImg) != 32*32 || len(tr.Mag) != 32*32 {
+		t.Error("trace image stages missing")
+	}
+	if len(tr.Hist) != HistBins {
+		t.Errorf("hist has %d bins, want %d", len(tr.Hist), HistBins)
+	}
+	if stats.Sum(tr.Hist) != 32*32 {
+		t.Errorf("hist mass %v, want %v", stats.Sum(tr.Hist), 32*32)
+	}
+	if tr.MaxMag <= 0 {
+		t.Error("MaxMag not captured")
+	}
+}
+
+// TestAlgorithm1OnCannyGraph runs the real extraction pipeline on the
+// detector's own dependence graph and checks the paper's headline
+// result: hist is the min-distance feature for lo and hi.
+func TestAlgorithm1OnCannyGraph(t *testing.T) {
+	g := dep.NewGraph()
+	sc := imaging.GenerateScene(stats.NewRNG(2), imaging.SceneConfig{W: 32, H: 32})
+	if _, err := Detect(sc.Img, DefaultParams(), g, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := extract.SL(g, Inputs(), Targets())
+
+	for _, target := range []string{"lo", "hi"} {
+		feats := res[target]
+		if len(feats) == 0 {
+			t.Fatalf("no features for %s", target)
+		}
+		if feats[0].Name != "hist" {
+			t.Errorf("min-distance feature for %s = %s (dist %d), want hist",
+				target, feats[0].Name, feats[0].Dist)
+		}
+		// image must rank strictly worse than hist.
+		var imageDist, histDist int
+		for _, f := range feats {
+			switch f.Name {
+			case "image":
+				imageDist = f.Dist
+			case "hist":
+				histDist = f.Dist
+			}
+		}
+		if imageDist <= histDist {
+			t.Errorf("image dist %d not worse than hist dist %d", imageDist, histDist)
+		}
+	}
+	// Candidate count should be in Table 1's ballpark for Canny (26).
+	n := extract.CandidateCount(g, Inputs())
+	if n < 15 || n > 40 {
+		t.Errorf("candidate count = %d, want ~26", n)
+	}
+}
+
+// TestOracleBeatsDefaults verifies the premise of the whole SL
+// experiment: per-image tuned parameters outscore the fixed default.
+func TestOracleBeatsDefaults(t *testing.T) {
+	scenes := imaging.GenerateCorpus(3, 4, imaging.SceneConfig{W: 32, H: 32})
+	better := 0
+	for _, sc := range scenes {
+		_, oracleScore := Oracle(sc)
+		defResult, err := Detect(sc.Img, DefaultParams(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracleScore >= Score(defResult, sc.Truth) {
+			better++
+		}
+	}
+	if better < 3 {
+		t.Errorf("oracle beat defaults on only %d/4 scenes", better)
+	}
+}
+
+// TestOptimalParamsVaryAcrossInputs verifies the paper's motivating
+// observation: no single configuration is ideal for every input.
+func TestOptimalParamsVaryAcrossInputs(t *testing.T) {
+	scenes := imaging.GenerateCorpus(5, 6, imaging.SceneConfig{W: 32, H: 32})
+	seen := map[Params]bool{}
+	for _, sc := range scenes {
+		p, _ := Oracle(sc)
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("oracle chose the same params for all scenes: %v", seen)
+	}
+}

@@ -1,0 +1,182 @@
+package ckpt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/db"
+)
+
+// fakeProg is a minimal Snapshotter: a map of named scalars.
+type fakeProg struct {
+	vars map[string]float64
+}
+
+func newFakeProg() *fakeProg { return &fakeProg{vars: map[string]float64{}} }
+
+func (p *fakeProg) Snapshot() any {
+	cp := make(map[string]float64, len(p.vars))
+	for k, v := range p.vars {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (p *fakeProg) Restore(s any) {
+	snap := s.(map[string]float64)
+	p.vars = make(map[string]float64, len(snap))
+	for k, v := range snap {
+		p.vars[k] = v
+	}
+}
+
+func TestRestoreWithoutCheckpoint(t *testing.T) {
+	m := NewManager()
+	m.SetCostModel(ZeroCostModel())
+	if err := m.Restore(newFakeProg(), db.New()); err != ErrNoCheckpoint {
+		t.Errorf("Restore err = %v, want ErrNoCheckpoint", err)
+	}
+	if err := m.Pop(); err != ErrNoCheckpoint {
+		t.Errorf("Pop err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	m := NewManager()
+	m.SetCostModel(ZeroCostModel())
+	prog := newFakeProg()
+	store := db.New()
+	prog.vars["x"] = 1
+	store.Append("f", 10)
+
+	m.Checkpoint(prog, store, 8)
+
+	prog.vars["x"] = 99
+	prog.vars["y"] = 5
+	store.Append("f", 20)
+	store.Append("g", 30)
+
+	if err := m.Restore(prog, store); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if prog.vars["x"] != 1 || len(prog.vars) != 1 {
+		t.Errorf("program state not rolled back: %v", prog.vars)
+	}
+	if store.Len("f") != 1 || store.Len("g") != 0 {
+		t.Errorf("db state not rolled back: %v", store)
+	}
+}
+
+// TestRepeatedRestore mirrors the paper's training loop: Mario dies many
+// times and each au_restore must return to the same checkpoint.
+func TestRepeatedRestore(t *testing.T) {
+	m := NewManager()
+	m.SetCostModel(ZeroCostModel())
+	prog := newFakeProg()
+	store := db.New()
+	prog.vars["pos"] = 0
+	m.Checkpoint(prog, store, 8)
+	for episode := 0; episode < 5; episode++ {
+		prog.vars["pos"] = float64(episode * 100)
+		if err := m.Restore(prog, store); err != nil {
+			t.Fatalf("Restore %d: %v", episode, err)
+		}
+		if prog.vars["pos"] != 0 {
+			t.Fatalf("episode %d: pos = %v after restore", episode, prog.vars["pos"])
+		}
+	}
+	if m.Stats().Restores != 5 || m.Stats().Checkpoints != 1 {
+		t.Errorf("stats = %+v", m.Stats())
+	}
+}
+
+// TestModelStateSurvivesRestore verifies invariant 2: anything outside
+// ⟨σ, π⟩ — here a stand-in for model weights — is untouched by restore.
+func TestModelStateSurvivesRestore(t *testing.T) {
+	m := NewManager()
+	m.SetCostModel(ZeroCostModel())
+	prog := newFakeProg()
+	store := db.New()
+	modelWeights := []float64{0.5} // θ, deliberately outside the manager
+
+	m.Checkpoint(prog, store, 8)
+	modelWeights[0] = 0.9 // learning happened
+	if err := m.Restore(prog, store); err != nil {
+		t.Fatal(err)
+	}
+	if modelWeights[0] != 0.9 {
+		t.Error("model state was rolled back; θ must accumulate learning")
+	}
+}
+
+func TestStackedCheckpoints(t *testing.T) {
+	m := NewManager()
+	m.SetCostModel(ZeroCostModel())
+	prog := newFakeProg()
+	store := db.New()
+
+	prog.vars["x"] = 1
+	m.Checkpoint(prog, store, 8)
+	prog.vars["x"] = 2
+	m.Checkpoint(prog, store, 8)
+	if m.Depth() != 2 {
+		t.Fatalf("Depth = %d", m.Depth())
+	}
+	prog.vars["x"] = 3
+	if err := m.Restore(prog, store); err != nil {
+		t.Fatal(err)
+	}
+	if prog.vars["x"] != 2 {
+		t.Errorf("restored to %v, want inner checkpoint 2", prog.vars["x"])
+	}
+	if err := m.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(prog, store); err != nil {
+		t.Fatal(err)
+	}
+	if prog.vars["x"] != 1 {
+		t.Errorf("restored to %v, want outer checkpoint 1", prog.vars["x"])
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := DefaultKVMCostModel()
+	// A ~100 MB process footprint must land in the paper's observed
+	// bands: checkpoint ~25-27s, restore ~6-7.5s.
+	ck := c.CheckpointDuration(100 << 20)
+	if ck < 25*time.Second || ck > 28*time.Second {
+		t.Errorf("modeled checkpoint = %v, want 25-28s", ck)
+	}
+	rs := c.RestoreDuration(100 << 20)
+	if rs < 6*time.Second || rs > 8*time.Second {
+		t.Errorf("modeled restore = %v, want 6-8s", rs)
+	}
+	// Bigger snapshots must model slower.
+	if c.CheckpointDuration(1<<30) <= c.CheckpointDuration(1<<20) {
+		t.Error("cost model not monotone in size")
+	}
+	z := ZeroCostModel()
+	if z.CheckpointDuration(1<<30) != 0 || z.RestoreDuration(1<<30) != 0 {
+		t.Error("zero cost model not zero")
+	}
+	if got := c.String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := NewManager()
+	m.SetCostModel(DefaultKVMCostModel())
+	prog := newFakeProg()
+	store := db.New()
+	store.Append("big", make([]float64, 1000)...)
+	m.Checkpoint(prog, store, 50)
+	st := m.Stats()
+	if st.BytesSnapshot != 50+3+8000 {
+		t.Errorf("BytesSnapshot = %d, want %d", st.BytesSnapshot, 50+3+8000)
+	}
+	if st.ModeledCkptDur < 25*time.Second {
+		t.Errorf("ModeledCkptDur = %v", st.ModeledCkptDur)
+	}
+}

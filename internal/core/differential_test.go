@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/autonomizer/autonomizer/internal/semantics"
+)
+
+// TestDifferentialStoreSemantics executes randomly generated model-free
+// programs (extract / serialize / checkpoint / restore sequences) on
+// BOTH the production runtime and the formal Fig. 8 interpreter and
+// checks that the database stores evolve identically. Model-free
+// programs avoid au_NN, where the two implementations intentionally
+// differ (real network vs. abstract model), and avoid au_serialize's
+// consume-vs-keep divergence by comparing only the serialized binding.
+func TestDifferentialStoreSemantics(t *testing.T) {
+	type op struct {
+		Kind uint8
+		A, B uint8
+		Val  float64
+	}
+	names := []string{"PX", "PY", "MnX", "OBJ"}
+
+	prop := func(ops []op) bool {
+		rt := NewRuntime(Train, 1)
+		m := semantics.NewMachine(semantics.TR)
+		prog := newHostProg()
+
+		for i, o := range ops {
+			if math.IsNaN(o.Val) || math.IsInf(o.Val, 0) {
+				o.Val = float64(i)
+			}
+			switch o.Kind % 4 {
+			case 0: // extract one value under a name
+				name := names[int(o.A)%len(names)]
+				rt.Extract(name, o.Val)
+				varName := "v" + name
+				m.Sigma[varName] = []float64{o.Val}
+				if err := m.Exec(semantics.AuExtract{ExtName: name, Var: varName}); err != nil {
+					return false
+				}
+			case 1: // checkpoint
+				rt.Checkpoint(prog, 8)
+				if err := m.Exec(semantics.AuCheckpoint{}); err != nil {
+					return false
+				}
+			case 2: // restore (only if a checkpoint exists)
+				errRT := rt.Restore(prog)
+				errM := m.Exec(semantics.AuRestore{})
+				if (errRT == nil) != (errM == nil) {
+					return false
+				}
+			case 3: // no-op spacer keeps op streams diverse
+			}
+
+			// After every step, π must agree on every extract name.
+			for _, n := range names {
+				rv, _ := rt.DB().Get(n)
+				mv := m.Pi[n]
+				if len(rv) != len(mv) {
+					return false
+				}
+				for j := range rv {
+					if rv[j] != mv[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDifferentialSerialize compares the serialized binding produced by
+// both implementations (the runtime additionally consumes constituents,
+// which the formal rule does not — only the combined list is compared).
+func TestDifferentialSerialize(t *testing.T) {
+	rt := NewRuntime(Train, 2)
+	m := semantics.NewMachine(semantics.TR)
+
+	rt.Extract("A", 1, 2)
+	rt.Extract("B", 3)
+	m.Sigma["a"] = []float64{1, 2}
+	m.Sigma["b"] = []float64{3}
+	if err := m.Run(
+		semantics.AuExtract{ExtName: "A", Var: "a"},
+		semantics.AuExtract{ExtName: "B", Var: "b"},
+		semantics.AuSerialize{T1: "A", T2: "B"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	key := rt.Serialize("A", "B")
+
+	rv, _ := rt.DB().Get(key)
+	mv := m.Pi["AB"]
+	if len(rv) != len(mv) {
+		t.Fatalf("combined lengths differ: %v vs %v", rv, mv)
+	}
+	for i := range rv {
+		if rv[i] != mv[i] {
+			t.Fatalf("combined values differ: %v vs %v", rv, mv)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/autonomizer/autonomizer/internal/nn"
+	"github.com/autonomizer/autonomizer/internal/rl"
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// model is one entry of the model store θ: a lazily materialized network
+// (sizes are only known once the first input arrives) plus per-algorithm
+// training state.
+type model struct {
+	spec ModelSpec
+
+	net     *nn.Network // online network (nil until first input)
+	agent   *rl.Agent   // QLearn only
+	rng     *stats.RNG
+	inSize  int
+	outSize int
+
+	// SL training state: the dataset accumulated during training runs
+	// (model inputs paired with desirable outputs recorded from the
+	// oracle), trained offline per the paper ("in supervised learning,
+	// model training is conducted offline after execution").
+	slInputs  [][]float64
+	slTargets [][]float64
+
+	// RL stepping state: the previous (state, action) pair awaiting its
+	// reward, completed on the next au_NN call.
+	prevState  []float64
+	prevAction int
+	havePrev   bool
+
+	// pendingParams holds serialized weights loaded before the network
+	// is materialized (TS mode loads by name before sizes are known).
+	pendingParams []byte
+}
+
+func newModel(spec ModelSpec, rng *stats.RNG) *model {
+	return &model{spec: spec, rng: rng}
+}
+
+// materialize builds the network(s) once input/output sizes are known.
+func (m *model) materialize(inSize, outSize int) error {
+	if m.net != nil {
+		if inSize != m.inSize {
+			return fmt.Errorf("core: model %q input size changed from %d to %d",
+				m.spec.Name, m.inSize, inSize)
+		}
+		if outSize != m.outSize {
+			return fmt.Errorf("core: model %q output size changed from %d to %d",
+				m.spec.Name, m.outSize, outSize)
+		}
+		return nil
+	}
+	m.inSize, m.outSize = inSize, outSize
+	build := func() *nn.Network {
+		if m.spec.Builder != nil {
+			return m.spec.Builder(inSize, outSize, m.rng.Split())
+		}
+		if m.spec.Type == CNN {
+			s := m.spec.InputShape
+			return nn.NewDeepMindCNN(s[0], s[1], s[2], outSize, m.rng.Split())
+		}
+		net := nn.NewDNN(inSize, m.spec.Hidden, outSize, m.rng.Split())
+		if m.spec.OutputActivation == "sigmoid" {
+			layers := append(net.Layers(), nn.NewSigmoid())
+			net = nn.NewNetwork(layers...)
+		}
+		return net
+	}
+	m.net = build()
+
+	switch m.spec.Algo {
+	case QLearn:
+		cfg := rl.Config{
+			Gamma:             m.spec.Gamma,
+			EpsilonDecaySteps: m.spec.EpsilonDecaySteps,
+			ReplayCapacity:    m.spec.ReplayCapacity,
+			BatchSize:         m.spec.BatchSize,
+			TargetSyncEvery:   m.spec.TargetSyncEvery,
+			LearnEvery:        m.spec.LearnEvery,
+			DoubleDQN:         m.spec.DoubleDQN,
+			LR:                m.spec.LR,
+		}
+		if m.spec.Type == CNN {
+			cfg.StateShape = m.spec.InputShape
+		}
+		m.agent = rl.NewAgent(m.net, build(), m.spec.Actions, cfg, m.rng.Split())
+	case AdamOpt:
+		lr := m.spec.LR
+		if lr == 0 {
+			lr = 1e-3
+		}
+		m.net.UseAdam(lr)
+	}
+	if m.pendingParams != nil {
+		if err := m.net.UnmarshalParams(m.pendingParams); err != nil {
+			return fmt.Errorf("core: loading saved weights for %q: %w", m.spec.Name, err)
+		}
+		m.pendingParams = nil
+	}
+	return nil
+}
+
+// predict runs the network on a flat input vector.
+func (m *model) predict(in []float64) []float64 {
+	if m.spec.Type == CNN {
+		return m.net.Predict(in, m.spec.InputShape...)
+	}
+	return m.net.Predict(in)
+}
+
+// slTrainStep performs one online gradient step (the literal TRAIN rule)
+// using target as the desirable output.
+func (m *model) slTrainStep(in, target []float64) float64 {
+	var it *tensor.Tensor
+	if m.spec.Type == CNN {
+		it = tensor.FromSlice(append([]float64(nil), in...), m.spec.InputShape...)
+	} else {
+		it = tensor.FromSlice(append([]float64(nil), in...), len(in))
+	}
+	tt := tensor.FromSlice(append([]float64(nil), target...), len(target))
+	return m.net.TrainStep(it, tt)
+}
+
+// recordExample appends a labeled example for offline training.
+func (m *model) recordExample(in, target []float64) {
+	m.slInputs = append(m.slInputs, append([]float64(nil), in...))
+	m.slTargets = append(m.slTargets, append([]float64(nil), target...))
+}
+
+// fit trains the SL model for the given number of epochs over the
+// recorded dataset with mini-batches, returning the final epoch's mean
+// loss.
+func (m *model) fit(epochs, batchSize int) (float64, error) {
+	if m.spec.Algo != AdamOpt {
+		return 0, fmt.Errorf("core: Fit only applies to AdamOpt models, %q is %v", m.spec.Name, m.spec.Algo)
+	}
+	if len(m.slInputs) == 0 {
+		return 0, fmt.Errorf("core: model %q has no recorded examples", m.spec.Name)
+	}
+	if m.net == nil {
+		if err := m.materialize(len(m.slInputs[0]), len(m.slTargets[0])); err != nil {
+			return 0, err
+		}
+	}
+	if batchSize <= 0 {
+		batchSize = 16
+	}
+	toTensor := func(v []float64, shape []int) *tensor.Tensor {
+		if len(shape) == 3 {
+			return tensor.FromSlice(v, shape...)
+		}
+		return tensor.FromSlice(v, len(v))
+	}
+	var lastLoss float64
+	for e := 0; e < epochs; e++ {
+		perm := m.rng.Perm(len(m.slInputs))
+		total, batches := 0.0, 0
+		for start := 0; start < len(perm); start += batchSize {
+			end := start + batchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			var ins, outs []*tensor.Tensor
+			for _, idx := range perm[start:end] {
+				var shape []int
+				if m.spec.Type == CNN {
+					shape = m.spec.InputShape
+				}
+				ins = append(ins, toTensor(m.slInputs[idx], shape))
+				outs = append(outs, toTensor(m.slTargets[idx], nil))
+			}
+			total += m.net.TrainBatch(ins, outs)
+			batches++
+		}
+		lastLoss = total / float64(batches)
+	}
+	return lastLoss, nil
+}

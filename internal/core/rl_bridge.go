@@ -1,0 +1,44 @@
+package core
+
+import "github.com/autonomizer/autonomizer/internal/rl"
+
+// rlTransition adapts the runtime's step bookkeeping to the rl package's
+// transition type.
+func rlTransition(state []float64, action int, reward float64, next []float64, terminal bool) rl.Transition {
+	return rl.Transition{
+		State:     state,
+		Action:    action,
+		Reward:    reward,
+		NextState: next,
+		Terminal:  terminal,
+	}
+}
+
+// AgentStats surfaces Q-learning internals for Table 2 accounting and
+// the experiment harness.
+type AgentStats struct {
+	// Epsilon is the current exploration rate.
+	Epsilon float64
+	// Steps is the number of observed transitions.
+	Steps int
+	// ReplayLen is the current replay-buffer occupancy.
+	ReplayLen int
+	// TraceBytes is the replay buffer's memory footprint — the RL
+	// "Trace Size" of Table 2.
+	TraceBytes int
+}
+
+// RLStats returns agent statistics for a QLearn model, or false if the
+// model is unknown, not QLearn, or not yet materialized.
+func (rt *Runtime) RLStats(mdName string) (AgentStats, bool) {
+	m, ok := rt.models[mdName]
+	if !ok || m.agent == nil {
+		return AgentStats{}, false
+	}
+	return AgentStats{
+		Epsilon:    m.agent.Epsilon(),
+		Steps:      m.agent.Steps(),
+		ReplayLen:  m.agent.Buffer().Len(),
+		TraceBytes: m.agent.Buffer().TraceBytes(),
+	}, true
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/autonomizer/autonomizer/internal/ckpt"
+	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// Runtime is one autonomized execution: the database store π, the model
+// store θ, the checkpoint manager and the execution mode ω. A host
+// program creates one Runtime and calls the primitive methods at its
+// annotated program points.
+//
+// Runtime is not goroutine-safe; the paper's execution model is a single
+// main process that transfers control to the learning runtime at au_NN
+// points, which is exactly the synchronous call structure here.
+type Runtime struct {
+	mode   Mode
+	store  *db.Store
+	models map[string]*model
+	rng    *stats.RNG
+	ckpts  *ckpt.Manager
+
+	// saved is the model registry standing in for on-disk model files:
+	// Test-mode au_config loads weights from here by name (the
+	// CONFIG-TEST rule's loadModel).
+	saved map[string][]byte
+
+	extractedValues int // total scalars extracted, for Table 2 trace sizes
+	nnCalls         int
+}
+
+// NewRuntime creates a runtime in the given mode. The seed makes every
+// stochastic choice (weight init, exploration) reproducible.
+func NewRuntime(mode Mode, seed uint64) *Runtime {
+	return &Runtime{
+		mode:   mode,
+		store:  db.New(),
+		models: make(map[string]*model),
+		rng:    stats.NewRNG(seed),
+		ckpts:  ckpt.NewManager(),
+		saved:  make(map[string][]byte),
+	}
+}
+
+// Mode reports the execution mode ω.
+func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// DB exposes the database store π (read access for harnesses/tests; the
+// program itself should only touch π through the primitives).
+func (rt *Runtime) DB() *db.Store { return rt.store }
+
+// Checkpoints exposes the checkpoint manager, mainly for cost-model
+// configuration and Table 2 statistics.
+func (rt *Runtime) Checkpoints() *ckpt.Manager { return rt.ckpts }
+
+// Config is au_config: in Train mode it registers a fresh model under
+// spec.Name unless one already exists (CONFIG-TRAIN); in Test mode it
+// loads previously saved weights for the name (CONFIG-TEST).
+func (rt *Runtime) Config(spec ModelSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if _, exists := rt.models[spec.Name]; exists {
+		// θ(mdName) ≢ ⊥ ⇒ θ' = θ: reconfiguring an existing model is a
+		// no-op in both rules.
+		return nil
+	}
+	m := newModel(spec, rt.rng.Split())
+	if rt.mode == Test {
+		data, ok := rt.saved[spec.Name]
+		if !ok {
+			return fmt.Errorf("core: no saved model %q to load in TS mode", spec.Name)
+		}
+		inSize, outSize, params, err := decodeSavedModel(data)
+		if err != nil {
+			return fmt.Errorf("core: model %q: %w", spec.Name, err)
+		}
+		m.pendingParams = params
+		if err := m.materialize(inSize, outSize); err != nil {
+			return err
+		}
+	}
+	rt.models[spec.Name] = m
+	return nil
+}
+
+// Extract is au_extract: it appends the given values to π under name
+// (EXTRACT rule). The paper's size argument is implicit in len(vals).
+func (rt *Runtime) Extract(name string, vals ...float64) {
+	rt.store.Append(name, vals...)
+	rt.extractedValues += len(vals)
+}
+
+// Serialize is au_serialize: it concatenates the named lists in π into a
+// single list bound to the concatenated name, returning that name
+// (SERIALIZE rule). Models only take vector inputs, so multi-variable
+// features are combined through this primitive.
+//
+// The runtime consumes the constituent lists, so that a game loop that
+// extracts and serializes every iteration feeds the model one fresh
+// state vector per au_NN call. (The formal rule in Fig. 8 leaves the
+// constituents bound; internal/semantics transcribes that literally,
+// while this production runtime adopts the consuming behaviour the
+// paper's loop structure requires.)
+func (rt *Runtime) Serialize(names ...string) string {
+	key := rt.store.Concat(names...)
+	for _, n := range names {
+		rt.store.Reset(n)
+	}
+	return key
+}
+
+// NN is au_NN for supervised models: it runs model mdName on the input
+// list π(extName), binds the prediction to the write-back names, and
+// resets the input list (TRAIN/TEST rules). With multiple write-back
+// names the output vector is split evenly across them, matching the
+// Canny usage au_NN("MinNN", "HIST", "LO", "HI").
+//
+// In Train mode, if π already binds every write-back name (the
+// desirable outputs recorded from the oracle — the "decisions made by
+// human users" of Section 3), one gradient step is taken against that
+// target (the literal TRAIN rule) and the example is also recorded for
+// offline fitting via Fit.
+func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return fmt.Errorf("core: au_NN on unconfigured model %q", mdName)
+	}
+	if m.spec.Algo != AdamOpt {
+		return fmt.Errorf("core: model %q is %v; use NNRL for reinforcement learning", mdName, m.spec.Algo)
+	}
+	if len(wbNames) == 0 {
+		return fmt.Errorf("core: au_NN needs at least one write-back name")
+	}
+	in, ok := rt.store.Get(extName)
+	if !ok || len(in) == 0 {
+		return fmt.Errorf("core: au_NN input %q is empty; call au_extract first", extName)
+	}
+	rt.nnCalls++
+
+	// Gather oracle targets if present (Train mode only).
+	var target []float64
+	haveTarget := rt.mode == Train
+	if haveTarget {
+		for _, wb := range wbNames {
+			tv, ok := rt.store.Get(wb)
+			if !ok || len(tv) == 0 {
+				haveTarget = false
+				break
+			}
+			target = append(target, tv...)
+		}
+	}
+
+	if m.net == nil {
+		if !haveTarget {
+			return fmt.Errorf("core: model %q has no materialized network and no targets to infer output size from", mdName)
+		}
+		if err := m.materialize(len(in), len(target)); err != nil {
+			return err
+		}
+	}
+
+	if haveTarget {
+		if len(target) != m.outSize {
+			return fmt.Errorf("core: model %q targets have %d values, output size is %d",
+				mdName, len(target), m.outSize)
+		}
+		m.slTrainStep(in, target)
+		m.recordExample(in, target)
+	}
+
+	out := m.predict(in)
+	if len(out)%len(wbNames) != 0 {
+		return fmt.Errorf("core: model %q output size %d not divisible across %d write-back names",
+			mdName, len(out), len(wbNames))
+	}
+	chunk := len(out) / len(wbNames)
+	for i, wb := range wbNames {
+		rt.store.Put(wb, out[i*chunk:(i+1)*chunk])
+	}
+	rt.store.Reset(extName)
+	return nil
+}
+
+// NNRL is au_NN for reinforcement-learning models, matching the Mario
+// annotation au_NN("Mario", au_serialize(...), reward, term, "output").
+// The state is read from π(extName); the (reward, terminal) pair closes
+// the previous step's transition; the chosen action index is bound to
+// π(wbName); the input list is reset.
+//
+// In Train mode the action is ε-greedy and the underlying DQN performs
+// replayed Q-learning updates; in Test mode the action is greedy and the
+// model is untouched (TEST rule).
+func (rt *Runtime) NNRL(mdName, extName string, reward float64, terminal bool, wbName string) error {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return fmt.Errorf("core: au_NN on unconfigured model %q", mdName)
+	}
+	if m.spec.Algo != QLearn {
+		return fmt.Errorf("core: model %q is %v; use NN for supervised learning", mdName, m.spec.Algo)
+	}
+	state, ok := rt.store.Get(extName)
+	if !ok || len(state) == 0 {
+		return fmt.Errorf("core: au_NN input %q is empty; call au_extract first", extName)
+	}
+	rt.nnCalls++
+	if m.net == nil {
+		if err := m.materialize(len(state), m.spec.Actions); err != nil {
+			return err
+		}
+	}
+	if rt.mode == Train && m.havePrev {
+		m.agent.Observe(rlTransition(m.prevState, m.prevAction, reward, state, terminal))
+	}
+	if terminal {
+		// The episode ended: do not bridge a transition across restore.
+		m.havePrev = false
+	}
+	action := m.agent.Act(state, rt.mode == Test)
+	if !terminal {
+		m.prevState = state
+		m.prevAction = action
+		m.havePrev = true
+	}
+	rt.store.Put(wbName, []float64{float64(action)})
+	rt.store.Reset(extName)
+	return nil
+}
+
+// WriteBack is au_write_back: it copies up to len(dst) values from
+// π(name) into the program variable dst (WRITE-BACK rule), returning the
+// number copied. A missing binding is an error: write-back without a
+// preceding au_NN indicates a mis-annotated program.
+func (rt *Runtime) WriteBack(name string, dst []float64) (int, error) {
+	vals, ok := rt.store.Get(name)
+	if !ok {
+		return 0, fmt.Errorf("core: au_write_back of unbound name %q", name)
+	}
+	n := copy(dst, vals)
+	return n, nil
+}
+
+// WriteBackAction is the discrete-action convenience over WriteBack: it
+// returns π(name)[0] rounded to an int, for annotations like
+// au_write_back("output", 5, actionKey).
+func (rt *Runtime) WriteBackAction(name string) (int, error) {
+	var v [1]float64
+	n, err := rt.WriteBack(name, v[:])
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("core: au_write_back of empty binding %q", name)
+	}
+	return int(v[0] + 0.5), nil
+}
+
+// Checkpoint is au_checkpoint: it snapshots ⟨σ, π⟩ — the host's program
+// state (via its Snapshotter) and the database store — leaving model
+// state θ out, per the CHECKPOINT rule. progBytes is the host's
+// accounting of its state footprint for Table 2.
+func (rt *Runtime) Checkpoint(prog ckpt.Snapshotter, progBytes int) {
+	rt.ckpts.Checkpoint(prog, rt.store, progBytes)
+}
+
+// Restore is au_restore: it rolls ⟨σ, π⟩ back to the latest checkpoint
+// (RESTORE rule). Model state θ is preserved so learning accumulates
+// across rollbacks.
+func (rt *Runtime) Restore(prog ckpt.Snapshotter) error {
+	if err := rt.ckpts.Restore(prog, rt.store); err != nil {
+		return err
+	}
+	// A restore ends the current trajectory: no transition may bridge
+	// the rollback.
+	for _, m := range rt.models {
+		m.havePrev = false
+	}
+	return nil
+}
+
+// Fit trains a supervised model offline on every example recorded during
+// Train-mode au_NN calls, for the given number of epochs, returning the
+// final mean loss. This is the paper's offline SL training phase.
+func (rt *Runtime) Fit(mdName string, epochs, batchSize int) (float64, error) {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return 0, fmt.Errorf("core: Fit of unconfigured model %q", mdName)
+	}
+	return m.fit(epochs, batchSize)
+}
+
+// RecordExample adds a labeled training example directly (host-driven
+// dataset construction, used when the oracle labels are computed outside
+// the annotated control flow).
+func (rt *Runtime) RecordExample(mdName string, in, target []float64) error {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return fmt.Errorf("core: RecordExample on unconfigured model %q", mdName)
+	}
+	// materialize validates sizes against an already-built network.
+	if err := m.materialize(len(in), len(target)); err != nil {
+		return err
+	}
+	m.recordExample(in, target)
+	return nil
+}
+
+// ExampleCount reports the recorded SL dataset size for a model.
+func (rt *Runtime) ExampleCount(mdName string) int {
+	if m, ok := rt.models[mdName]; ok {
+		return len(m.slInputs)
+	}
+	return 0
+}
+
+// SaveModel serializes a model's weights (with its inferred sizes) into
+// the runtime's registry and returns the bytes, emulating the on-disk
+// model that a TS-mode execution loads.
+func (rt *Runtime) SaveModel(mdName string) ([]byte, error) {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return nil, fmt.Errorf("core: SaveModel of unconfigured model %q", mdName)
+	}
+	if m.net == nil {
+		return nil, fmt.Errorf("core: model %q was never materialized", mdName)
+	}
+	params, err := m.net.MarshalParams()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(m.inSize)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(m.outSize)); err != nil {
+		return nil, err
+	}
+	buf.Write(params)
+	data := buf.Bytes()
+	rt.saved[mdName] = data
+	return data, nil
+}
+
+// LoadModel installs serialized weights into the registry so that a
+// Test-mode Config(spec) can load them (the loadModel statement).
+func (rt *Runtime) LoadModel(mdName string, data []byte) {
+	rt.saved[mdName] = append([]byte(nil), data...)
+}
+
+// LoadModelParams restores previously saved weights into an
+// already-materialized model in place. Training harnesses use it to
+// keep the best-scoring snapshot (the counterpart of the paper's
+// stop-at-best-evaluation protocol).
+func (rt *Runtime) LoadModelParams(mdName string, data []byte) error {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return fmt.Errorf("core: LoadModelParams on unconfigured model %q", mdName)
+	}
+	if m.net == nil {
+		return fmt.Errorf("core: model %q not materialized", mdName)
+	}
+	_, _, params, err := decodeSavedModel(data)
+	if err != nil {
+		return err
+	}
+	return m.net.UnmarshalParams(params)
+}
+
+func decodeSavedModel(data []byte) (inSize, outSize int, params []byte, err error) {
+	if len(data) < 8 {
+		return 0, 0, nil, fmt.Errorf("saved model too short (%d bytes)", len(data))
+	}
+	in := binary.LittleEndian.Uint32(data[0:4])
+	out := binary.LittleEndian.Uint32(data[4:8])
+	return int(in), int(out), data[8:], nil
+}
+
+// ModelSizeBytes reports the serialized size of a model's parameters
+// (Table 2 "Model Size").
+func (rt *Runtime) ModelSizeBytes(mdName string) (int, error) {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown model %q", mdName)
+	}
+	if m.net == nil {
+		return 0, fmt.Errorf("core: model %q not materialized", mdName)
+	}
+	return m.net.SizeBytes(), nil
+}
+
+// ModelParamCount reports the scalar parameter count of a model.
+func (rt *Runtime) ModelParamCount(mdName string) (int, error) {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown model %q", mdName)
+	}
+	if m.net == nil {
+		return 0, fmt.Errorf("core: model %q not materialized", mdName)
+	}
+	return m.net.ParamCount(), nil
+}
+
+// TraceValueCount reports the total number of scalars extracted so far
+// (8 bytes each gives the Table 2 "Trace Size").
+func (rt *Runtime) TraceValueCount() int { return rt.extractedValues }
+
+// NNCallCount reports how many au_NN invocations have executed.
+func (rt *Runtime) NNCallCount() int { return rt.nnCalls }
+
+// ModelNames lists configured models in sorted order.
+func (rt *Runtime) ModelNames() []string {
+	out := make([]string, 0, len(rt.models))
+	for name := range rt.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predict runs a supervised model directly on a feature vector without
+// touching π — the fast path used by benchmark harnesses when measuring
+// pure inference cost.
+func (rt *Runtime) Predict(mdName string, in []float64) ([]float64, error) {
+	m, ok := rt.models[mdName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model %q", mdName)
+	}
+	if m.net == nil {
+		return nil, fmt.Errorf("core: model %q not materialized", mdName)
+	}
+	return m.predict(in), nil
+}

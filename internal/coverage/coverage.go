@@ -1,0 +1,127 @@
+// Package coverage is the gcov substitute for the paper's self-testing
+// case study (Section 2): basic-block hit counters compiled into a
+// subject program. The coverage-driven Mario experiment rewards the
+// agent whenever new blocks are reached (the paper's
+// `if (checkNewCoverage()) reward = 30` annotation, Fig. 2 line 38).
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Map tracks hit counts for a fixed set of registered basic blocks.
+// Methods are safe for concurrent use.
+type Map struct {
+	mu    sync.Mutex
+	ids   map[string]int
+	names []string
+	hits  []uint64
+	// lastCovered supports CheckNew: the covered-block count at the
+	// previous CheckNew call.
+	lastCovered int
+}
+
+// New creates a map over the given basic-block names. Duplicate names
+// panic: block identifiers must be unique, as in gcov.
+func New(blocks []string) *Map {
+	m := &Map{ids: make(map[string]int, len(blocks))}
+	for _, b := range blocks {
+		if _, dup := m.ids[b]; dup {
+			panic(fmt.Sprintf("coverage: duplicate block %q", b))
+		}
+		m.ids[b] = len(m.names)
+		m.names = append(m.names, b)
+	}
+	m.hits = make([]uint64, len(m.names))
+	return m
+}
+
+// Hit increments the block's counter. Unknown blocks panic — an unknown
+// block means the instrumentation and registry have diverged.
+func (m *Map) Hit(block string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.ids[block]
+	if !ok {
+		panic(fmt.Sprintf("coverage: unregistered block %q", block))
+	}
+	m.hits[id]++
+}
+
+// Covered reports how many blocks have been hit at least once.
+func (m *Map) Covered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coveredLocked()
+}
+
+func (m *Map) coveredLocked() int {
+	n := 0
+	for _, h := range m.hits {
+		if h > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Total reports the number of registered blocks.
+func (m *Map) Total() int { return len(m.names) }
+
+// Coverage returns the covered fraction in [0, 1].
+func (m *Map) Coverage() float64 {
+	if len(m.names) == 0 {
+		return 0
+	}
+	return float64(m.Covered()) / float64(len(m.names))
+}
+
+// CheckNew reports whether any new block was covered since the previous
+// CheckNew call — the reward signal of the self-testing study.
+func (m *Map) CheckNew() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.coveredLocked()
+	improved := cur > m.lastCovered
+	m.lastCovered = cur
+	return improved
+}
+
+// Hits returns the hit count for one block.
+func (m *Map) Hits(block string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.ids[block]
+	if !ok {
+		return 0
+	}
+	return m.hits[id]
+}
+
+// Uncovered lists never-hit blocks in sorted order — what the tester
+// still has to reach.
+func (m *Map) Uncovered() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for i, h := range m.hits {
+		if h == 0 {
+			out = append(out, m.names[i])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all counters (but not the registry), starting a fresh
+// measurement window.
+func (m *Map) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.hits {
+		m.hits[i] = 0
+	}
+	m.lastCovered = 0
+}

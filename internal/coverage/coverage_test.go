@@ -1,0 +1,110 @@
+package coverage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	m := New([]string{"a", "b", "c"})
+	if m.Total() != 3 || m.Covered() != 0 || m.Coverage() != 0 {
+		t.Fatal("fresh map not empty")
+	}
+	m.Hit("a")
+	m.Hit("a")
+	if m.Covered() != 1 {
+		t.Errorf("Covered = %d", m.Covered())
+	}
+	if m.Hits("a") != 2 || m.Hits("b") != 0 || m.Hits("zz") != 0 {
+		t.Error("Hits wrong")
+	}
+	if got := m.Coverage(); got != 1.0/3 {
+		t.Errorf("Coverage = %v", got)
+	}
+}
+
+func TestDuplicateBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate block did not panic")
+		}
+	}()
+	New([]string{"x", "x"})
+}
+
+func TestUnknownHitPanics(t *testing.T) {
+	m := New([]string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown hit did not panic")
+		}
+	}()
+	m.Hit("ghost")
+}
+
+func TestCheckNew(t *testing.T) {
+	m := New([]string{"a", "b"})
+	if m.CheckNew() {
+		t.Error("fresh map reported new coverage")
+	}
+	m.Hit("a")
+	if !m.CheckNew() {
+		t.Error("new block not reported")
+	}
+	m.Hit("a")
+	if m.CheckNew() {
+		t.Error("repeat hit reported as new")
+	}
+	m.Hit("b")
+	if !m.CheckNew() {
+		t.Error("second new block not reported")
+	}
+}
+
+func TestUncovered(t *testing.T) {
+	m := New([]string{"b", "a", "c"})
+	m.Hit("b")
+	got := m.Uncovered()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("Uncovered = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New([]string{"a"})
+	m.Hit("a")
+	m.CheckNew()
+	m.Reset()
+	if m.Covered() != 0 {
+		t.Error("Reset did not clear hits")
+	}
+	m.Hit("a")
+	if !m.CheckNew() {
+		t.Error("Reset did not clear the CheckNew baseline")
+	}
+}
+
+func TestEmptyMapCoverage(t *testing.T) {
+	m := New(nil)
+	if m.Coverage() != 0 {
+		t.Error("empty map coverage not 0")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	m := New([]string{"a"})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Hit("a")
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Hits("a") != 8000 {
+		t.Errorf("lost hits: %d", m.Hits("a"))
+	}
+}

@@ -1,0 +1,158 @@
+// Package db implements the Database Store π from the paper's
+// operational semantics (Fig. 8): a mapping from string names to lists
+// of values. Feature-variable values extracted by au_extract are
+// appended here; model outputs produced by au_NN are stored here before
+// au_write_back copies them into program variables.
+//
+// The store is deliberately isolated from program state (the Program
+// Store σ): data only crosses the boundary through the primitives,
+// which is one of the paper's design invariants.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the database store π: Name → list of float64 values.
+// All methods are safe for concurrent use; the Autonomizer runtime may
+// interleave extraction from the program thread with training reads.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]float64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]float64)}
+}
+
+// Append implements the EXTRACT rule: π' = π[name ↦ concat(π(name), vals…)].
+func (s *Store) Append(name string, vals ...float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[name] = append(s.data[name], vals...)
+}
+
+// Put replaces the list bound to name (used by the TRAIN/TEST rules to
+// publish model outputs under the write-back name).
+func (s *Store) Put(name string, vals []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[name] = append([]float64(nil), vals...)
+}
+
+// Get returns a copy of the list bound to name and whether it exists.
+func (s *Store) Get(name string) ([]float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), v...), true
+}
+
+// Len returns the number of values bound to name (0 if absent).
+func (s *Store) Len(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data[name])
+}
+
+// Reset implements the "extName ↦ ⊥" part of the TRAIN/TEST rules: after
+// the model consumes an input list, the list is emptied.
+func (s *Store) Reset(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, name)
+}
+
+// Concat implements the SERIALIZE rule: it binds strcat(names…) (joined
+// with "+") to the concatenation of the named lists and returns the new
+// key. Missing names contribute empty lists, matching ⊥ ≡ [] in the
+// semantics.
+func (s *Store) Concat(names ...string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var combined []float64
+	for _, n := range names {
+		combined = append(combined, s.data[n]...)
+	}
+	key := strings.Join(names, "+")
+	s.data[key] = combined
+	return key
+}
+
+// Names returns all bound names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a deep copy of the entire store, used by
+// au_checkpoint (the CHECKPOINT rule snapshots σ and π together).
+func (s *Store) Snapshot() map[string][]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]float64, len(s.data))
+	for k, v := range s.data {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// RestoreSnapshot replaces the store contents with a previously taken
+// snapshot (the RESTORE rule).
+func (s *Store) RestoreSnapshot(snap map[string][]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string][]float64, len(snap))
+	for k, v := range snap {
+		s.data[k] = append([]float64(nil), v...)
+	}
+}
+
+// SizeBytes reports the in-memory footprint of all stored values
+// (8 bytes per float64 plus per-name overhead); the basis for trace-size
+// accounting in Table 2 for SL subjects.
+func (s *Store) SizeBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for k, v := range s.data {
+		total += len(k) + 8*len(v)
+	}
+	return total
+}
+
+// String renders a compact summary for debugging.
+func (s *Store) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("DBStore{")
+	first := true
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s:[%d]", k, len(s.data[k]))
+	}
+	b.WriteString("}")
+	return b.String()
+}

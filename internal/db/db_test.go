@@ -1,0 +1,327 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendGet(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Append("x", 1, 2)
+	s.Append("x", 3)
+	got, ok := s.Get("x")
+	if !ok || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if s.Len("x") != 3 || s.Len("missing") != 0 {
+		t.Errorf("Len wrong")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	s.Append("x", 1)
+	v, _ := s.Get("x")
+	v[0] = 99
+	v2, _ := s.Get("x")
+	if v2[0] != 1 {
+		t.Error("Get leaked internal slice")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	s := New()
+	s.Append("y", 1, 2, 3)
+	s.Put("y", []float64{9})
+	got, _ := s.Get("y")
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("Put did not replace: %v", got)
+	}
+	// Put must copy its argument.
+	src := []float64{5}
+	s.Put("z", src)
+	src[0] = 6
+	got, _ = s.Get("z")
+	if got[0] != 5 {
+		t.Error("Put aliased caller slice")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New()
+	s.Append("x", 1)
+	s.Reset("x")
+	if _, ok := s.Get("x"); ok {
+		t.Error("Reset did not clear the binding")
+	}
+	s.Reset("never-existed") // must not panic
+}
+
+func TestConcatMatchesSerializeRule(t *testing.T) {
+	s := New()
+	s.Append("PX", 1)
+	s.Append("PY", 2)
+	s.Append("MnX", 3, 4)
+	key := s.Concat("PX", "PY", "MnX")
+	if key != "PX+PY+MnX" {
+		t.Errorf("Concat key = %q", key)
+	}
+	got, _ := s.Get(key)
+	want := []float64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Concat = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Concat = %v, want %v", got, want)
+		}
+	}
+	// Missing names act as empty lists (⊥).
+	key2 := s.Concat("PX", "nope")
+	got, _ = s.Get(key2)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Concat with missing name = %v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	s.Append("a", 1, 2)
+	snap := s.Snapshot()
+	s.Append("a", 3)
+	s.Append("b", 9)
+	s.RestoreSnapshot(snap)
+	got, _ := s.Get("a")
+	if len(got) != 2 {
+		t.Errorf("restore did not roll back a: %v", got)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("restore did not remove post-snapshot binding")
+	}
+	// Snapshot must be insulated from later mutation.
+	s.Append("a", 99)
+	if len(snap["a"]) != 2 {
+		t.Error("snapshot aliased live data")
+	}
+}
+
+// TestSnapshotRestoreRoundTrip property: restoring any snapshot
+// reproduces exactly the names and lengths present at snapshot time.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	prop := func(names []string, vals []float64) bool {
+		s := New()
+		for i, n := range names {
+			if n == "" {
+				continue
+			}
+			if len(vals) > 0 {
+				s.Append(n, vals[i%len(vals)])
+			} else {
+				s.Append(n, float64(i))
+			}
+		}
+		snap := s.Snapshot()
+		s.Append("mutation", 1)
+		s.RestoreSnapshot(snap)
+		after := s.Snapshot()
+		if len(after) != len(snap) {
+			return false
+		}
+		for k, v := range snap {
+			av, ok := after[k]
+			if !ok || len(av) != len(v) {
+				return false
+			}
+			for i := range v {
+				if av[i] != v[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := New()
+	s.Append("b", 1)
+	s.Append("a", 1)
+	got := s.Names()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	s := New()
+	if s.SizeBytes() != 0 {
+		t.Error("empty store has nonzero size")
+	}
+	s.Append("xy", 1, 2, 3)
+	if got := s.SizeBytes(); got != 2+24 {
+		t.Errorf("SizeBytes = %d, want 26", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New()
+	s.Append("b", 1)
+	s.Append("a", 1, 2)
+	if got := s.String(); got != "DBStore{a:[2], b:[1]}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Append("shared", float64(id))
+				s.Get("shared")
+				s.Len("shared")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len("shared") != 800 {
+		t.Errorf("concurrent appends lost data: %d", s.Len("shared"))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	s.Append("PX", 1, 2, 3)
+	s.Append("reward", -10)
+	s.Append("empty")
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	s2.Append("stale", 99) // must be replaced
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("PX")
+	if !ok || len(got) != 3 || got[2] != 3 {
+		t.Errorf("PX = %v, %v", got, ok)
+	}
+	if r, _ := s2.Get("reward"); len(r) != 1 || r[0] != -10 {
+		t.Errorf("reward = %v", r)
+	}
+	if _, ok := s2.Get("stale"); ok {
+		t.Error("Load did not replace old contents")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := New()
+	if err := s.Load(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := s.Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated stream.
+	good := New()
+	good.Append("x", 1, 2, 3)
+	var buf bytes.Buffer
+	if err := good.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(bytes.NewReader(buf.Bytes()[:buf.Len()-4])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestSaveLoadPropertyRoundTrip(t *testing.T) {
+	prop := func(names []string, vals []float64) bool {
+		s := New()
+		for i, n := range names {
+			if n == "" {
+				continue
+			}
+			if len(vals) > 0 {
+				s.Append(n, vals[i%len(vals)])
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			return false
+		}
+		s2 := New()
+		if err := s2.Load(&buf); err != nil {
+			return false
+		}
+		want := s.Snapshot()
+		got := s2.Snapshot()
+		if len(want) != len(got) {
+			return false
+		}
+		for k, v := range want {
+			g, ok := got[k]
+			if !ok || len(g) != len(v) {
+				return false
+			}
+			for i := range v {
+				// NaN-safe comparison: bits must round trip exactly.
+				if math.Float64bits(g[i]) != math.Float64bits(v[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// failWriter errors after n bytes, exercising Save's error paths.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errWriteFail
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errWriteFail
+	}
+	return n, nil
+}
+
+var errWriteFail = fmt.Errorf("synthetic write failure")
+
+func TestSaveWriteFailures(t *testing.T) {
+	s := New()
+	s.Append("name", 1, 2, 3)
+	// Fail at several cut points through the stream.
+	for _, budget := range []int{0, 2, 6, 10, 14, 20} {
+		if err := s.Save(&failWriter{left: budget}); err == nil {
+			t.Errorf("Save with %d-byte budget succeeded", budget)
+		}
+	}
+	// A big enough budget succeeds.
+	if err := s.Save(&failWriter{left: 1 << 20}); err != nil {
+		t.Errorf("Save with ample budget failed: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format (versioned, little-endian):
+//
+//	magic "AUDB" | uint32 version | uint32 nameCount
+//	per name: uint32 nameLen | name bytes | uint32 valueCount | values
+//
+// The paper's runtime "automatically records the values of the feature
+// variables into a database"; this is the on-disk form of that store,
+// letting a training run's extracted traces be saved and fed to offline
+// SL training in a later process.
+
+const (
+	storeMagic   = "AUDB"
+	storeVersion = 1
+)
+
+// Save serializes the store's full contents to w.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	snap := s.Snapshot()
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return fmt.Errorf("db: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(storeVersion)); err != nil {
+		return fmt.Errorf("db: write version: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(snap))); err != nil {
+		return fmt.Errorf("db: write count: %w", err)
+	}
+	for _, name := range s.Names() {
+		vals := snap[name]
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return fmt.Errorf("db: write name length: %w", err)
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return fmt.Errorf("db: write name: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(vals))); err != nil {
+			return fmt.Errorf("db: write value count: %w", err)
+		}
+		for _, v := range vals {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return fmt.Errorf("db: write value: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the store's contents with a previously saved image.
+func (s *Store) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("db: read magic: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return fmt.Errorf("db: bad magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("db: read version: %w", err)
+	}
+	if version != storeVersion {
+		return fmt.Errorf("db: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("db: read count: %w", err)
+	}
+	snap := make(map[string][]float64, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("db: read name length: %w", err)
+		}
+		if nameLen > 1<<20 {
+			return fmt.Errorf("db: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("db: read name: %w", err)
+		}
+		var valCount uint32
+		if err := binary.Read(br, binary.LittleEndian, &valCount); err != nil {
+			return fmt.Errorf("db: read value count: %w", err)
+		}
+		vals := make([]float64, valCount)
+		for j := range vals {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("db: read value: %w", err)
+			}
+			vals[j] = math.Float64frombits(bits)
+		}
+		snap[string(name)] = vals
+	}
+	s.RestoreSnapshot(snap)
+	return nil
+}

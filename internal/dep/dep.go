@@ -1,0 +1,295 @@
+// Package dep implements the dynamic program dependence graph that
+// Autonomizer's automatic feature extraction (paper Section 4) is built
+// on. The paper records this graph with a Valgrind-based tracer over
+// C/C++ binaries; here the instrumented Go subjects report their
+// def/use events directly, producing the same graph shape:
+//
+//   - a node per program variable;
+//   - an edge v → w whenever w is (dynamically) computed from v, i.e.
+//     w data-depends on v;
+//   - dep(v) is then the set of transitive dependents (descendants)
+//     of v, the paper's central relation;
+//   - each variable also records the set of functions that use it,
+//     which Algorithm 2 needs for its same-function filter.
+//
+// The graph is cumulative over a profiled execution: repeated Def events
+// union their edges, mirroring dynamic dependence collection.
+package dep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a dynamic dependence graph. The zero value is not usable;
+// call NewGraph.
+type Graph struct {
+	ids   map[string]int
+	names []string
+	// succ[v] lists w such that w depends on v (v → w).
+	succ [][]int
+	// pred[w] lists v such that w depends on v.
+	pred [][]int
+	// edgeSet deduplicates edges.
+	edgeSet map[[2]int]bool
+	// inputs marks program-input variables.
+	inputs map[int]bool
+	// useFuncs[v] is the set of function names in which v is used.
+	useFuncs []map[string]bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		ids:     make(map[string]int),
+		edgeSet: make(map[[2]int]bool),
+		inputs:  make(map[int]bool),
+	}
+}
+
+// node interns a variable name.
+func (g *Graph) node(name string) int {
+	if id, ok := g.ids[name]; ok {
+		return id
+	}
+	id := len(g.names)
+	g.ids[name] = id
+	g.names = append(g.names, name)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	g.useFuncs = append(g.useFuncs, make(map[string]bool))
+	return id
+}
+
+// Def records a definition event: dst is computed from srcs. Each src
+// gains an edge src → dst. Self-dependence (loop-carried updates like
+// x = x+1) is recorded as an explicit self-edge; Algorithm 2 relies on
+// variables "depending on themselves".
+func (g *Graph) Def(dst string, srcs ...string) {
+	d := g.node(dst)
+	for _, s := range srcs {
+		sid := g.node(s)
+		key := [2]int{sid, d}
+		if g.edgeSet[key] {
+			continue
+		}
+		g.edgeSet[key] = true
+		g.succ[sid] = append(g.succ[sid], d)
+		g.pred[d] = append(g.pred[d], sid)
+	}
+}
+
+// Use records that variable v is used inside function fn.
+func (g *Graph) Use(fn, v string) {
+	g.useFuncs[g.node(v)][fn] = true
+}
+
+// MarkInput flags v as a program-input variable (Algorithm 1 seeds its
+// candidate set from these).
+func (g *Graph) MarkInput(v string) {
+	g.inputs[g.node(v)] = true
+}
+
+// Inputs returns the input variables in sorted order.
+func (g *Graph) Inputs() []string {
+	out := make([]string, 0, len(g.inputs))
+	for id := range g.inputs {
+		out = append(out, g.names[id])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vars returns every variable name in sorted order.
+func (g *Graph) Vars() []string {
+	out := append([]string(nil), g.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the variable is known to the graph.
+func (g *Graph) Has(v string) bool {
+	_, ok := g.ids[v]
+	return ok
+}
+
+// Dependents returns dep(v): every variable reachable from v along
+// dependence edges (transitive dependents), excluding v itself unless v
+// lies on a cycle through itself. Unknown variables yield an empty set.
+func (g *Graph) Dependents(v string) map[string]bool {
+	out := make(map[string]bool)
+	id, ok := g.ids[v]
+	if !ok {
+		return out
+	}
+	// BFS over succ edges.
+	seen := make([]bool, len(g.names))
+	queue := append([]int(nil), g.succ[id]...)
+	for _, w := range g.succ[id] {
+		seen[w] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out[g.names[cur]] = true
+		for _, w := range g.succ[cur] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
+}
+
+// DependsOn reports whether w transitively depends on v (w ∈ dep(v)).
+func (g *Graph) DependsOn(w, v string) bool {
+	return g.Dependents(v)[w]
+}
+
+// CommonDescendants returns dep(v) ∩ dep(w) in sorted order.
+func (g *Graph) CommonDescendants(v, w string) []string {
+	dv := g.Dependents(v)
+	dw := g.Dependents(w)
+	var out []string
+	for name := range dv {
+		if dw[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Correlated reports the paper's correlation relation: v and w are
+// correlated iff they share at least one common dependent.
+func (g *Graph) Correlated(v, w string) bool {
+	dv := g.Dependents(v)
+	for name := range g.Dependents(w) {
+		if dv[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Distance returns the number of dependence edges on the shortest path
+// from w to the nearest common descendant of w and v (Algorithm 1's
+// BFS(GDep, w, first(dep(w) ∩ dep(v)))). It returns (0, false) when the
+// variables share no descendant.
+func (g *Graph) Distance(w, v string) (int, bool) {
+	wid, ok := g.ids[w]
+	if !ok {
+		return 0, false
+	}
+	common := make(map[int]bool)
+	dv := g.Dependents(v)
+	for name := range g.Dependents(w) {
+		if dv[name] {
+			common[g.ids[name]] = true
+		}
+	}
+	if len(common) == 0 {
+		return 0, false
+	}
+	// BFS from w until the first common descendant.
+	type item struct{ id, dist int }
+	seen := make([]bool, len(g.names))
+	seen[wid] = true
+	queue := []item{{wid, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if common[cur.id] && cur.dist > 0 {
+			return cur.dist, true
+		}
+		for _, nxt := range g.succ[cur.id] {
+			if !seen[nxt] {
+				seen[nxt] = true
+				queue = append(queue, item{nxt, cur.dist + 1})
+			}
+		}
+	}
+	return 0, false
+}
+
+// UseFuncs returns the set of functions that use v.
+func (g *Graph) UseFuncs(v string) map[string]bool {
+	id, ok := g.ids[v]
+	if !ok {
+		return map[string]bool{}
+	}
+	out := make(map[string]bool, len(g.useFuncs[id]))
+	for fn := range g.useFuncs[id] {
+		out[fn] = true
+	}
+	return out
+}
+
+// UseFuncsOfDependents returns the union of UseFuncs over dep(v) — the
+// UseFunc[dep(v)] term of Algorithm 2.
+func (g *Graph) UseFuncsOfDependents(v string) map[string]bool {
+	out := make(map[string]bool)
+	for name := range g.Dependents(v) {
+		for fn := range g.UseFuncs(name) {
+			out[fn] = true
+		}
+	}
+	return out
+}
+
+// SharesUseFunction reports whether w is used in any function that also
+// uses some dependent of v.
+func (g *Graph) SharesUseFunction(w, v string) bool {
+	target := g.UseFuncsOfDependents(v)
+	for fn := range g.UseFuncs(w) {
+		if target[fn] {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeCount reports the number of distinct dependence edges.
+func (g *Graph) EdgeCount() int { return len(g.edgeSet) }
+
+// VarCount reports the number of distinct variables.
+func (g *Graph) VarCount() int { return len(g.names) }
+
+// String renders a summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("DepGraph{%d vars, %d edges, %d inputs}", g.VarCount(), g.EdgeCount(), len(g.inputs))
+}
+
+// DOT renders the dependence graph in Graphviz format, with input
+// variables shaded and edge direction following data flow (v -> w means
+// w depends on v). Useful for inspecting what Algorithms 1/2 see.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for id, label := range g.names {
+		attrs := ""
+		if g.inputs[id] {
+			attrs = " [style=filled, fillcolor=lightgray]"
+		}
+		fmt.Fprintf(&b, "  %q%s;\n", label, attrs)
+	}
+	// Deterministic edge order.
+	type edge struct{ from, to int }
+	edges := make([]edge, 0, len(g.edgeSet))
+	for e := range g.edgeSet {
+		edges = append(edges, edge{e[0], e[1]})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return g.names[edges[i].from] < g.names[edges[j].from]
+		}
+		return g.names[edges[i].to] < g.names[edges[j].to]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", g.names[e.from], g.names[e.to])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package dep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// cannyGraph reproduces the Fig. 9 dependence structure:
+//
+//	image → sImg → mag → hist → result
+//	lo → result, hi → result (targets feed the common descendant)
+func cannyGraph() *Graph {
+	g := NewGraph()
+	g.MarkInput("image")
+	g.Def("sImg", "image", "sigma")
+	g.Def("mag", "sImg")
+	g.Def("hist", "mag")
+	g.Def("result", "hist", "lo", "hi")
+	return g
+}
+
+func TestDependentsTransitive(t *testing.T) {
+	g := cannyGraph()
+	d := g.Dependents("image")
+	for _, want := range []string{"sImg", "mag", "hist", "result"} {
+		if !d[want] {
+			t.Errorf("dep(image) missing %s: %v", want, d)
+		}
+	}
+	if d["image"] {
+		t.Error("image is not on a cycle; must not be its own dependent")
+	}
+	if d["lo"] {
+		t.Error("lo does not depend on image")
+	}
+	if len(g.Dependents("ghost")) != 0 {
+		t.Error("unknown variable has dependents")
+	}
+}
+
+func TestSelfDependence(t *testing.T) {
+	g := NewGraph()
+	g.Def("x", "x") // loop-carried x = f(x)
+	if !g.Dependents("x")["x"] {
+		t.Error("self-edge not reflected in dep(x)")
+	}
+	if !g.DependsOn("x", "x") {
+		t.Error("DependsOn(x,x) false for self-edge")
+	}
+}
+
+func TestCorrelated(t *testing.T) {
+	g := cannyGraph()
+	// hist and lo share the common dependent result.
+	if !g.Correlated("hist", "lo") {
+		t.Error("hist and lo should be correlated")
+	}
+	// Fig. 9: image and lo share result too (transitively).
+	if !g.Correlated("image", "lo") {
+		t.Error("image and lo should be correlated")
+	}
+	g2 := NewGraph()
+	g2.Def("a2", "a1")
+	g2.Def("b2", "b1")
+	if g2.Correlated("a1", "b1") {
+		t.Error("disconnected chains reported correlated")
+	}
+}
+
+func TestCommonDescendants(t *testing.T) {
+	g := cannyGraph()
+	got := g.CommonDescendants("hist", "lo")
+	if !reflect.DeepEqual(got, []string{"result"}) {
+		t.Errorf("CommonDescendants = %v", got)
+	}
+}
+
+// TestDistanceMatchesFig9 reproduces the paper's worked example: hist
+// has distance 1 to the common descendant result, sImg distance 3
+// (sImg→mag→hist→result), image distance 4.
+func TestDistanceMatchesFig9(t *testing.T) {
+	g := cannyGraph()
+	cases := []struct {
+		w    string
+		want int
+	}{
+		{"hist", 1},
+		{"mag", 2},
+		{"sImg", 3},
+		{"image", 4},
+	}
+	for _, tc := range cases {
+		got, ok := g.Distance(tc.w, "lo")
+		if !ok {
+			t.Errorf("Distance(%s, lo) not found", tc.w)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Distance(%s, lo) = %d, want %d", tc.w, got, tc.want)
+		}
+	}
+	if _, ok := g.Distance("ghost", "lo"); ok {
+		t.Error("distance from unknown variable reported")
+	}
+	if _, ok := g.Distance("lo", "ghost"); ok {
+		t.Error("distance to unknown target reported")
+	}
+}
+
+func TestDistancePicksNearestCommonDescendant(t *testing.T) {
+	g := NewGraph()
+	// w → a → c and w → c; v → c. Nearest common descendant is c at
+	// distance 1 (direct edge), not 2 (via a).
+	g.Def("a", "w")
+	g.Def("c", "a")
+	g.Def("c", "w")
+	g.Def("c", "v")
+	got, ok := g.Distance("w", "v")
+	if !ok || got != 1 {
+		t.Errorf("Distance = %d, %v; want 1, true", got, ok)
+	}
+}
+
+func TestDefDeduplicatesEdges(t *testing.T) {
+	g := NewGraph()
+	g.Def("y", "x")
+	g.Def("y", "x")
+	g.Def("y", "x")
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if g.VarCount() != 2 {
+		t.Errorf("VarCount = %d, want 2", g.VarCount())
+	}
+}
+
+func TestUseFuncs(t *testing.T) {
+	g := NewGraph()
+	g.Def("speed", "pX")
+	g.Use("updatePlayer", "speed")
+	g.Use("updatePlayer", "playerX")
+	g.Use("collision", "minionX")
+	// playerX is used in the same function as speed, a dependent of pX.
+	if !g.SharesUseFunction("playerX", "pX") {
+		t.Error("playerX should share a use function with dep(pX)")
+	}
+	if g.SharesUseFunction("minionX", "pX") {
+		t.Error("minionX should not share a use function with dep(pX)")
+	}
+	if len(g.UseFuncs("ghost")) != 0 {
+		t.Error("unknown variable has use functions")
+	}
+	fns := g.UseFuncsOfDependents("pX")
+	if !fns["updatePlayer"] || len(fns) != 1 {
+		t.Errorf("UseFuncsOfDependents = %v", fns)
+	}
+}
+
+func TestInputs(t *testing.T) {
+	g := NewGraph()
+	g.MarkInput("b")
+	g.MarkInput("a")
+	g.MarkInput("a") // idempotent
+	if got := g.Inputs(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Inputs = %v", got)
+	}
+	if !g.Has("a") || g.Has("zz") {
+		t.Error("Has wrong")
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	g := NewGraph()
+	g.Def("z", "m", "a")
+	got := g.Vars()
+	if !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Errorf("Vars = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := cannyGraph()
+	if g.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// TestDependentsMonotone property: adding an edge never removes
+// dependents — dynamic dependence accumulation is monotone.
+func TestDependentsMonotone(t *testing.T) {
+	prop := func(edges [][2]uint8) bool {
+		g := NewGraph()
+		names := []string{"a", "b", "c", "d", "e"}
+		var prev map[string]bool
+		for _, e := range edges {
+			src := names[int(e[0])%len(names)]
+			dst := names[int(e[1])%len(names)]
+			g.Def(dst, src)
+			cur := g.Dependents("a")
+			for k := range prev {
+				if !cur[k] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCorrelationSymmetric property: correlation (shared descendant) is
+// symmetric, as the definition requires.
+func TestCorrelationSymmetric(t *testing.T) {
+	prop := func(edges [][2]uint8) bool {
+		g := NewGraph()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for _, e := range edges {
+			g.Def(names[int(e[1])%len(names)], names[int(e[0])%len(names)])
+		}
+		for _, v := range names {
+			for _, w := range names {
+				if g.Correlated(v, w) != g.Correlated(w, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCycleTermination ensures BFS over cyclic graphs terminates.
+func TestCycleTermination(t *testing.T) {
+	g := NewGraph()
+	g.Def("b", "a")
+	g.Def("c", "b")
+	g.Def("a", "c") // cycle a→b→c→a
+	d := g.Dependents("a")
+	if !d["a"] || !d["b"] || !d["c"] {
+		t.Errorf("cyclic dependents = %v", d)
+	}
+	if dist, ok := g.Distance("a", "b"); !ok || dist < 1 {
+		t.Errorf("cyclic distance = %d, %v", dist, ok)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := cannyGraph()
+	dot := g.DOT("canny")
+	for _, want := range []string{
+		`digraph "canny"`,
+		`"image" [style=filled, fillcolor=lightgray];`,
+		`"hist" -> "result";`,
+		`"image" -> "sImg";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if g.DOT("canny") != dot {
+		t.Error("DOT not deterministic")
+	}
+}

@@ -1,0 +1,234 @@
+// Package extract implements the paper's two automatic feature-variable
+// extraction algorithms (Section 4):
+//
+//   - Algorithm 1 (supervised learning): candidate features are the
+//     program inputs and their transitive dependents; a candidate is
+//     correlated with a target iff they share a common dependent; ranked
+//     features are sorted by dependence-graph distance to the first
+//     common descendant (shorter ⇒ more abstract ⇒ better).
+//
+//   - Algorithm 2 (reinforcement learning): candidates are program
+//     variables used in the same functions as the target's dependents
+//     and sharing a common descendant with the target; candidates with
+//     near-duplicate value traces (scaled Euclidean distance ≤ ε₁) or
+//     unchanging traces (variance ≤ ε₂) are pruned.
+package extract
+
+import (
+	"sort"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+// RankedFeature is one feature variable with its dependence distance to
+// the target's first common descendant.
+type RankedFeature struct {
+	Name string
+	Dist int
+}
+
+// SLResult maps each target variable to its ranked feature variables,
+// nearest first.
+type SLResult map[string][]RankedFeature
+
+// SL runs Algorithm 1. in is the program-input variable set (In), trg
+// the target variables (Trg), g the pre-computed dynamic dependence
+// graph (GDep). The returned features for each target are sorted by
+// ascending distance, with name order breaking ties deterministically.
+func SL(g *dep.Graph, in, trg []string) SLResult {
+	// Candidate ← In ∪ dep(In)   (line 1)
+	candidateSet := make(map[string]bool)
+	for _, iv := range in {
+		candidateSet[iv] = true
+		for w := range g.Dependents(iv) {
+			candidateSet[w] = true
+		}
+	}
+	candidates := make([]string, 0, len(candidateSet))
+	for w := range candidateSet {
+		candidates = append(candidates, w)
+	}
+	sort.Strings(candidates)
+
+	result := make(SLResult, len(trg))
+	for _, v := range trg {
+		var feats []RankedFeature
+		for _, w := range candidates {
+			if w == v {
+				continue
+			}
+			// For prediction purposes, w must not depend on v: a
+			// feature downstream of the parameter would leak it.
+			if g.DependsOn(w, v) {
+				continue
+			}
+			// Correlation test: dep(w) ∩ dep(v) ≠ ∅   (line 5)
+			dist, ok := g.Distance(w, v)
+			if !ok {
+				continue
+			}
+			feats = append(feats, RankedFeature{Name: w, Dist: dist})
+		}
+		// Sort by distance (line 10), names break ties.
+		sort.Slice(feats, func(i, j int) bool {
+			if feats[i].Dist != feats[j].Dist {
+				return feats[i].Dist < feats[j].Dist
+			}
+			return feats[i].Name < feats[j].Name
+		})
+		result[v] = feats
+	}
+	return result
+}
+
+// CandidateCount reports |In ∪ dep(In)|, the Table 1 "Candidate Vars"
+// statistic for SL subjects.
+func CandidateCount(g *dep.Graph, in []string) int {
+	set := make(map[string]bool)
+	for _, iv := range in {
+		set[iv] = true
+		for w := range g.Dependents(iv) {
+			set[w] = true
+		}
+	}
+	return len(set)
+}
+
+// Pick selects feature names from a ranked list by distance band, the
+// paper's Raw / Med / Min comparison axes.
+type Pick int
+
+const (
+	// Min selects the minimum-distance feature.
+	Min Pick = iota
+	// Med selects the median-distance feature.
+	Med
+	// Raw selects the maximum-distance feature (the raw input end).
+	Raw
+)
+
+// Select returns the feature at the requested distance band, or false
+// for an empty list.
+func Select(feats []RankedFeature, p Pick) (RankedFeature, bool) {
+	if len(feats) == 0 {
+		return RankedFeature{}, false
+	}
+	switch p {
+	case Min:
+		return feats[0], true
+	case Med:
+		return feats[len(feats)/2], true
+	default:
+		return feats[len(feats)-1], true
+	}
+}
+
+// RLConfig parameterizes Algorithm 2.
+type RLConfig struct {
+	// Epsilon1 prunes a candidate whose scaled trace lies within this
+	// Euclidean distance of an already-kept candidate (redundancy).
+	Epsilon1 float64
+	// Epsilon2 prunes candidates whose raw trace variance is at most
+	// this threshold (unchanging variables).
+	Epsilon2 float64
+}
+
+// RLReport captures what Algorithm 2 decided, for Table 1 statistics
+// and the Fig. 15/16 pruning illustrations.
+type RLReport struct {
+	// Features maps each target variable to its surviving features.
+	Features map[string][]string
+	// Candidates maps each target to its pre-pruning candidate count.
+	Candidates map[string]int
+	// PrunedRedundant lists (kept, pruned) pairs removed by ε₁.
+	PrunedRedundant [][2]string
+	// PrunedUnchanging lists variables removed by ε₂.
+	PrunedUnchanging []string
+}
+
+// CombinedFeatures returns the union of features across all targets in
+// sorted order — the paper combines all feature variables to predict all
+// targets "due to the large overlap of the feature variable sets".
+func (r RLReport) CombinedFeatures() []string {
+	set := make(map[string]bool)
+	for _, fs := range r.Features {
+		for _, f := range fs {
+			set[f] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RL runs Algorithm 2. trg is the target variable set, progVars the
+// candidate program variables (ProgVar), g the dependence graph carrying
+// use-function information, rec the profiled value traces.
+func RL(g *dep.Graph, rec *trace.Recorder, trg, progVars []string, cfg RLConfig) RLReport {
+	report := RLReport{
+		Features:   make(map[string][]string, len(trg)),
+		Candidates: make(map[string]int, len(trg)),
+	}
+	sorted := append([]string(nil), progVars...)
+	sort.Strings(sorted)
+
+	for _, v := range trg {
+		// Lines 3-5: candidate selection.
+		type cand struct {
+			name   string
+			scaled []float64
+		}
+		var candidates []cand
+		for _, w := range sorted {
+			if w == v {
+				continue
+			}
+			// UseFunc[dep(v)] ∩ UseFunc[w] ≠ ∅
+			if !g.SharesUseFunction(w, v) {
+				continue
+			}
+			// dep(v) ∩ dep(w) ≠ ∅
+			if len(g.CommonDescendants(v, w)) == 0 {
+				continue
+			}
+			candidates = append(candidates, cand{name: w, scaled: rec.ScaledTrace(w)})
+		}
+		report.Candidates[v] = len(candidates)
+
+		// Lines 6-12: pruning.
+		var kept []cand
+		for _, c := range candidates {
+			// ε₂: unchanging variables are not good features (Fig. 16's
+			// accX example).
+			if rec.Variance(c.name) <= cfg.Epsilon2 {
+				report.PrunedUnchanging = append(report.PrunedUnchanging, c.name)
+				continue
+			}
+			// ε₁: near-duplicates of an already-kept feature are
+			// redundant (Fig. 15's posX ≈ roll example).
+			redundant := false
+			for _, k := range kept {
+				if stats.EuclideanDistance(k.scaled, c.scaled) <= cfg.Epsilon1 {
+					report.PrunedRedundant = append(report.PrunedRedundant, [2]string{k.name, c.name})
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				continue
+			}
+			kept = append(kept, c)
+		}
+		names := make([]string, len(kept))
+		for i, k := range kept {
+			names[i] = k.name
+		}
+		report.Features[v] = names
+	}
+	return report
+}

@@ -1,0 +1,237 @@
+package extract
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+// cannyGraph mirrors Fig. 9: image → sImg → mag → hist → result, with
+// targets lo/hi/sigma feeding result and sImg respectively.
+func cannyGraph() *dep.Graph {
+	g := dep.NewGraph()
+	g.MarkInput("image")
+	g.Def("sImg", "image", "sigma")
+	g.Def("mag", "sImg")
+	g.Def("hist", "mag")
+	g.Def("result", "hist", "lo", "hi")
+	return g
+}
+
+func TestSLRankingMatchesFig9(t *testing.T) {
+	g := cannyGraph()
+	res := SL(g, []string{"image"}, []string{"lo"})
+	feats := res["lo"]
+	if len(feats) != 4 {
+		t.Fatalf("features for lo = %v, want 4 (hist,mag,sImg,image)", feats)
+	}
+	wantOrder := []string{"hist", "mag", "sImg", "image"}
+	wantDist := []int{1, 2, 3, 4}
+	for i, f := range feats {
+		if f.Name != wantOrder[i] || f.Dist != wantDist[i] {
+			t.Errorf("rank %d = %+v, want {%s %d}", i, f, wantOrder[i], wantDist[i])
+		}
+	}
+}
+
+func TestSLExcludesDownstreamOfTarget(t *testing.T) {
+	g := cannyGraph()
+	// result depends on lo, so result must not be a feature for lo even
+	// though it is a candidate (dependent of image).
+	res := SL(g, []string{"image"}, []string{"lo"})
+	for _, f := range res["lo"] {
+		if f.Name == "result" {
+			t.Error("feature set includes a variable that depends on the target")
+		}
+	}
+}
+
+func TestSLExcludesTargetItself(t *testing.T) {
+	g := cannyGraph()
+	// sigma feeds sImg, making sigma a candidate? No: candidates are
+	// inputs ∪ dep(inputs); sigma is not derived from image. But a
+	// target that IS a candidate must still be excluded from its own
+	// feature list.
+	g.Def("sigma", "image") // now sigma ∈ dep(image)
+	res := SL(g, []string{"image"}, []string{"sigma"})
+	for _, f := range res["sigma"] {
+		if f.Name == "sigma" {
+			t.Error("target listed as its own feature")
+		}
+	}
+}
+
+func TestSLUncorrelatedCandidatesDropped(t *testing.T) {
+	g := cannyGraph()
+	g.MarkInput("audio")
+	g.Def("noise", "audio") // disconnected from lo's descendants
+	res := SL(g, []string{"image", "audio"}, []string{"lo"})
+	for _, f := range res["lo"] {
+		if f.Name == "noise" || f.Name == "audio" {
+			t.Errorf("uncorrelated candidate %s selected", f.Name)
+		}
+	}
+}
+
+func TestCandidateCount(t *testing.T) {
+	g := cannyGraph()
+	// image + {sImg, mag, hist, result} = 5.
+	if got := CandidateCount(g, []string{"image"}); got != 5 {
+		t.Errorf("CandidateCount = %d, want 5", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	feats := []RankedFeature{{"hist", 1}, {"mag", 2}, {"sImg", 3}, {"image", 4}}
+	if f, ok := Select(feats, Min); !ok || f.Name != "hist" {
+		t.Errorf("Min = %+v", f)
+	}
+	if f, ok := Select(feats, Med); !ok || f.Name != "sImg" {
+		t.Errorf("Med = %+v", f)
+	}
+	if f, ok := Select(feats, Raw); !ok || f.Name != "image" {
+		t.Errorf("Raw = %+v", f)
+	}
+	if _, ok := Select(nil, Min); ok {
+		t.Error("Select on empty list reported ok")
+	}
+}
+
+// marioSetup builds the Fig. 10 structure: Player->X depends on itself
+// and feeds speed; Minion->X feeds collide; both reach the target right.
+// mX duplicates Minion->X; accG is unchanging.
+func marioSetup() (*dep.Graph, *trace.Recorder) {
+	g := dep.NewGraph()
+	g.Def("Player->X", "Player->X") // loop-carried
+	g.Def("speed", "Player->X")
+	g.Def("right", "speed")
+	g.Def("pX", "right") // right's dependent
+	g.Def("collide", "Minion->X", "pX")
+	g.Def("mX", "Minion->X")
+	g.Def("collide", "mX")
+	g.Def("collide", "accG")
+	// Use functions: everything relevant appears in the game loop.
+	for _, v := range []string{"Player->X", "speed", "Minion->X", "mX", "pX", "collide", "accG"} {
+		g.Use("gameLoop", v)
+	}
+
+	rec := trace.NewRecorder()
+	for i := 0; i < 30; i++ {
+		x := float64(i)
+		rec.Record("Player->X", x*1.5)
+		rec.Record("speed", math.Sin(x/5))
+		rec.Record("Minion->X", 100-x)
+		rec.Record("mX", (100-x)*3+7) // affine duplicate of Minion->X
+		rec.Record("pX", x*1.5)
+		rec.Record("collide", math.Mod(x, 2))
+		rec.Record("accG", 9.8) // unchanging
+	}
+	return g, rec
+}
+
+func TestRLMatchesPaperExample(t *testing.T) {
+	g, rec := marioSetup()
+	progVars := []string{"Player->X", "speed", "Minion->X", "mX", "pX", "collide", "accG"}
+	report := RL(g, rec, []string{"right"}, progVars, RLConfig{Epsilon1: 1e-6, Epsilon2: 0.01})
+
+	feats := report.Features["right"]
+	has := func(name string) bool {
+		for _, f := range feats {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("Player->X") {
+		t.Errorf("Player->X missing from features: %v", feats)
+	}
+	if !has("Minion->X") {
+		t.Errorf("Minion->X missing from features: %v", feats)
+	}
+	// mX is an affine duplicate of Minion->X: pruned by ε₁.
+	if has("mX") {
+		t.Errorf("duplicate mX not pruned: %v", feats)
+	}
+	foundPair := false
+	for _, p := range report.PrunedRedundant {
+		if (p[0] == "Minion->X" && p[1] == "mX") || (p[0] == "mX" && p[1] == "Minion->X") {
+			foundPair = true
+		}
+	}
+	if !foundPair {
+		t.Errorf("redundant pair not reported: %v", report.PrunedRedundant)
+	}
+	// accG never changes: pruned by ε₂ (the Fig. 16 accX case).
+	if has("accG") {
+		t.Errorf("unchanging accG not pruned: %v", feats)
+	}
+	pruned := false
+	for _, n := range report.PrunedUnchanging {
+		if n == "accG" {
+			pruned = true
+		}
+	}
+	if !pruned {
+		t.Errorf("accG not reported as unchanging: %v", report.PrunedUnchanging)
+	}
+	if report.Candidates["right"] == 0 {
+		t.Error("candidate count not recorded")
+	}
+}
+
+func TestRLTargetNeverItsOwnFeature(t *testing.T) {
+	g, rec := marioSetup()
+	rec.Record("right", 1)
+	report := RL(g, rec, []string{"right"}, []string{"right", "speed"}, RLConfig{})
+	for _, f := range report.Features["right"] {
+		if f == "right" {
+			t.Error("target selected as its own feature")
+		}
+	}
+}
+
+func TestRLNoSharedFunctionNoCandidate(t *testing.T) {
+	g := dep.NewGraph()
+	g.Def("out", "target")
+	g.Def("out", "lonely")
+	g.Use("elsewhere", "lonely") // uses a function no dependent of target uses
+	rec := trace.NewRecorder()
+	for i := 0; i < 5; i++ {
+		rec.Record("lonely", float64(i))
+	}
+	report := RL(g, rec, []string{"target"}, []string{"lonely"}, RLConfig{})
+	if len(report.Features["target"]) != 0 {
+		t.Errorf("feature without shared use function selected: %v", report.Features)
+	}
+}
+
+func TestCombinedFeatures(t *testing.T) {
+	r := RLReport{Features: map[string][]string{
+		"a": {"x", "y"},
+		"b": {"y", "z"},
+	}}
+	got := r.CombinedFeatures()
+	if !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("CombinedFeatures = %v", got)
+	}
+}
+
+// TestEpsilonMonotonicity property: growing ε₁ or ε₂ can only shrink the
+// surviving feature set.
+func TestEpsilonMonotonicity(t *testing.T) {
+	g, rec := marioSetup()
+	progVars := []string{"Player->X", "speed", "Minion->X", "mX", "pX", "collide", "accG"}
+	prev := -1
+	for _, eps := range []float64{0, 0.001, 0.01, 0.1, 1, 10} {
+		rep := RL(g, rec, []string{"right"}, progVars, RLConfig{Epsilon1: eps, Epsilon2: eps})
+		n := len(rep.Features["right"])
+		if prev >= 0 && n > prev {
+			t.Errorf("feature count grew from %d to %d as epsilon rose to %v", prev, n, eps)
+		}
+		prev = n
+	}
+}

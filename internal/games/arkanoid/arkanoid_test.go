@@ -1,0 +1,161 @@
+package arkanoid
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/games/env"
+)
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ env.Env = New(1)
+}
+
+func TestHardenedBricksTakeTwoHits(t *testing.T) {
+	g := New(1)
+	// Row 0 is hardened.
+	if g.state.Bricks[0] != 2 {
+		t.Errorf("top-row brick hp = %d, want 2", g.state.Bricks[0])
+	}
+	if g.state.Bricks[brickCols] != 1 {
+		t.Errorf("second-row brick hp = %d, want 1", g.state.Bricks[brickCols])
+	}
+}
+
+func TestScriptedPlayerClearsMost(t *testing.T) {
+	g := New(2)
+	score, _ := env.AverageScore(g, ScriptedPlayer, 5, 8000)
+	if score < 0.4 {
+		t.Errorf("scripted player cleared only %v", score)
+	}
+}
+
+func TestStayLosesToTracking(t *testing.T) {
+	idle := env.RunEpisode(New(3), func(env.Env) int { return ActStay }, 8000)
+	track := env.RunEpisode(New(3), ScriptedPlayer, 8000)
+	if idle.Score > track.Score {
+		t.Errorf("idle %v outscored tracking %v", idle.Score, track.Score)
+	}
+}
+
+func TestPowerupWidensPaddle(t *testing.T) {
+	g := New(4)
+	// Force a powerup right above the paddle.
+	g.state.Power = powerup{X: g.state.PaddleX, Y: paddleY - 1, Active: true}
+	w0 := g.state.PaddleW
+	for i := 0; i < 10 && g.state.PaddleW == w0; i++ {
+		g.Step(ActStay)
+	}
+	if g.state.PaddleW != widePadW {
+		t.Errorf("paddle width = %v after catch, want %v", g.state.PaddleW, widePadW)
+	}
+	// Widening expires.
+	g.state.WideLeft = 1
+	g.Step(ActStay)
+	if g.state.PaddleW != basePadW {
+		t.Errorf("paddle width = %v after expiry, want %v", g.state.PaddleW, basePadW)
+	}
+}
+
+func TestPowerupMissDeactivates(t *testing.T) {
+	g := New(5)
+	g.state.Power = powerup{X: 1, Y: fieldH - 0.1, Active: true}
+	g.state.PaddleX = fieldW - basePadW/2 // far away
+	for i := 0; i < 5; i++ {
+		g.Step(ActStay)
+	}
+	if g.state.Power.Active {
+		t.Error("missed powerup still active")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	g := New(6)
+	for i := 0; i < 100; i++ {
+		g.Step(ScriptedPlayer(g))
+	}
+	snap := g.Snapshot()
+	before := g.Score()
+	for i := 0; i < 500; i++ {
+		if _, term := g.Step(ScriptedPlayer(g)); term {
+			break
+		}
+	}
+	g.Restore(snap)
+	if g.Score() != before {
+		t.Error("restore did not roll back cleared count")
+	}
+}
+
+func TestVarsAndScreen(t *testing.T) {
+	g := New(7)
+	vars := g.StateVars()
+	for _, n := range FeatureVarNames() {
+		if _, ok := vars[n]; !ok {
+			t.Errorf("missing %s", n)
+		}
+	}
+	if vars["padDup"] != vars["paddleX"] {
+		t.Error("duplicate out of sync")
+	}
+	img := g.Screen()
+	lit := 0
+	for _, v := range img.Pix {
+		if v > 0 {
+			lit++
+		}
+	}
+	if lit < 50 {
+		t.Errorf("screen nearly empty: %d", lit)
+	}
+}
+
+func TestDepGraphShape(t *testing.T) {
+	dg := DepGraph()
+	if !dg.DependsOn("paddleX", "actionKey") {
+		t.Error("paddleX must depend on actionKey")
+	}
+	if !dg.SharesUseFunction("powerX", "actionKey") {
+		t.Error("powerX must share the game loop with dep(actionKey)")
+	}
+}
+
+func TestScoreIsClearedFraction(t *testing.T) {
+	g := New(8)
+	if g.Score() != 0 {
+		t.Error("fresh game has nonzero score")
+	}
+	g.state.Cleared = g.state.Total / 2
+	want := float64(g.state.Total/2) / float64(g.state.Total)
+	if g.Score() != want {
+		t.Errorf("score = %v, want %v", g.Score(), want)
+	}
+}
+
+func TestNumActionsAndTargets(t *testing.T) {
+	if New(30).NumActions() != 3 {
+		t.Error("NumActions wrong")
+	}
+	if len(TargetVars()) != 1 {
+		t.Errorf("TargetVars = %v", TargetVars())
+	}
+}
+
+func TestFullClearTerminal(t *testing.T) {
+	g := New(31)
+	for i := range g.state.Bricks {
+		g.state.Bricks[i] = 0
+	}
+	g.state.Cleared = g.state.Total - 1
+	g.state.Bricks[g.state.Total-1] = 1
+	// Aim the ball so that after one step's motion it sits inside the
+	// last brick (Step moves the ball before the collision check).
+	row, col := (g.state.Total-1)/brickCols, (g.state.Total-1)%brickCols
+	g.state.BallX = (float64(col) + 0.5) * brickW
+	g.state.BallY = brickTop + (float64(row)+0.5)*brickH + 0.2
+	g.state.VX = 0
+	g.state.VY = -0.2
+	reward, terminal := g.Step(ActStay)
+	if !terminal || reward < 10 || !g.Success() {
+		t.Errorf("full clear: reward=%v terminal=%v success=%v", reward, terminal, g.Success())
+	}
+}

@@ -1,0 +1,162 @@
+package breakout
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/games/env"
+)
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ env.Env = New(1)
+}
+
+func TestResetRestoresBricks(t *testing.T) {
+	g := New(1)
+	env.RunEpisode(g, ScriptedPlayer, 2000)
+	g.Reset()
+	if g.Score() != 0 {
+		t.Error("reset did not restore bricks")
+	}
+}
+
+func TestScriptedPlayerHitsBricks(t *testing.T) {
+	g := New(2)
+	score, _ := env.AverageScore(g, ScriptedPlayer, 5, 5000)
+	if score < 10 {
+		t.Errorf("scripted player hit only %v bricks on average", score)
+	}
+}
+
+func TestStayOnlyMissesEventually(t *testing.T) {
+	g := New(3)
+	res := env.RunEpisode(g, func(env.Env) int { return ActStay }, 5000)
+	if res.Success {
+		t.Error("motionless paddle cleared the game")
+	}
+	// Score must be below a tracking player's.
+	tracked := env.RunEpisode(New(3), ScriptedPlayer, 5000)
+	if res.Score > tracked.Score {
+		t.Errorf("motionless %v outscored tracking %v", res.Score, tracked.Score)
+	}
+}
+
+func TestBallBouncesOffWalls(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 3000; i++ {
+		_, term := g.Step(ScriptedPlayer(g))
+		v := g.StateVars()
+		if v["ballX"] < -1 || v["ballX"] > fieldW+1 || v["ballY"] < -1 {
+			t.Fatalf("ball escaped the field: (%v, %v)", v["ballX"], v["ballY"])
+		}
+		if term {
+			break
+		}
+	}
+}
+
+func TestPaddleClamped(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 200; i++ {
+		g.Step(ActLeft)
+	}
+	if x := g.StateVars()["paddleX"]; x < paddleW/2-1e-9 {
+		t.Errorf("paddle left the field: %v", x)
+	}
+	for i := 0; i < 400; i++ {
+		g.Step(ActRight)
+	}
+	if x := g.StateVars()["paddleX"]; x > fieldW-paddleW/2+1e-9 {
+		t.Errorf("paddle left the field: %v", x)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	g := New(6)
+	for i := 0; i < 50; i++ {
+		g.Step(ScriptedPlayer(g))
+	}
+	snap := g.Snapshot()
+	before := g.StateVars()
+	for i := 0; i < 100; i++ {
+		g.Step(ActLeft)
+	}
+	g.Restore(snap)
+	after := g.StateVars()
+	for _, k := range []string{"ballX", "ballY", "paddleX", "hitCount"} {
+		if before[k] != after[k] {
+			t.Errorf("%s not restored", k)
+		}
+	}
+}
+
+func TestScreenAndVars(t *testing.T) {
+	g := New(7)
+	img := g.Screen()
+	if img.W != 64 || img.H != 64 {
+		t.Fatal("bad screen size")
+	}
+	vars := g.StateVars()
+	for _, n := range FeatureVarNames() {
+		if _, ok := vars[n]; !ok {
+			t.Errorf("missing feature var %s", n)
+		}
+	}
+	if vars["ballXdup"] != vars["ballX"] {
+		t.Error("duplicate out of sync")
+	}
+}
+
+func TestDepGraphShape(t *testing.T) {
+	g := DepGraph()
+	if !g.SharesUseFunction("ballX", "actionKey") {
+		t.Error("ballX does not share a use function with dep(actionKey)")
+	}
+	if !g.DependsOn("paddleX", "actionKey") {
+		t.Error("paddleX must depend on actionKey")
+	}
+}
+
+func TestRewardOnBrickHit(t *testing.T) {
+	g := New(8)
+	var got float64
+	for i := 0; i < 3000; i++ {
+		r, term := g.Step(ScriptedPlayer(g))
+		if r >= 1 {
+			got = r
+			break
+		}
+		if term {
+			t.Fatal("episode ended before any brick hit")
+		}
+	}
+	if got < 1 {
+		t.Error("no brick reward observed")
+	}
+}
+
+func TestNumActionsAndTargets(t *testing.T) {
+	if New(30).NumActions() != 3 {
+		t.Error("NumActions wrong")
+	}
+	if len(TargetVars()) != 1 {
+		t.Errorf("TargetVars = %v", TargetVars())
+	}
+}
+
+func TestFullClearTerminal(t *testing.T) {
+	g := New(31)
+	for i := range g.state.Bricks {
+		g.state.Bricks[i] = false
+	}
+	g.state.Hit = len(g.state.Bricks) - 1
+	g.state.Bricks[0] = true
+	// Position so the post-move ball sits inside the brick.
+	g.state.BallX = brickW / 2
+	g.state.BallY = brickTop + brickH/2 + 0.2
+	g.state.VX = 0
+	g.state.VY = -0.2
+	reward, terminal := g.Step(ActStay)
+	if !terminal || reward < 10 || !g.Success() {
+		t.Errorf("full clear: reward=%v terminal=%v success=%v", reward, terminal, g.Success())
+	}
+}

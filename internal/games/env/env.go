@@ -1,0 +1,123 @@
+// Package env defines the common shape of Autonomizer's interactive
+// (reinforcement-learning) subjects: the five game/driving simulators
+// the paper evaluates. Each environment exposes
+//
+//   - a discrete action interface driven once per main-loop iteration;
+//   - its internal program state (StateVars) — the variables the "All"
+//     configuration extracts as model inputs;
+//   - a rendered screen (Screen) — what the DeepMind-style "Raw"
+//     configuration consumes;
+//   - a score in the paper's per-game sense (progress / success rate /
+//     bricks hit);
+//   - snapshot/restore of its full state, which is what au_checkpoint
+//     and au_restore operate on.
+package env
+
+import (
+	"sort"
+
+	"github.com/autonomizer/autonomizer/internal/imaging"
+)
+
+// Env is one interactive subject program.
+type Env interface {
+	// Reset restarts a fresh episode.
+	Reset()
+	// Step advances one main-loop iteration with the given action,
+	// returning the paper-style reward and whether an end state (death,
+	// flag, finish line) was reached.
+	Step(action int) (reward float64, terminal bool)
+	// NumActions reports the discrete action count.
+	NumActions() int
+	// StateVars returns the current internal program variables by name.
+	// The map is freshly allocated each call.
+	StateVars() map[string]float64
+	// Screen renders the current frame as a grayscale image.
+	Screen() *imaging.Image
+	// Score reports the episode's progress metric in [0, 1] (for
+	// Breakout: bricks hit, unnormalized, per the paper).
+	Score() float64
+	// Success reports whether the episode reached its goal (flag,
+	// finish, full clear).
+	Success() bool
+	// Snapshot/Restore implement ckpt.Snapshotter over σ.
+	Snapshot() any
+	Restore(snapshot any)
+}
+
+// StateVector flattens selected StateVars into a feature vector in the
+// given name order — the bridge between an environment and au_extract.
+func StateVector(e Env, names []string) []float64 {
+	vars := e.StateVars()
+	out := make([]float64, len(names))
+	for i, n := range names {
+		out[i] = vars[n]
+	}
+	return out
+}
+
+// SortedVarNames returns all state-variable names in sorted order.
+func SortedVarNames(e Env) []string {
+	vars := e.StateVars()
+	out := make([]string, 0, len(vars))
+	for k := range vars {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Policy selects an action for the current state.
+type Policy func(e Env) int
+
+// EpisodeResult summarizes one play-through.
+type EpisodeResult struct {
+	Score   float64
+	Success bool
+	Steps   int
+	Reward  float64
+}
+
+// RunEpisode plays one episode with the policy, bounded by maxSteps.
+func RunEpisode(e Env, p Policy, maxSteps int) EpisodeResult {
+	e.Reset()
+	var res EpisodeResult
+	for res.Steps = 0; res.Steps < maxSteps; res.Steps++ {
+		r, terminal := e.Step(p(e))
+		res.Reward += r
+		if terminal {
+			res.Steps++
+			break
+		}
+	}
+	res.Score = e.Score()
+	res.Success = e.Success()
+	return res
+}
+
+// AverageScore plays n episodes and reports the mean score and success
+// rate — the paper's "average of 10 runs" protocol.
+func AverageScore(e Env, p Policy, episodes, maxSteps int) (score, successRate float64) {
+	for i := 0; i < episodes; i++ {
+		res := RunEpisode(e, p, maxSteps)
+		score += res.Score
+		if res.Success {
+			successRate++
+		}
+	}
+	return score / float64(episodes), successRate / float64(episodes)
+}
+
+// RawState flattens the downsampled screen into the Raw model's input
+// vector, pixel values scaled to [0, 1].
+func RawState(e Env, downsample int) []float64 {
+	img := e.Screen()
+	if downsample > 1 {
+		img = imaging.Downsample(img, downsample)
+	}
+	out := make([]float64, len(img.Pix))
+	for i, v := range img.Pix {
+		out[i] = v / 255
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package env
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/imaging"
+)
+
+// stubEnv is a minimal environment: walk right n steps to win.
+type stubEnv struct {
+	pos    int
+	goal   int
+	screen *imaging.Image
+	resets int
+}
+
+func newStub(goal int) *stubEnv {
+	return &stubEnv{goal: goal, screen: imaging.NewImage(8, 8)}
+}
+
+func (s *stubEnv) Reset()          { s.pos = 0; s.resets++ }
+func (s *stubEnv) NumActions() int { return 2 }
+
+func (s *stubEnv) Step(action int) (float64, bool) {
+	if action == 1 {
+		s.pos++
+	}
+	if s.pos >= s.goal {
+		return 10, true
+	}
+	return 1, false
+}
+
+func (s *stubEnv) StateVars() map[string]float64 {
+	return map[string]float64{"pos": float64(s.pos), "goal": float64(s.goal)}
+}
+
+func (s *stubEnv) Screen() *imaging.Image {
+	s.screen.Set(s.pos%8, 0, 255)
+	return s.screen
+}
+
+func (s *stubEnv) Score() float64   { return float64(s.pos) / float64(s.goal) }
+func (s *stubEnv) Success() bool    { return s.pos >= s.goal }
+func (s *stubEnv) Snapshot() any    { return s.pos }
+func (s *stubEnv) Restore(snap any) { s.pos = snap.(int) }
+
+func TestStateVector(t *testing.T) {
+	e := newStub(5)
+	e.pos = 3
+	got := StateVector(e, []string{"goal", "pos", "missing"})
+	if got[0] != 5 || got[1] != 3 || got[2] != 0 {
+		t.Errorf("StateVector = %v", got)
+	}
+}
+
+func TestSortedVarNames(t *testing.T) {
+	got := SortedVarNames(newStub(5))
+	if len(got) != 2 || got[0] != "goal" || got[1] != "pos" {
+		t.Errorf("SortedVarNames = %v", got)
+	}
+}
+
+func TestRunEpisodeReachesGoal(t *testing.T) {
+	e := newStub(5)
+	res := RunEpisode(e, func(Env) int { return 1 }, 100)
+	if !res.Success || res.Score != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Steps != 5 {
+		t.Errorf("Steps = %d, want 5", res.Steps)
+	}
+	// 4 alive rewards + terminal 10.
+	if res.Reward != 14 {
+		t.Errorf("Reward = %v, want 14", res.Reward)
+	}
+	if e.resets != 1 {
+		t.Error("RunEpisode did not reset")
+	}
+}
+
+func TestRunEpisodeRespectsMaxSteps(t *testing.T) {
+	e := newStub(1000)
+	res := RunEpisode(e, func(Env) int { return 1 }, 10)
+	if res.Success || res.Steps != 10 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestAverageScore(t *testing.T) {
+	e := newStub(4)
+	score, success := AverageScore(e, func(Env) int { return 1 }, 3, 100)
+	if score != 1 || success != 1 {
+		t.Errorf("avg = %v, %v", score, success)
+	}
+	score, success = AverageScore(e, func(Env) int { return 0 }, 3, 10)
+	if score != 0 || success != 0 {
+		t.Errorf("idle avg = %v, %v", score, success)
+	}
+}
+
+func TestRawState(t *testing.T) {
+	e := newStub(5)
+	raw := RawState(e, 1)
+	if len(raw) != 64 {
+		t.Fatalf("raw length = %d", len(raw))
+	}
+	for _, v := range raw {
+		if v < 0 || v > 1 {
+			t.Fatal("raw pixel out of [0,1]")
+		}
+	}
+	down := RawState(e, 2)
+	if len(down) != 16 {
+		t.Errorf("downsampled length = %d, want 16", len(down))
+	}
+}

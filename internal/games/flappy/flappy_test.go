@@ -1,0 +1,199 @@
+package flappy
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/games/env"
+)
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ env.Env = New(1)
+}
+
+func TestResetState(t *testing.T) {
+	g := New(1)
+	g.Step(ActFlap)
+	g.Step(ActNoop)
+	g.Reset()
+	if g.Score() != 0 || g.Success() {
+		t.Error("reset did not clear progress")
+	}
+	if g.StateVars()["steps"] != 0 {
+		t.Error("reset did not clear steps")
+	}
+}
+
+func TestGravityPullsDown(t *testing.T) {
+	g := New(2)
+	y0 := g.StateVars()["birdY"]
+	for i := 0; i < 5; i++ {
+		g.Step(ActNoop)
+	}
+	if g.StateVars()["birdY"] <= y0 {
+		t.Error("bird did not fall under gravity")
+	}
+}
+
+func TestFlapPushesUp(t *testing.T) {
+	g := New(3)
+	g.Step(ActFlap)
+	if g.StateVars()["birdVY"] >= 0 {
+		t.Error("flap did not produce upward velocity")
+	}
+}
+
+func TestNoopOnlyDies(t *testing.T) {
+	g := New(4)
+	terminal := false
+	var reward float64
+	for i := 0; i < 500 && !terminal; i++ {
+		reward, terminal = g.Step(ActNoop)
+	}
+	if !terminal || reward != -10 {
+		t.Errorf("noop-only play did not die: terminal=%v reward=%v", terminal, reward)
+	}
+	if g.Success() {
+		t.Error("dead bird reported success")
+	}
+}
+
+func TestScriptedPlayerOutperformsNoop(t *testing.T) {
+	scripted, _ := env.AverageScore(New(5), ScriptedPlayer, 5, 2000)
+	noop, _ := env.AverageScore(New(5), func(env.Env) int { return ActNoop }, 5, 2000)
+	if scripted <= noop {
+		t.Errorf("scripted %v not above noop %v", scripted, noop)
+	}
+	if scripted < 0.5 {
+		t.Errorf("scripted player only reaches %v of the course", scripted)
+	}
+}
+
+func TestTerminalAfterDeathStaysTerminal(t *testing.T) {
+	g := New(6)
+	for i := 0; i < 500; i++ {
+		if _, term := g.Step(ActNoop); term {
+			break
+		}
+	}
+	if _, term := g.Step(ActFlap); !term {
+		t.Error("stepping a dead game is not terminal")
+	}
+}
+
+func TestStateVarsComplete(t *testing.T) {
+	g := New(7)
+	vars := g.StateVars()
+	for _, want := range []string{"birdY", "birdVY", "pipeDist", "gapY", "gapDelta",
+		"screenY", "gravity", "worldH"} {
+		if _, ok := vars[want]; !ok {
+			t.Errorf("StateVars missing %s", want)
+		}
+	}
+	// Redundant duplicate must actually be a scaled copy.
+	if vars["screenY"] != vars["birdY"]*2 {
+		t.Error("screenY is not a scaled duplicate of birdY")
+	}
+}
+
+func TestScreenRendering(t *testing.T) {
+	g := New(8)
+	img := g.Screen()
+	if img.W != 64 || img.H != 64 {
+		t.Fatalf("screen %dx%d", img.W, img.H)
+	}
+	lit := 0
+	for _, v := range img.Pix {
+		if v > 0 {
+			lit++
+		}
+	}
+	if lit < 10 {
+		t.Errorf("screen nearly empty: %d lit pixels", lit)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	g := New(9)
+	for i := 0; i < 10; i++ {
+		g.Step(ActFlap)
+	}
+	snap := g.Snapshot()
+	before := g.StateVars()["birdY"]
+	for i := 0; i < 20; i++ {
+		g.Step(ActNoop)
+	}
+	g.Restore(snap)
+	if g.StateVars()["birdY"] != before {
+		t.Error("restore did not roll back bird position")
+	}
+}
+
+func TestDepGraphSupportsAlgorithm2Inputs(t *testing.T) {
+	g := DepGraph()
+	if !g.Has("birdY") || !g.Has("actionKey") {
+		t.Fatal("dep graph missing key variables")
+	}
+	// The loop-carried variables depend on themselves.
+	if !g.DependsOn("birdY", "birdY") {
+		t.Error("birdY self-dependence missing")
+	}
+	// actionKey's dependents share the game loop with the features.
+	if !g.SharesUseFunction("birdY", "actionKey") {
+		t.Error("birdY does not share a use function with dep(actionKey)")
+	}
+}
+
+func TestFeatureVarNamesExist(t *testing.T) {
+	g := New(10)
+	vars := g.StateVars()
+	for _, n := range FeatureVarNames() {
+		if _, ok := vars[n]; !ok {
+			t.Errorf("feature var %s not in StateVars", n)
+		}
+	}
+}
+
+func TestScoreMonotoneWithProgress(t *testing.T) {
+	g := New(11)
+	prev := g.Score()
+	for i := 0; i < 30; i++ {
+		_, term := g.Step(ScriptedPlayer(g))
+		if term {
+			break
+		}
+		if s := g.Score(); s < prev {
+			t.Fatal("score decreased while alive")
+		} else {
+			prev = s
+		}
+	}
+}
+
+func TestNumActionsAndTargets(t *testing.T) {
+	if New(30).NumActions() != 2 {
+		t.Error("NumActions wrong")
+	}
+	if len(TargetVars()) != 2 {
+		t.Errorf("TargetVars = %v", TargetVars())
+	}
+}
+
+func TestFinishCourse(t *testing.T) {
+	g := New(31)
+	// Drive to the end with the scripted player; if it dies, teleport
+	// near the finish and confirm the terminal reward/flags.
+	g.state.X = courseLen - 2
+	// The final pipe column sits exactly at the finish line; fly at its
+	// gap height.
+	g.state.Y = g.pipes[int(courseLen/pipeEvery)-1]
+	g.state.VY = 0
+	var reward float64
+	terminal := false
+	for i := 0; i < 10 && !terminal; i++ {
+		reward, terminal = g.Step(ScriptedPlayer(g))
+	}
+	if !terminal || reward != 10 || !g.Success() || g.Score() != 1 {
+		t.Errorf("finish: reward=%v terminal=%v success=%v score=%v",
+			reward, terminal, g.Success(), g.Score())
+	}
+}

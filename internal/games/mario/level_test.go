@@ -1,0 +1,153 @@
+package mario
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// TestLevelGeneratorInvariants checks the stage-design constraints the
+// generator guarantees, across many seeds:
+//
+//   - ditches are 2-3 tiles wide with ground on both sides;
+//   - no pipe stands within the landing zone before a ditch;
+//   - no ditch is dug under the dungeon platform;
+//   - goomba patrol spans avoid ditch edges;
+//   - the flag pole stands on solid ground;
+//   - the dungeon ceiling has exactly one hole, above the platform.
+func TestLevelGeneratorInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		l := buildLevel(stats.NewRNG(seed))
+
+		for _, d := range l.ditches {
+			w := d[1] - d[0]
+			if w < 2 || w > 3 {
+				t.Errorf("seed %d: ditch %v width %d", seed, d, w)
+			}
+			if l.tiles[groundRow][d[0]-1] != tGround && l.tiles[groundRow][d[0]-1] != tPipe {
+				t.Errorf("seed %d: ditch %v lacks a left lip", seed, d)
+			}
+			if d[1] < levelW && l.tiles[groundRow][d[1]] == tEmpty {
+				t.Errorf("seed %d: ditch %v lacks a right lip", seed, d)
+			}
+			for x := d[0]; x < d[1]; x++ {
+				for y := groundRow; y < levelH; y++ {
+					if l.tiles[y][x] != tEmpty {
+						t.Errorf("seed %d: ditch %v has solid tile at (%d,%d)", seed, d, x, y)
+					}
+				}
+			}
+			// Ditches stay clear of the dungeon platform's landing zone.
+			if d[0] >= ceilingHoleX-14 && d[0] < ceilingHoleX+ceilingHoleW+5 {
+				t.Errorf("seed %d: ditch %v under the dungeon platform", seed, d)
+			}
+		}
+
+		for _, p := range l.pipeXs {
+			for _, d := range l.ditches {
+				if p >= d[0]-9 && p < d[1]+3 {
+					t.Errorf("seed %d: pipe %d inside ditch %v landing zone", seed, p, d)
+				}
+			}
+			// Pipes stand on ground.
+			if l.tiles[groundRow][p] != tGround {
+				t.Errorf("seed %d: pipe %d floats", seed, p)
+			}
+			// Pipe body is 2+ tiles tall.
+			if l.tiles[groundRow-1][p] != tPipe || l.tiles[groundRow-2][p] != tPipe {
+				t.Errorf("seed %d: pipe %d too short", seed, p)
+			}
+		}
+
+		for _, gx := range l.goombaSpawns {
+			for _, d := range l.ditches {
+				if int(gx)+4 > d[0] && int(gx)-4 < d[1] {
+					t.Errorf("seed %d: goomba at %.1f patrols into ditch %v", seed, gx, d)
+				}
+			}
+		}
+
+		// Flag pole on solid ground.
+		if l.tiles[groundRow][flagX] != tGround {
+			t.Errorf("seed %d: flag pole floats", seed)
+		}
+		if l.tiles[groundRow-1][flagX] != tFlag {
+			t.Errorf("seed %d: flag pole missing", seed)
+		}
+
+		// Ceiling hole: exactly ceilingHoleW empty columns in the
+		// ceiling row within the dungeon, at the hole position.
+		holes := 0
+		for x := dungeonX0; x < dungeonX1; x++ {
+			if l.tiles[ceilingRow][x] == tEmpty {
+				holes++
+				if x < ceilingHoleX || x >= ceilingHoleX+ceilingHoleW {
+					t.Errorf("seed %d: stray ceiling hole at %d", seed, x)
+				}
+			}
+		}
+		if holes != ceilingHoleW {
+			t.Errorf("seed %d: %d ceiling holes, want %d", seed, holes, ceilingHoleW)
+		}
+		// The platform spans under the hole.
+		for x := ceilingHoleX; x < ceilingHoleX+ceilingHoleW; x++ {
+			if l.tiles[dungeonPlatformRow][x] != tBrick {
+				t.Errorf("seed %d: platform missing under hole at %d", seed, x)
+			}
+		}
+	}
+}
+
+// TestLevelDeterministicPerSeed pins the generator's determinism.
+func TestLevelDeterministicPerSeed(t *testing.T) {
+	a := buildLevel(stats.NewRNG(9))
+	b := buildLevel(stats.NewRNG(9))
+	if len(a.ditches) != len(b.ditches) || len(a.pipeXs) != len(b.pipeXs) {
+		t.Fatal("same seed, different layout")
+	}
+	for y := range a.tiles {
+		for x := range a.tiles[y] {
+			if a.tiles[y][x] != b.tiles[y][x] {
+				t.Fatalf("same seed, different tile at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+// TestSolidAtBounds checks the map-boundary conventions the physics
+// relies on: side edges are walls, above/below the map is open.
+func TestSolidAtBounds(t *testing.T) {
+	l := buildLevel(stats.NewRNG(1))
+	if !l.solidAt(-1, 5) || !l.solidAt(levelW+1, 5) {
+		t.Error("level edges not walls")
+	}
+	if l.solidAt(50, -3) {
+		t.Error("above the map is solid")
+	}
+	if l.solidAt(50, levelH+2) {
+		t.Error("below the map is solid")
+	}
+}
+
+// TestNextDistances checks the lookahead helpers.
+func TestNextDistances(t *testing.T) {
+	l := buildLevel(stats.NewRNG(1))
+	if len(l.ditches) == 0 || len(l.pipeXs) == 0 {
+		t.Fatal("layout empty")
+	}
+	first := float64(l.ditches[0][0])
+	if got := l.nextDitchDist(first - 5); got != 5 {
+		t.Errorf("nextDitchDist = %v, want 5", got)
+	}
+	// Past the last ditch: sentinel.
+	if got := l.nextDitchDist(float64(levelW)); got != 999 {
+		t.Errorf("nextDitchDist past end = %v, want 999", got)
+	}
+	p := float64(l.pipeXs[0])
+	if got := l.nextPipeDist(p - 3); got != 3 {
+		t.Errorf("nextPipeDist = %v, want 3", got)
+	}
+	if got := l.nextPipeDist(float64(levelW)); got != 999 {
+		t.Errorf("nextPipeDist past end = %v, want 999", got)
+	}
+}

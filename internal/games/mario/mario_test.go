@@ -1,0 +1,310 @@
+package mario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/coverage"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ env.Env = New(1, Options{})
+}
+
+func TestResetRespawns(t *testing.T) {
+	g := New(1, Options{})
+	for i := 0; i < 50; i++ {
+		g.Step(ActRight)
+	}
+	g.Reset()
+	if g.StateVars()["playerX"] != 2.5 {
+		t.Errorf("reset X = %v", g.StateVars()["playerX"])
+	}
+	if g.Score() != 0 {
+		t.Error("reset did not clear score")
+	}
+}
+
+func TestRightMovesForward(t *testing.T) {
+	g := New(2, Options{})
+	x0 := g.StateVars()["playerX"]
+	r, term := g.Step(ActRight)
+	if term {
+		t.Fatal("immediate terminal")
+	}
+	if g.StateVars()["playerX"] <= x0 {
+		t.Error("right did not advance")
+	}
+	if r != 2 {
+		t.Errorf("forward reward = %v, want 2 (Fig. 2)", r)
+	}
+}
+
+func TestStallPenalty(t *testing.T) {
+	g := New(3, Options{})
+	g.Step(ActRight)
+	if r, _ := g.Step(ActLeft); r != -1 {
+		t.Errorf("stall reward = %v, want -1 (Fig. 2)", r)
+	}
+}
+
+func TestJumpOnlyFromGround(t *testing.T) {
+	g := New(4, Options{})
+	// Settle onto the ground first: the spawn point is slightly above
+	// the surface.
+	for i := 0; i < 10 && g.StateVars()["onGround"] == 0; i++ {
+		g.Step(ActNoop)
+	}
+	g.Step(ActJump)
+	vy1 := g.StateVars()["playerVY"]
+	if vy1 >= 0 {
+		t.Error("grounded jump did not launch")
+	}
+	g.Step(ActJump) // airborne: must not re-launch
+	vy2 := g.StateVars()["playerVY"]
+	if vy2 < vy1 {
+		t.Error("airborne jump re-launched")
+	}
+}
+
+func TestScriptedPlayerProgressesFar(t *testing.T) {
+	g := New(5, Options{})
+	score, _ := env.AverageScore(g, ScriptedPlayer, 3, 3000)
+	if score < 0.5 {
+		t.Errorf("scripted player only reaches %v of the stage", score)
+	}
+}
+
+func TestLeftOnlyGoesNowhere(t *testing.T) {
+	g := New(6, Options{})
+	res := env.RunEpisode(g, func(env.Env) int { return ActLeft }, 300)
+	if res.Score > 0.05 {
+		t.Errorf("left-only play scored %v", res.Score)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	g := New(7, Options{})
+	for i := 0; i < 30; i++ {
+		g.Step(ActRight)
+	}
+	snap := g.Snapshot()
+	before := g.StateVars()
+	for i := 0; i < 50; i++ {
+		g.Step(ActRightJump)
+	}
+	g.Restore(snap)
+	after := g.StateVars()
+	for _, k := range []string{"playerX", "playerY", "steps", "progress"} {
+		if before[k] != after[k] {
+			t.Errorf("%s not restored: %v -> %v", k, before[k], after[k])
+		}
+	}
+}
+
+func TestSnapshotIsolatedFromLiveGoombas(t *testing.T) {
+	g := New(8, Options{})
+	snap := g.Snapshot()
+	for i := 0; i < 100; i++ {
+		g.Step(ActNoop) // goombas patrol
+	}
+	g.Restore(snap)
+	snap2 := g.Snapshot()
+	a := snap.(gameState).Goombas
+	b := snap2.(gameState).Goombas
+	for i := range a {
+		if a[i].X != b[i].X {
+			t.Fatal("snapshot goombas were mutated by live play")
+		}
+	}
+}
+
+func TestStateVarsIncludeAnnotatedSet(t *testing.T) {
+	g := New(9, Options{})
+	vars := g.StateVars()
+	for _, n := range append(FeatureVarNames(), "pX", "mnX", "accG", "gravityC") {
+		if _, ok := vars[n]; !ok {
+			t.Errorf("StateVars missing %s", n)
+		}
+	}
+	if vars["pX"] != vars["playerX"] {
+		t.Error("pX duplicate out of sync")
+	}
+}
+
+func TestCoverageInstrumentation(t *testing.T) {
+	cov := coverage.New(BasicBlocks())
+	g := New(10, Options{Coverage: cov})
+	env.RunEpisode(g, ScriptedPlayer, 2000)
+	if cov.Covered() < 10 {
+		t.Errorf("one episode covered only %d blocks", cov.Covered())
+	}
+	// Straight-line play must leave blocks uncovered (the testing
+	// headroom the coverage reward exploits).
+	if cov.Coverage() >= 1 {
+		t.Error("scripted play covered everything; no testing headroom")
+	}
+	for _, must := range []string{"loop.right", "reward.forward"} {
+		if cov.Hits(must) == 0 {
+			t.Errorf("block %s never hit", must)
+		}
+	}
+}
+
+func TestBugCrashesOnlyWhenArmed(t *testing.T) {
+	// With the bug disabled, forcing the player above the dungeon
+	// ceiling is clamped, not a crash.
+	g := New(11, Options{})
+	g.state.X = ceilingHoleX
+	g.state.Y = 0.6
+	g.state.VY = -0.8 // rising through the ceiling hole
+	func() {
+		defer func() {
+			if recover() != nil {
+				t.Error("fixed build crashed")
+			}
+		}()
+		g.Step(ActNoop)
+	}()
+
+	armed := New(11, Options{BugEnabled: true})
+	armed.state.X = ceilingHoleX
+	armed.state.Y = 0.6
+	armed.state.VY = -0.8
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("armed bug did not crash")
+		}
+		if _, ok := r.(CrashError); !ok {
+			t.Fatalf("crash value %T, want CrashError", r)
+		}
+	}()
+	armed.Step(ActNoop)
+}
+
+func TestScreenRendering(t *testing.T) {
+	g := New(12, Options{})
+	img := g.Screen()
+	if img.W != 64 || img.H != 64 {
+		t.Fatalf("screen %dx%d", img.W, img.H)
+	}
+	lit := 0
+	for _, v := range img.Pix {
+		if v > 0 {
+			lit++
+		}
+	}
+	if lit < 100 {
+		t.Errorf("screen nearly empty: %d", lit)
+	}
+}
+
+// TestAlgorithm2OnMarioGraph runs RL feature extraction over the game's
+// dependence graph and real play traces, checking the Fig. 10 outcomes:
+// playerX survives, the duplicates (pX, mnX) are pruned by ε₁, and the
+// constants (accG) by ε₂.
+func TestAlgorithm2OnMarioGraph(t *testing.T) {
+	g := New(13, Options{})
+	depG := DepGraph()
+	rec := trace.NewRecorder()
+	env.RunEpisode(g, func(e env.Env) int {
+		rec.RecordAll(e.StateVars())
+		return ScriptedPlayer(e)
+	}, 400)
+
+	progVars := env.SortedVarNames(g)
+	report := extract.RL(depG, rec, TargetVars(), progVars, extract.RLConfig{
+		Epsilon1: 1e-6, Epsilon2: 0.01,
+	})
+	feats := report.Features["actionKey"]
+	has := func(n string) bool {
+		for _, f := range feats {
+			if f == n {
+				return true
+			}
+		}
+		return false
+	}
+	// Exactly one of each duplicate pair survives ε₁ pruning — the
+	// algorithm keeps whichever it visits first, the paper's Fig. 10
+	// keeps Player->X and prunes mX; either member carries the same
+	// information.
+	if has("playerX") == has("pX") {
+		t.Errorf("duplicate pair playerX/pX not deduplicated to one: %v", feats)
+	}
+	if has("minionDX") == has("mnX") {
+		t.Errorf("duplicate pair minionDX/mnX not deduplicated to one: %v", feats)
+	}
+	if has("accG") || has("gravityC") {
+		t.Errorf("constants not pruned: %v", feats)
+	}
+	if len(feats) < 5 {
+		t.Errorf("only %d features survived", len(feats))
+	}
+}
+
+func TestRewardShapeMatchesPaper(t *testing.T) {
+	// Death by ditch must be -10 and terminal. Place the player just
+	// before the first ditch and walk in without jumping.
+	g := New(14, Options{})
+	d := g.level.ditches[0]
+	g.state.X = float64(d[0]) - 0.6
+	g.state.MaxX = g.state.X
+	var reward float64
+	var term bool
+	for i := 0; i < 60 && !term; i++ {
+		reward, term = g.Step(ActRight)
+	}
+	if !term || reward != -10 {
+		t.Errorf("ditch death: reward=%v terminal=%v", reward, term)
+	}
+}
+
+func TestNumActionsAndTargets(t *testing.T) {
+	g := New(20, Options{})
+	if g.NumActions() != 5 {
+		t.Errorf("NumActions = %d", g.NumActions())
+	}
+	if len(TargetVars()) != 1 || TargetVars()[0] != "actionKey" {
+		t.Errorf("TargetVars = %v", TargetVars())
+	}
+}
+
+func TestLandingY(t *testing.T) {
+	g := New(21, Options{})
+	// Standing on the ground: landing is the ground surface.
+	g.state.X, g.state.Y = 5, 12.5
+	if got := g.landingY(); got != 12.5 {
+		t.Errorf("landingY on ground = %v, want 12.5", got)
+	}
+	// Above the dungeon platform: landing is the platform top.
+	g.state.X, g.state.Y = ceilingHoleX, 5
+	if got := g.landingY(); got != float64(dungeonPlatformRow)-0.5 {
+		t.Errorf("landingY above platform = %v, want %v", got, float64(dungeonPlatformRow)-0.5)
+	}
+	// Over a ditch: below the map.
+	d := g.level.ditches[0]
+	g.state.X, g.state.Y = float64(d[0])+0.5, 10
+	if got := g.landingY(); got <= float64(levelH) {
+		t.Errorf("landingY over ditch = %v, want below map", got)
+	}
+}
+
+func TestCrashErrorMessage(t *testing.T) {
+	err := CrashError{X: 134.7, Y: 3.4}
+	if !strings.Contains(err.Error(), "boundary check") || !strings.Contains(err.Error(), "134.7") {
+		t.Errorf("Error = %q", err.Error())
+	}
+}
+
+func TestScoreClamped(t *testing.T) {
+	g := New(22, Options{})
+	g.state.MaxX = flagX * 2
+	if g.Score() != 1 {
+		t.Errorf("Score = %v, want clamped 1", g.Score())
+	}
+}

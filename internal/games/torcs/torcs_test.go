@@ -1,0 +1,202 @@
+package torcs
+
+import (
+	"math"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/games/env"
+	"github.com/autonomizer/autonomizer/internal/trace"
+)
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ env.Env = New(1)
+}
+
+func TestScriptedDriverFinishes(t *testing.T) {
+	g := New(2)
+	_, success := env.AverageScore(g, ScriptedPlayer, 3, 2000)
+	if success < 1 {
+		t.Errorf("scripted driver success rate %v, want 1.0 (the paper's players finish)", success)
+	}
+}
+
+func TestNoSteeringBumps(t *testing.T) {
+	g := New(3)
+	res := env.RunEpisode(g, func(env.Env) int { return ActStraight }, 2000)
+	if res.Success {
+		t.Error("steering-free drive finished the curved track")
+	}
+}
+
+func TestSteeringChangesHeading(t *testing.T) {
+	g := New(4)
+	g.Step(ActLeft)
+	if g.StateVars()["angle"] >= 0 {
+		t.Error("left steer did not turn left")
+	}
+	g.Reset()
+	g.Step(ActRight)
+	if g.StateVars()["angle"] <= 0 {
+		t.Error("right steer did not turn right")
+	}
+}
+
+func TestWallBumpTerminal(t *testing.T) {
+	g := New(5)
+	var reward float64
+	terminal := false
+	for i := 0; i < 500 && !terminal; i++ {
+		reward, terminal = g.Step(ActLeft) // hard left into the wall
+	}
+	if !terminal || reward != -10 {
+		t.Errorf("wall bump: reward=%v terminal=%v", reward, terminal)
+	}
+	if g.Success() {
+		t.Error("bumped car reports success")
+	}
+}
+
+// TestFig15Fig16Variables verifies the paper's pruning examples are
+// reproduced: roll tracks posX (EucDist of scaled traces ≈ 0) and accX
+// is near-constant (variance below the paper's 0.01 threshold).
+func TestFig15Fig16Variables(t *testing.T) {
+	g := New(6)
+	rec := trace.NewRecorder()
+	env.RunEpisode(g, func(e env.Env) int {
+		rec.RecordAll(e.StateVars())
+		return ScriptedPlayer(e)
+	}, 400)
+
+	if d := rec.Similarity("posX", "roll"); d > 0.01 {
+		t.Errorf("EucDist(posX, roll) = %v, want ~0 (Fig. 15)", d)
+	}
+	if v := rec.Variance("accX"); v > 0.01 {
+		t.Errorf("Variance(accX) = %v, want <= 0.01 (Fig. 16)", v)
+	}
+	if v := rec.Variance("posX"); v <= 0.01 {
+		t.Errorf("posX variance %v too small for a driving trace", v)
+	}
+}
+
+// TestAlgorithm2PrunesTORCS runs the full extraction with the paper's
+// thresholds (ε₁=0, ε₂=0.01 per Section 6.3 — we use a small positive
+// ε₁ since our duplicates are affine, as the paper's EucDist≈0 shows).
+func TestAlgorithm2PrunesTORCS(t *testing.T) {
+	g := New(7)
+	depG := DepGraph()
+	rec := trace.NewRecorder()
+	env.RunEpisode(g, func(e env.Env) int {
+		rec.RecordAll(e.StateVars())
+		return ScriptedPlayer(e)
+	}, 400)
+
+	report := extract.RL(depG, rec, TargetVars(), env.SortedVarNames(g),
+		extract.RLConfig{Epsilon1: 0.05, Epsilon2: 0.01})
+	feats := report.Features["steer"]
+	has := func(n string) bool {
+		for _, f := range feats {
+			if f == n {
+				return true
+			}
+		}
+		return false
+	}
+	// Exactly one of the posX-duplicate cluster survives.
+	count := 0
+	for _, n := range []string{"posX", "roll", "posXdup"} {
+		if has(n) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("posX cluster survivors = %d, want 1 (feats %v)", count, feats)
+	}
+	if has("accX") || has("gear") || has("damage") {
+		t.Errorf("near-constant variables not pruned: %v", feats)
+	}
+	if len(feats) < 3 {
+		t.Errorf("only %d features survived", len(feats))
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	g := New(8)
+	for i := 0; i < 100; i++ {
+		g.Step(ScriptedPlayer(g))
+	}
+	snap := g.Snapshot()
+	before := g.StateVars()["distRaced"]
+	for i := 0; i < 100; i++ {
+		g.Step(ScriptedPlayer(g))
+	}
+	g.Restore(snap)
+	if g.StateVars()["distRaced"] != before {
+		t.Error("restore did not roll back progress")
+	}
+}
+
+func TestScreenRendersRoad(t *testing.T) {
+	g := New(9)
+	img := g.Screen()
+	if img.W != 64 || img.H != 64 {
+		t.Fatal("bad screen size")
+	}
+	// The bottom rows must contain road pixels (90) between walls.
+	roadPixels := 0
+	for x := 0; x < 64; x++ {
+		if img.At(x, 60) == 90 {
+			roadPixels++
+		}
+	}
+	if roadPixels < 10 {
+		t.Errorf("road not visible: %d road pixels in row 60", roadPixels)
+	}
+}
+
+func TestScoreMonotone(t *testing.T) {
+	g := New(10)
+	prev := -1.0
+	for i := 0; i < 200; i++ {
+		_, term := g.Step(ScriptedPlayer(g))
+		if term {
+			break
+		}
+		if s := g.Score(); s < prev {
+			t.Fatal("score decreased")
+		} else {
+			prev = s
+		}
+	}
+	if math.IsNaN(prev) || prev <= 0 {
+		t.Errorf("no progress made: %v", prev)
+	}
+}
+
+func TestTrackDeterministicPerSeed(t *testing.T) {
+	a, b := New(11), New(11)
+	for i := range a.curv {
+		if a.curv[i] != b.curv[i] {
+			t.Fatal("same seed, different tracks")
+		}
+	}
+}
+
+func TestNumActionsAndTargets(t *testing.T) {
+	if New(30).NumActions() != 3 {
+		t.Error("NumActions wrong")
+	}
+	if len(TargetVars()) != 1 || TargetVars()[0] != "steer" {
+		t.Errorf("TargetVars = %v", TargetVars())
+	}
+}
+
+func TestFinishLine(t *testing.T) {
+	g := New(31)
+	g.state.Pos = trackLen - 0.5
+	reward, terminal := g.Step(ActStraight)
+	if !terminal || reward != 10 || !g.Success() || g.Score() != 1 {
+		t.Errorf("finish: reward=%v terminal=%v success=%v score=%v",
+			reward, terminal, g.Success(), g.Score())
+	}
+}

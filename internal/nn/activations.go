@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation max(0, x).
+type ReLU struct {
+	mask []bool // which inputs were positive, for the backward pass
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) elementwise.
+func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	if cap(r.mask) < in.Size() {
+		r.mask = make([]bool, in.Size())
+	}
+	r.mask = r.mask[:in.Size()]
+	for i, x := range out.Data() {
+		if x > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the input was non-positive.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != gradOut.Size() {
+		panic("nn: ReLU Backward shape mismatch or called before Forward")
+	}
+	out := gradOut.Clone()
+	for i := range out.Data() {
+		if !r.mask[i] {
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer (ReLU has none).
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (r *ReLU) ZeroGrads() {}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Sigmoid is the logistic activation 1/(1+e^-x), used for outputs
+// constrained to (0,1) such as normalized parameter predictions.
+type Sigmoid struct {
+	lastOut *tensor.Tensor
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function elementwise.
+func (s *Sigmoid) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone().Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	s.lastOut = out
+	return out
+}
+
+// Backward multiplies by the sigmoid derivative y(1-y).
+func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if s.lastOut == nil || s.lastOut.Size() != gradOut.Size() {
+		panic("nn: Sigmoid Backward shape mismatch or called before Forward")
+	}
+	out := gradOut.Clone()
+	y := s.lastOut.Data()
+	for i := range out.Data() {
+		out.Data()[i] *= y[i] * (1 - y[i])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (s *Sigmoid) ZeroGrads() {}
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut *tensor.Tensor
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone().Apply(math.Tanh)
+	t.lastOut = out
+	return out
+}
+
+// Backward multiplies by 1 - y².
+func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if t.lastOut == nil || t.lastOut.Size() != gradOut.Size() {
+		panic("nn: Tanh Backward shape mismatch or called before Forward")
+	}
+	out := gradOut.Clone()
+	y := t.lastOut.Data()
+	for i := range out.Data() {
+		out.Data()[i] *= 1 - y[i]*y[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (t *Tanh) ZeroGrads() {}
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Flatten reshapes any input to a rank-1 vector; it sits between
+// convolutional and dense stages in the CNN models.
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens the input to a vector view.
+func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
+	f.lastShape = append(f.lastShape[:0], in.Shape()...)
+	return in.Reshape(in.Size())
+}
+
+// Backward restores the gradient to the pre-flatten shape.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic("nn: Flatten Backward before Forward")
+	}
+	return gradOut.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (f *Flatten) ZeroGrads() {}
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Softmax converts logits to a probability distribution. Its backward
+// pass assumes it is paired with a cross-entropy loss whose gradient is
+// already (p - onehot); in that arrangement Backward is the identity.
+type Softmax struct{}
+
+// NewSoftmax returns a softmax output layer.
+func NewSoftmax() *Softmax { return &Softmax{} }
+
+// Forward computes the numerically stable softmax.
+func (s *Softmax) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	max := math.Inf(-1)
+	for _, x := range out.Data() {
+		if x > max {
+			max = x
+		}
+	}
+	sum := 0.0
+	for i, x := range out.Data() {
+		e := math.Exp(x - max)
+		out.Data()[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		panic("nn: softmax sum underflowed to zero")
+	}
+	out.ScaleInPlace(1 / sum)
+	return out
+}
+
+// Backward passes the gradient through unchanged; see the type comment.
+func (s *Softmax) Backward(gradOut *tensor.Tensor) *tensor.Tensor { return gradOut }
+
+// Params implements Layer.
+func (s *Softmax) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Softmax) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (s *Softmax) ZeroGrads() {}
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return "softmax" }

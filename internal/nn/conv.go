@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over (channels, height, width)
+// inputs, lowered to matrix multiplication via im2col. The paper's "Raw"
+// configurations use three of these (each followed by max pooling) to
+// digest raw screen pixels, mirroring the DeepMind Atari architecture.
+type Conv2D struct {
+	InC, OutC          int
+	KH, KW             int
+	Stride, Pad        int
+	inH, inW           int // remembered from the last forward pass
+	weights            *tensor.Tensor
+	bias               *tensor.Tensor
+	gradW, gradB       *tensor.Tensor
+	lastCols           *tensor.Tensor
+	lastOutH, lastOutW int
+}
+
+// NewConv2D constructs a convolution layer with He initialization.
+func NewConv2D(inC, outC, kh, kw, stride, pad int, rng *stats.RNG) *Conv2D {
+	if inC <= 0 || outC <= 0 || kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2D params inC=%d outC=%d k=%dx%d stride=%d pad=%d",
+			inC, outC, kh, kw, stride, pad))
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		weights: tensor.New(outC, inC*kh*kw),
+		bias:    tensor.New(outC),
+		gradW:   tensor.New(outC, inC*kh*kw),
+		gradB:   tensor.New(outC),
+	}
+	scale := math.Sqrt(2.0 / float64(inC*kh*kw))
+	for i := range c.weights.Data() {
+		c.weights.Data()[i] = rng.NormFloat64() * scale
+	}
+	return c
+}
+
+// Forward convolves the (InC, H, W) input, returning (OutC, outH, outW).
+func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	if len(s) != 3 || s[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects (%d,H,W) input, got %v", c.InC, s))
+	}
+	c.inH, c.inW = s[1], s[2]
+	cols := tensor.Im2Col(in, c.KH, c.KW, c.Stride, c.Pad)
+	c.lastCols = cols
+	c.lastOutH = tensor.ConvOutputSize(s[1], c.KH, c.Stride, c.Pad)
+	c.lastOutW = tensor.ConvOutputSize(s[2], c.KW, c.Stride, c.Pad)
+	out := tensor.MatMul(c.weights, cols) // (OutC, outH*outW)
+	// Add per-output-channel bias.
+	n := c.lastOutH * c.lastOutW
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.bias.At(oc)
+		row := out.Data()[oc*n : (oc+1)*n]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return out.Reshape(c.OutC, c.lastOutH, c.lastOutW)
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient via the col2im adjoint.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic("nn: Conv2D Backward before Forward")
+	}
+	n := c.lastOutH * c.lastOutW
+	g := gradOut.Reshape(c.OutC, n)
+	// dL/dW = g × colsᵀ
+	c.gradW.AddInPlace(tensor.MatMul(g, tensor.Transpose(c.lastCols)))
+	// dL/db = row sums of g
+	for oc := 0; oc < c.OutC; oc++ {
+		sum := 0.0
+		for _, v := range g.Data()[oc*n : (oc+1)*n] {
+			sum += v
+		}
+		c.gradB.Data()[oc] += sum
+	}
+	// dL/dcols = Wᵀ × g, then scatter back to the input shape.
+	gradCols := tensor.MatMul(tensor.Transpose(c.weights), g)
+	return tensor.Col2Im(gradCols, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// Params returns the kernel and bias tensors.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weights, c.bias} }
+
+// Grads returns the accumulated gradients.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gradW, c.gradB} }
+
+// ZeroGrads clears the accumulated gradients.
+func (c *Conv2D) ZeroGrads() {
+	c.gradW.Fill(0)
+	c.gradB.Fill(0)
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv2d(%d->%d,%dx%d,s%d,p%d)", c.InC, c.OutC, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// MaxPool2D performs non-overlapping spatial max pooling. The paper's
+// DeepMind-style Raw models follow each convolution with one of these.
+type MaxPool2D struct {
+	Size    int
+	argmax  []int // flat input index of each pooled maximum
+	inShape []int
+}
+
+// NewMaxPool2D constructs a pooling layer with a square window.
+func NewMaxPool2D(size int) *MaxPool2D {
+	if size <= 0 {
+		panic("nn: MaxPool2D size must be positive")
+	}
+	return &MaxPool2D{Size: size}
+}
+
+// Forward max-pools each channel with a size×size window and stride
+// equal to the window size. Ragged edges truncate.
+func (m *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	if len(s) != 3 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects (C,H,W), got %v", s))
+	}
+	c, h, w := s[0], s[1], s[2]
+	oh, ow := h/m.Size, w/m.Size
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D window %d too large for %dx%d input", m.Size, h, w))
+	}
+	m.inShape = append(m.inShape[:0], s...)
+	out := tensor.New(c, oh, ow)
+	if cap(m.argmax) < out.Size() {
+		m.argmax = make([]int, out.Size())
+	}
+	m.argmax = m.argmax[:out.Size()]
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for dy := 0; dy < m.Size; dy++ {
+					for dx := 0; dx < m.Size; dx++ {
+						iy, ix := oy*m.Size+dy, ox*m.Size+dx
+						idx := (ch*h+iy)*w + ix
+						if v := in.Data()[idx]; v > best {
+							best = v
+							bestIdx = idx
+						}
+					}
+				}
+				oIdx := (ch*oh+oy)*ow + ox
+				out.Data()[oIdx] = best
+				m.argmax[oIdx] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the input position that won the
+// max.
+func (m *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if m.inShape == nil {
+		panic("nn: MaxPool2D Backward before Forward")
+	}
+	if gradOut.Size() != len(m.argmax) {
+		panic("nn: MaxPool2D Backward shape mismatch")
+	}
+	out := tensor.New(m.inShape...)
+	for i, g := range gradOut.Data() {
+		out.Data()[m.argmax[i]] += g
+	}
+	return out
+}
+
+// Params implements Layer (pooling has none).
+func (m *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (m *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (m *MaxPool2D) ZeroGrads() {}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool(%d)", m.Size) }

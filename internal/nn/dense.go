@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// Dense is a fully connected layer computing out = W·in + b, the building
+// block of the paper's DNN model type (e.g. the two hidden layers with
+// 256 and 64 neurons configured for the Mario subject).
+type Dense struct {
+	InSize, OutSize int
+
+	weights *tensor.Tensor // (OutSize, InSize)
+	bias    *tensor.Tensor // (OutSize)
+	gradW   *tensor.Tensor
+	gradB   *tensor.Tensor
+
+	lastIn *tensor.Tensor // cached input for the backward pass
+}
+
+// NewDense constructs a fully connected layer with He-initialized weights
+// drawn from rng, appropriate for the ReLU activations used throughout.
+func NewDense(inSize, outSize int, rng *stats.RNG) *Dense {
+	if inSize <= 0 || outSize <= 0 {
+		panic(fmt.Sprintf("nn: invalid Dense dimensions %dx%d", inSize, outSize))
+	}
+	d := &Dense{
+		InSize:  inSize,
+		OutSize: outSize,
+		weights: tensor.New(outSize, inSize),
+		bias:    tensor.New(outSize),
+		gradW:   tensor.New(outSize, inSize),
+		gradB:   tensor.New(outSize),
+	}
+	scale := math.Sqrt(2.0 / float64(inSize))
+	for i := range d.weights.Data() {
+		d.weights.Data()[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// Forward computes W·in + b. The input must be a vector of length InSize
+// (any shape with that many elements is accepted and flattened).
+func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
+	if in.Size() != d.InSize {
+		panic(fmt.Sprintf("nn: Dense expects %d inputs, got %d", d.InSize, in.Size()))
+	}
+	d.lastIn = in.Reshape(d.InSize)
+	out := tensor.New(d.OutSize)
+	w := d.weights.Data()
+	x := d.lastIn.Data()
+	for o := 0; o < d.OutSize; o++ {
+		row := w[o*d.InSize : (o+1)*d.InSize]
+		out.Data()[o] = tensor.Dot(row, x) + d.bias.At(o)
+	}
+	return out
+}
+
+// Backward accumulates dL/dW = gradOut ⊗ in and dL/db = gradOut, and
+// returns dL/din = Wᵀ·gradOut.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if gradOut.Size() != d.OutSize {
+		panic(fmt.Sprintf("nn: Dense backward expects %d grads, got %d", d.OutSize, gradOut.Size()))
+	}
+	if d.lastIn == nil {
+		panic("nn: Dense Backward before Forward")
+	}
+	g := gradOut.Data()
+	x := d.lastIn.Data()
+	gw := d.gradW.Data()
+	for o := 0; o < d.OutSize; o++ {
+		go_ := g[o]
+		d.gradB.Data()[o] += go_
+		row := gw[o*d.InSize : (o+1)*d.InSize]
+		for i := 0; i < d.InSize; i++ {
+			row[i] += go_ * x[i]
+		}
+	}
+	gradIn := tensor.New(d.InSize)
+	w := d.weights.Data()
+	gi := gradIn.Data()
+	for o := 0; o < d.OutSize; o++ {
+		go_ := g[o]
+		if go_ == 0 {
+			continue
+		}
+		row := w[o*d.InSize : (o+1)*d.InSize]
+		for i := 0; i < d.InSize; i++ {
+			gi[i] += go_ * row[i]
+		}
+	}
+	return gradIn
+}
+
+// Params returns the weight and bias tensors.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.weights, d.bias} }
+
+// Grads returns the accumulated gradient tensors.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gradW, d.gradB} }
+
+// ZeroGrads clears the accumulated gradients.
+func (d *Dense) ZeroGrads() {
+	d.gradW.Fill(0)
+	d.gradB.Fill(0)
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.InSize, d.OutSize) }

@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// LeakyReLU is max(αx, x); a drop-in for ReLU when dying units are a
+// concern on small training sets.
+type LeakyReLU struct {
+	// Alpha is the negative-side slope (0 selects 0.01).
+	Alpha  float64
+	lastIn *tensor.Tensor
+}
+
+// NewLeakyReLU returns a leaky ReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU {
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Forward applies the activation elementwise.
+func (l *LeakyReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	l.lastIn = in.Clone()
+	out := in.Clone()
+	for i, x := range out.Data() {
+		if x < 0 {
+			out.Data()[i] = l.Alpha * x
+		}
+	}
+	return out
+}
+
+// Backward scales the gradient by 1 or Alpha depending on the input
+// sign.
+func (l *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil || l.lastIn.Size() != gradOut.Size() {
+		panic("nn: LeakyReLU Backward shape mismatch or called before Forward")
+	}
+	out := gradOut.Clone()
+	for i, x := range l.lastIn.Data() {
+		if x < 0 {
+			out.Data()[i] *= l.Alpha
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *LeakyReLU) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (l *LeakyReLU) ZeroGrads() {}
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string { return fmt.Sprintf("leakyrelu(%g)", l.Alpha) }
+
+// Dropout randomly zeroes activations during training (inverted
+// dropout: survivors are scaled by 1/keep so inference needs no
+// correction). Call SetTraining(false) for deployment.
+type Dropout struct {
+	// Rate is the drop probability in [0, 1).
+	Rate     float64
+	rng      *stats.RNG
+	training bool
+	mask     []float64
+}
+
+// NewDropout constructs a dropout layer in training mode.
+func NewDropout(rate float64, rng *stats.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0, 1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng, training: true}
+}
+
+// SetTraining toggles between training (dropping) and inference
+// (identity) behaviour.
+func (d *Dropout) SetTraining(t bool) { d.training = t }
+
+// Forward drops units in training mode and is the identity otherwise.
+func (d *Dropout) Forward(in *tensor.Tensor) *tensor.Tensor {
+	if !d.training || d.Rate == 0 {
+		d.mask = nil
+		return in
+	}
+	out := in.Clone()
+	if cap(d.mask) < in.Size() {
+		d.mask = make([]float64, in.Size())
+	}
+	d.mask = d.mask[:in.Size()]
+	keep := 1 - d.Rate
+	for i := range out.Data() {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = 0
+			out.Data()[i] = 0
+		} else {
+			d.mask[i] = 1 / keep
+			out.Data()[i] *= 1 / keep
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return gradOut
+	}
+	if len(d.mask) != gradOut.Size() {
+		panic("nn: Dropout Backward shape mismatch")
+	}
+	out := gradOut.Clone()
+	for i := range out.Data() {
+		out.Data()[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (d *Dropout) ZeroGrads() {}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%g)", d.Rate) }
+
+// RMSProp is the root-mean-square-propagation optimizer, a common
+// alternative to Adam for non-stationary (RL) objectives.
+type RMSProp struct {
+	LR, Decay, Eps float64
+	params         []*tensor.Tensor
+	cache          []*tensor.Tensor
+}
+
+// NewRMSProp constructs an RMSProp optimizer (decay 0.99, eps 1e-8).
+func NewRMSProp(params []*tensor.Tensor, lr float64) *RMSProp {
+	r := &RMSProp{LR: lr, Decay: 0.99, Eps: 1e-8, params: params,
+		cache: make([]*tensor.Tensor, len(params))}
+	for i, p := range params {
+		r.cache[i] = tensor.New(p.Shape()...)
+	}
+	return r
+}
+
+// Step applies one RMSProp update.
+func (r *RMSProp) Step(grads []*tensor.Tensor) {
+	if len(grads) != len(r.params) {
+		panic("nn: RMSProp gradient count mismatch")
+	}
+	for i, p := range r.params {
+		g := grads[i].Data()
+		c := r.cache[i].Data()
+		pd := p.Data()
+		for j := range pd {
+			c[j] = r.Decay*c[j] + (1-r.Decay)*g[j]*g[j]
+			pd[j] -= r.LR * g[j] / (math.Sqrt(c[j]) + r.Eps)
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (r *RMSProp) Name() string { return "rmsprop" }

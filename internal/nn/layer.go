@@ -1,0 +1,49 @@
+// Package nn is Autonomizer's from-scratch neural-network substrate,
+// standing in for the TensorFlow backend used by the paper. It provides
+// the two model families the framework supports by default — fully
+// connected networks (DNN) and convolutional networks (CNN) — together
+// with the Adam optimizer the paper names for supervised learning and the
+// plumbing the Q-learning package builds on.
+//
+// The package follows a conventional layer/optimizer decomposition:
+// layers implement Forward/Backward over tensors and expose their
+// parameters and gradients; a Network chains layers; optimizers update
+// parameter tensors in place from accumulated gradients.
+package nn
+
+import "github.com/autonomizer/autonomizer/internal/tensor"
+
+// Layer is one differentiable stage of a network. Forward consumes an
+// input tensor and produces the activation; Backward consumes the
+// gradient of the loss with respect to the layer's output and returns the
+// gradient with respect to its input, accumulating parameter gradients
+// internally along the way.
+//
+// Layers are stateful across a Forward/Backward pair (they cache the
+// values needed by the backward pass) and are not goroutine-safe.
+type Layer interface {
+	// Forward computes the layer's output for the given input.
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	// Backward propagates gradOut (d loss / d output) back through the
+	// layer, returning d loss / d input and accumulating parameter
+	// gradients.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameter tensors, possibly
+	// empty. The optimizer mutates these in place.
+	Params() []*tensor.Tensor
+	// Grads returns the gradient tensors aligned 1:1 with Params.
+	Grads() []*tensor.Tensor
+	// ZeroGrads clears all accumulated gradients.
+	ZeroGrads()
+	// Name identifies the layer kind for serialization and debugging.
+	Name() string
+}
+
+// ParamCount reports the total number of scalar parameters in a layer.
+func ParamCount(l Layer) int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.Size()
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// Loss scores a prediction against a target and produces the gradient of
+// the loss with respect to the prediction.
+type Loss interface {
+	// Loss returns the scalar loss value.
+	Loss(pred, target *tensor.Tensor) float64
+	// Grad returns d loss / d pred.
+	Grad(pred, target *tensor.Tensor) *tensor.Tensor
+	// Name identifies the loss for logging.
+	Name() string
+}
+
+// MSE is the mean-squared-error loss used for the supervised parameter
+// regression models (predicting lo/hi/sigma etc.).
+type MSE struct{}
+
+// Loss returns mean((pred-target)²).
+func (MSE) Loss(pred, target *tensor.Tensor) float64 {
+	checkSameSize(pred, target)
+	sum := 0.0
+	for i, p := range pred.Data() {
+		d := p - target.Data()[i]
+		sum += d * d
+	}
+	return sum / float64(pred.Size())
+}
+
+// Grad returns 2(pred-target)/n.
+func (MSE) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+	checkSameSize(pred, target)
+	out := pred.Clone()
+	n := float64(pred.Size())
+	for i := range out.Data() {
+		out.Data()[i] = 2 * (out.Data()[i] - target.Data()[i]) / n
+	}
+	return out
+}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Huber is the smooth-L1 loss used for Q-learning targets; it behaves
+// quadratically near zero and linearly beyond Delta, which keeps
+// bootstrapped TD errors from destabilizing training.
+type Huber struct {
+	// Delta is the quadratic/linear crossover point; zero means 1.0.
+	Delta float64
+}
+
+func (h Huber) delta() float64 {
+	if h.Delta <= 0 {
+		return 1
+	}
+	return h.Delta
+}
+
+// Loss returns the mean Huber loss.
+func (h Huber) Loss(pred, target *tensor.Tensor) float64 {
+	checkSameSize(pred, target)
+	d := h.delta()
+	sum := 0.0
+	for i, p := range pred.Data() {
+		e := math.Abs(p - target.Data()[i])
+		if e <= d {
+			sum += 0.5 * e * e
+		} else {
+			sum += d * (e - 0.5*d)
+		}
+	}
+	return sum / float64(pred.Size())
+}
+
+// Grad returns the elementwise Huber gradient divided by n.
+func (h Huber) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+	checkSameSize(pred, target)
+	d := h.delta()
+	out := pred.Clone()
+	n := float64(pred.Size())
+	for i := range out.Data() {
+		e := out.Data()[i] - target.Data()[i]
+		switch {
+		case e > d:
+			out.Data()[i] = d / n
+		case e < -d:
+			out.Data()[i] = -d / n
+		default:
+			out.Data()[i] = e / n
+		}
+	}
+	return out
+}
+
+// Name implements Loss.
+func (h Huber) Name() string { return "huber" }
+
+// CrossEntropy is the categorical cross-entropy loss over a softmax
+// output; the target must be a one-hot (or soft) distribution. Its Grad
+// is (pred - target), matching the Softmax layer's pass-through backward.
+type CrossEntropy struct{}
+
+// Loss returns -Σ target·log(pred).
+func (CrossEntropy) Loss(pred, target *tensor.Tensor) float64 {
+	checkSameSize(pred, target)
+	sum := 0.0
+	for i, p := range pred.Data() {
+		if target.Data()[i] == 0 {
+			continue
+		}
+		sum -= target.Data()[i] * math.Log(math.Max(p, 1e-12))
+	}
+	return sum
+}
+
+// Grad returns pred - target (the combined softmax+CE gradient).
+func (CrossEntropy) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+	checkSameSize(pred, target)
+	out := pred.Clone()
+	out.SubInPlace(target)
+	return out
+}
+
+// Name implements Loss.
+func (CrossEntropy) Name() string { return "cross-entropy" }
+
+func checkSameSize(a, b *tensor.Tensor) {
+	if a.Size() != b.Size() {
+		panic(fmt.Sprintf("nn: loss size mismatch %d vs %d", a.Size(), b.Size()))
+	}
+}

@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained with a loss and an
+// optimizer. It corresponds to one named model instance θ(modelName) in
+// the paper's semantics: au_config builds one, au_NN runs (and in
+// training mode updates) it.
+type Network struct {
+	layers []Layer
+	loss   Loss
+	opt    Optimizer
+}
+
+// NewNetwork assembles a network from layers. Attach a loss/optimizer
+// with SetLoss/SetOptimizer (or use the Train* helpers' requirements).
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{layers: layers, loss: MSE{}}
+}
+
+// SetLoss selects the training loss (default MSE).
+func (n *Network) SetLoss(l Loss) { n.loss = l }
+
+// SetOptimizer binds an optimizer; convenience constructors below build
+// one over the network's own parameters.
+func (n *Network) SetOptimizer(o Optimizer) { n.opt = o }
+
+// UseAdam binds a fresh Adam optimizer with the given learning rate.
+func (n *Network) UseAdam(lr float64) { n.opt = NewAdam(n.Params(), lr) }
+
+// UseSGD binds a fresh SGD optimizer.
+func (n *Network) UseSGD(lr, momentum float64) { n.opt = NewSGD(n.Params(), lr, momentum) }
+
+// Layers returns the layer stack (do not mutate).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Params returns every trainable parameter tensor in layer order.
+func (n *Network) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns every gradient tensor aligned with Params.
+func (n *Network) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range n.layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.layers {
+		l.ZeroGrads()
+	}
+}
+
+// ParamCount returns the total number of scalar parameters; the basis of
+// Table 2's model-size column (8 bytes per float64 plus header, see
+// SizeBytes).
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, l := range n.layers {
+		c += ParamCount(l)
+	}
+	return c
+}
+
+// Forward runs the input through every layer.
+func (n *Network) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in
+	for _, l := range n.layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Predict is Forward over a plain []float64 vector, reshaped to shape if
+// given (needed for CNN inputs). It returns a fresh slice.
+func (n *Network) Predict(in []float64, shape ...int) []float64 {
+	var t *tensor.Tensor
+	if len(shape) > 0 {
+		t = tensor.FromSlice(append([]float64(nil), in...), shape...)
+	} else {
+		t = tensor.FromSlice(append([]float64(nil), in...), len(in))
+	}
+	out := n.Forward(t)
+	return append([]float64(nil), out.Data()...)
+}
+
+// Backward pushes a loss gradient through the stack, accumulating
+// parameter gradients.
+func (n *Network) Backward(gradOut *tensor.Tensor) {
+	g := gradOut
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+}
+
+// TrainStep performs forward, loss, backward and one optimizer step on a
+// single example, returning the loss. The optimizer must be bound.
+func (n *Network) TrainStep(in, target *tensor.Tensor) float64 {
+	if n.opt == nil {
+		panic("nn: TrainStep without an optimizer; call UseAdam/UseSGD first")
+	}
+	n.ZeroGrads()
+	pred := n.Forward(in)
+	lv := n.loss.Loss(pred, target)
+	n.Backward(n.loss.Grad(pred, target))
+	n.opt.Step(n.Grads())
+	return lv
+}
+
+// TrainBatch accumulates gradients over a mini-batch before one optimizer
+// step, returning the mean loss. Inputs and targets must align.
+func (n *Network) TrainBatch(ins, targets []*tensor.Tensor) float64 {
+	if len(ins) != len(targets) {
+		panic("nn: TrainBatch input/target count mismatch")
+	}
+	if len(ins) == 0 {
+		return 0
+	}
+	if n.opt == nil {
+		panic("nn: TrainBatch without an optimizer; call UseAdam/UseSGD first")
+	}
+	n.ZeroGrads()
+	total := 0.0
+	for i, in := range ins {
+		pred := n.Forward(in)
+		total += n.loss.Loss(pred, targets[i])
+		n.Backward(n.loss.Grad(pred, targets[i]))
+	}
+	// Average the accumulated gradients over the batch.
+	inv := 1 / float64(len(ins))
+	for _, g := range n.Grads() {
+		g.ScaleInPlace(inv)
+	}
+	ClipGradients(n.Grads(), 10)
+	n.opt.Step(n.Grads())
+	return total / float64(len(ins))
+}
+
+// CopyParamsFrom copies all parameters from src (used to sync DQN target
+// networks). The architectures must match exactly.
+func (n *Network) CopyParamsFrom(src *Network) {
+	dst := n.Params()
+	sp := src.Params()
+	if len(dst) != len(sp) {
+		panic("nn: CopyParamsFrom architecture mismatch")
+	}
+	for i := range dst {
+		if dst[i].Size() != sp[i].Size() {
+			panic(fmt.Sprintf("nn: CopyParamsFrom tensor %d size mismatch", i))
+		}
+		copy(dst[i].Data(), sp[i].Data())
+	}
+}
+
+// String summarizes the architecture, e.g.
+// "dense(4->256) -> relu -> dense(256->64) -> relu -> dense(64->5)".
+func (n *Network) String() string {
+	s := ""
+	for i, l := range n.layers {
+		if i > 0 {
+			s += " -> "
+		}
+		s += l.Name()
+	}
+	return s
+}
+
+// NewDNN builds the paper's default fully connected model: input →
+// hidden₁ → … → hiddenₖ → output with ReLU between stages. hidden may be
+// empty for a linear model. This is what au_config(…, DNN, …, layers,
+// n₁, …) constructs; the input and output sizes are, as in the paper,
+// computed from the data fed to the network rather than annotated.
+func NewDNN(inSize int, hidden []int, outSize int, rng *stats.RNG) *Network {
+	var layers []Layer
+	prev := inSize
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h, rng.Split()), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, outSize, rng.Split()))
+	return NewNetwork(layers...)
+}
+
+// NewDeepMindCNN builds the raw-pixel architecture the paper compares
+// against (Section 2): stacked frames in, three convolution layers each
+// followed by max pooling, then two hidden layers of 256 and 64 neurons.
+// h and w are the (preprocessed) frame dimensions; frames is the history
+// depth (4 in the paper); actions is the output size.
+func NewDeepMindCNN(frames, h, w, actions int, rng *stats.RNG) *Network {
+	c1 := NewConv2D(frames, 8, 5, 5, 2, 2, rng.Split())
+	h1 := tensor.ConvOutputSize(h, 5, 2, 2) / 2
+	w1 := tensor.ConvOutputSize(w, 5, 2, 2) / 2
+	c2 := NewConv2D(8, 16, 3, 3, 1, 1, rng.Split())
+	h2 := tensor.ConvOutputSize(h1, 3, 1, 1) / 2
+	w2 := tensor.ConvOutputSize(w1, 3, 1, 1) / 2
+	c3 := NewConv2D(16, 16, 3, 3, 1, 1, rng.Split())
+	h3 := tensor.ConvOutputSize(h2, 3, 1, 1) / 2
+	w3 := tensor.ConvOutputSize(w2, 3, 1, 1) / 2
+	flat := 16 * h3 * w3
+	if flat <= 0 {
+		panic(fmt.Sprintf("nn: DeepMind CNN input %dx%d too small", h, w))
+	}
+	return NewNetwork(
+		c1, NewReLU(), NewMaxPool2D(2),
+		c2, NewReLU(), NewMaxPool2D(2),
+		c3, NewReLU(), NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(flat, 256, rng.Split()), NewReLU(),
+		NewDense(256, 64, rng.Split()), NewReLU(),
+		NewDense(64, actions, rng.Split()),
+	)
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format (versioned, little-endian):
+//
+//	magic "AUNN" | uint32 version | uint32 paramTensorCount
+//	per tensor: uint32 rank | rank×uint32 dims | dims-product×float64
+//
+// This is the on-disk model the paper's CONFIG-TEST rule loads
+// (loadModel) and whose byte size Table 2 reports in the "Model Size"
+// columns. Only parameters are stored — architecture is reconstructed
+// from the au_config annotation, exactly as the paper regenerates the
+// Python template from the primitives.
+
+const (
+	modelMagic   = "AUNN"
+	modelVersion = 1
+)
+
+// SaveParams serializes the network's parameters to w.
+func (n *Network) SaveParams(w io.Writer) error {
+	params := n.Params()
+	if _, err := w.Write([]byte(modelMagic)); err != nil {
+		return fmt.Errorf("nn: write magic: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(modelVersion)); err != nil {
+		return fmt.Errorf("nn: write version: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("nn: write count: %w", err)
+	}
+	for i, p := range params {
+		shape := p.Shape()
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return fmt.Errorf("nn: write rank of tensor %d: %w", i, err)
+		}
+		for _, d := range shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return fmt.Errorf("nn: write dim of tensor %d: %w", i, err)
+			}
+		}
+		for _, v := range p.Data() {
+			if err := binary.Write(w, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return fmt.Errorf("nn: write data of tensor %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadParams restores parameters from r into an architecture-compatible
+// network (same tensor count and shapes, as rebuilt from the same
+// au_config annotation).
+func (n *Network) LoadParams(r io.Reader) error {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("nn: read magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return fmt.Errorf("nn: bad magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("nn: read version: %w", err)
+	}
+	if version != modelVersion {
+		return fmt.Errorf("nn: unsupported model version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: read count: %w", err)
+	}
+	params := n.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: model has %d tensors, network expects %d", count, len(params))
+	}
+	for i, p := range params {
+		var rank uint32
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return fmt.Errorf("nn: read rank of tensor %d: %w", i, err)
+		}
+		want := p.Shape()
+		if int(rank) != len(want) {
+			return fmt.Errorf("nn: tensor %d rank %d, want %d", i, rank, len(want))
+		}
+		for j := 0; j < int(rank); j++ {
+			var d uint32
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return fmt.Errorf("nn: read dim of tensor %d: %w", i, err)
+			}
+			if int(d) != want[j] {
+				return fmt.Errorf("nn: tensor %d dim %d is %d, want %d", i, j, d, want[j])
+			}
+		}
+		for j := range p.Data() {
+			var bits uint64
+			if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("nn: read data of tensor %d: %w", i, err)
+			}
+			p.Data()[j] = math.Float64frombits(bits)
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the exact serialized size of the model without
+// allocating the full buffer: header + per-tensor shape records + 8 bytes
+// per parameter. This feeds Table 2's "Model Size" columns.
+func (n *Network) SizeBytes() int {
+	size := 4 + 4 + 4 // magic + version + count
+	for _, p := range n.Params() {
+		size += 4 + 4*len(p.Shape()) + 8*p.Size()
+	}
+	return size
+}
+
+// MarshalParams serializes the parameters to a fresh byte slice.
+func (n *Network) MarshalParams() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(n.SizeBytes())
+	if err := n.SaveParams(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalParams restores parameters from a byte slice.
+func (n *Network) UnmarshalParams(data []byte) error {
+	return n.LoadParams(bytes.NewReader(data))
+}

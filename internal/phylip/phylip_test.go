@@ -1,0 +1,332 @@
+package phylip
+
+import (
+	"math"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+func TestTreeSplits(t *testing.T) {
+	// Quartet ((0,1),(2,3)): one non-trivial split {0,1}|{2,3}.
+	tr := NewTree(4)
+	tr.AddEdge(0, 4, 1)
+	tr.AddEdge(1, 4, 1)
+	tr.AddEdge(2, 5, 1)
+	tr.AddEdge(3, 5, 1)
+	tr.AddEdge(4, 5, 1)
+	splits := tr.Splits()
+	if len(splits) != 1 {
+		t.Fatalf("splits = %v, want exactly 1", splits)
+	}
+	if !splits["0,1"] {
+		t.Errorf("split encoding = %v, want {0,1}", splits)
+	}
+}
+
+func TestRobinsonFoulds(t *testing.T) {
+	mk := func(pairing [2][2]int) *Tree {
+		tr := NewTree(4)
+		tr.AddEdge(pairing[0][0], 4, 1)
+		tr.AddEdge(pairing[0][1], 4, 1)
+		tr.AddEdge(pairing[1][0], 5, 1)
+		tr.AddEdge(pairing[1][1], 5, 1)
+		tr.AddEdge(4, 5, 1)
+		return tr
+	}
+	a := mk([2][2]int{{0, 1}, {2, 3}})
+	b := mk([2][2]int{{0, 1}, {2, 3}})
+	c := mk([2][2]int{{0, 2}, {1, 3}})
+	if got := RobinsonFoulds(a, b); got != 0 {
+		t.Errorf("RF of identical trees = %v", got)
+	}
+	if got := RobinsonFoulds(a, c); got != 1 {
+		t.Errorf("RF of conflicting quartets = %v, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RF over mismatched taxa did not panic")
+		}
+	}()
+	RobinsonFoulds(a, NewTree(5))
+}
+
+func TestEvolveShapes(t *testing.T) {
+	rng := stats.NewRNG(1)
+	ds := Evolve(rng, EvolveConfig{Taxa: 6, SeqLen: 200})
+	if len(ds.Seqs) != 6 {
+		t.Fatalf("taxa = %d", len(ds.Seqs))
+	}
+	for i, s := range ds.Seqs {
+		if len(s) != 200 {
+			t.Fatalf("seq %d length %d", i, len(s))
+		}
+		for _, b := range s {
+			if b > 3 {
+				t.Fatalf("invalid base %d", b)
+			}
+		}
+	}
+	if ds.TrueTree.NumTaxa != 6 {
+		t.Error("true tree taxa wrong")
+	}
+	// A binary unrooted 6-taxon tree has 3 non-trivial splits.
+	if got := len(ds.TrueTree.Splits()); got != 3 {
+		t.Errorf("true tree splits = %d, want 3", got)
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	a := Evolve(stats.NewRNG(5), EvolveConfig{Taxa: 5, SeqLen: 50})
+	b := Evolve(stats.NewRNG(5), EvolveConfig{Taxa: 5, SeqLen: 50})
+	for i := range a.Seqs {
+		for j := range a.Seqs[i] {
+			if a.Seqs[i][j] != b.Seqs[i][j] {
+				t.Fatal("same seed produced different sequences")
+			}
+		}
+	}
+}
+
+func TestKappaShapesTsTvRatio(t *testing.T) {
+	// Higher generating kappa must yield higher observed ts/tv ratios —
+	// the signal the feature extraction relies on.
+	measure := func(kappa float64) float64 {
+		ds := Evolve(stats.NewRNG(7), EvolveConfig{Taxa: 8, SeqLen: 500, Kappa: kappa})
+		var tr Trace
+		if _, err := Distances(ds.Seqs, DefaultParams(), nil, &tr); err != nil {
+			t.Fatal(err)
+		}
+		return tr.TsTvRatio
+	}
+	low, high := measure(1), measure(8)
+	if high <= low {
+		t.Errorf("tsTv(kappa=8)=%v not above tsTv(kappa=1)=%v", high, low)
+	}
+}
+
+func TestDistancesValidation(t *testing.T) {
+	if _, err := Distances(nil, DefaultParams(), nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Distances([][]byte{{0}, {0, 1}}, DefaultParams(), nil, nil); err == nil {
+		t.Error("ragged sequences accepted")
+	}
+	if _, err := Distances([][]byte{{0}, {1}}, Params{}, nil, nil); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestParamsValidateClamp(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := []Params{
+		{Kappa: 0, GammaAlpha: 1, MaxDist: 1},
+		{Kappa: 2, GammaAlpha: 0, MaxDist: 1},
+		{Kappa: 2, GammaAlpha: 1, MaxDist: 0},
+		{Kappa: 99, GammaAlpha: 1, MaxDist: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v validated", p)
+		}
+		if err := p.Clamp().Validate(); err != nil {
+			t.Errorf("clamp of %+v still invalid: %v", p, err)
+		}
+	}
+}
+
+func TestNeighborJoinRecoversAdditiveTree(t *testing.T) {
+	// Distances measured on a known tree must reconstruct its topology.
+	truth := NewTree(5)
+	truth.AddEdge(0, 5, 0.1)
+	truth.AddEdge(1, 5, 0.2)
+	truth.AddEdge(5, 6, 0.15)
+	truth.AddEdge(2, 6, 0.1)
+	truth.AddEdge(6, 7, 0.2)
+	truth.AddEdge(3, 7, 0.1)
+	truth.AddEdge(4, 7, 0.25)
+	// Path distances.
+	d := make([][]float64, 5)
+	for i := range d {
+		d[i] = make([]float64, 5)
+	}
+	var dist func(from, parent, to int, acc float64) (float64, bool)
+	dist = func(from, parent, to int, acc float64) (float64, bool) {
+		if from == to {
+			return acc, true
+		}
+		for _, e := range truth.Adj[from] {
+			if e.To == parent {
+				continue
+			}
+			if v, ok := dist(e.To, from, to, acc+e.Length); ok {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				v, ok := dist(i, -1, j, 0)
+				if !ok {
+					t.Fatal("path not found")
+				}
+				d[i][j] = v
+			}
+		}
+	}
+	got, err := NeighborJoin(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := RobinsonFoulds(got, truth); rf != 0 {
+		t.Errorf("NJ on additive distances: RF = %v, want 0", rf)
+	}
+}
+
+func TestNeighborJoinErrors(t *testing.T) {
+	if _, err := NeighborJoin(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := NeighborJoin([][]float64{{0, 1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	tr, err := NeighborJoin([][]float64{{0, 2}, {2, 0}})
+	if err != nil || tr.NumTaxa != 2 {
+		t.Errorf("2-taxon NJ = %v, %v", tr, err)
+	}
+}
+
+// TestInferenceRecoversTopology is the end-to-end check: with correct
+// parameters and moderate divergence, the inferred tree matches truth.
+func TestInferenceRecoversTopology(t *testing.T) {
+	ds := Evolve(stats.NewRNG(9), EvolveConfig{Taxa: 8, SeqLen: 800, Kappa: 2, MeanBranch: 0.05})
+	tree, err := InferTree(ds.Seqs, Params{Kappa: 2, GammaAlpha: 50, MaxDist: 3}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := Score(tree, ds); rf > 0.35 {
+		t.Errorf("RF = %v, want <= 0.35 on easy dataset", rf)
+	}
+}
+
+// TestWrongKappaHurtsOnAverage checks the premise that the kappa target
+// variable matters: across several datasets generated with high kappa,
+// assuming the right kappa scores at least as well as assuming kappa=1.
+func TestWrongKappaHurtsOnAverage(t *testing.T) {
+	var right, wrong float64
+	for seed := uint64(20); seed < 28; seed++ {
+		ds := Evolve(stats.NewRNG(seed), EvolveConfig{
+			Taxa: 10, SeqLen: 240, Kappa: 12, MeanBranch: 0.22,
+		})
+		tr1, err := InferTree(ds.Seqs, Params{Kappa: 12, GammaAlpha: 50, MaxDist: 3}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := InferTree(ds.Seqs, Params{Kappa: 0.6, GammaAlpha: 50, MaxDist: 0.6}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right += Score(tr1, ds)
+		wrong += Score(tr2, ds)
+	}
+	if right > wrong {
+		t.Errorf("matched kappa RF %v worse than badly mismatched %v", right/8, wrong/8)
+	}
+}
+
+func TestAlgorithm1OnPhylipGraph(t *testing.T) {
+	g := dep.NewGraph()
+	ds := Evolve(stats.NewRNG(11), EvolveConfig{Taxa: 6, SeqLen: 100})
+	if _, err := InferTree(ds.Seqs, DefaultParams(), g, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := extract.SL(g, Inputs(), Targets())
+	feats := res["kappa"]
+	if len(feats) == 0 {
+		t.Fatal("no features for kappa")
+	}
+	// The near features for kappa must be the observed base-difference
+	// statistics (bigP/bigQ), not the raw sequences.
+	if feats[0].Name == "seqs" {
+		t.Errorf("raw input ranked first for kappa: %v", feats)
+	}
+	var seqDist, bestDist int
+	bestDist = feats[0].Dist
+	for _, f := range feats {
+		if f.Name == "seqs" {
+			seqDist = f.Dist
+		}
+	}
+	if seqDist <= bestDist {
+		t.Errorf("seqs distance %d not worse than best %d", seqDist, bestDist)
+	}
+}
+
+func TestTraceFeatureVectors(t *testing.T) {
+	ds := Evolve(stats.NewRNG(13), EvolveConfig{Taxa: 6, SeqLen: 100})
+	var tr Trace
+	if _, err := Distances(ds.Seqs, DefaultParams(), nil, &tr); err != nil {
+		t.Fatal(err)
+	}
+	fv := tr.FeatureVector()
+	if len(fv) != 5 {
+		t.Errorf("FeatureVector = %v", fv)
+	}
+	raw := tr.RawFeatureVector(64)
+	if len(raw) != 64 {
+		t.Errorf("RawFeatureVector length = %d", len(raw))
+	}
+	// 6 taxa → 15 pairs → 30 (P,Q) values, rest zero padding.
+	if raw[29] == 0 && stats.Sum(raw[:30]) == 0 {
+		t.Error("raw feature vector empty")
+	}
+	for _, v := range raw[30:] {
+		if v != 0 {
+			t.Error("padding not zero")
+		}
+	}
+}
+
+func TestParamsVectorRoundTrip(t *testing.T) {
+	p := Params{Kappa: 4, GammaAlpha: 20, MaxDist: 5}
+	got := VectorToParams(ParamsToVector(p))
+	if math.Abs(got.Kappa-4) > 1e-9 || math.Abs(got.GammaAlpha-20) > 1e-9 || math.Abs(got.MaxDist-5) > 1e-9 {
+		t.Errorf("round trip = %+v", got)
+	}
+	// Out-of-range vectors clamp to valid params.
+	if err := VectorToParams([]float64{-1, 99, 0}).Validate(); err != nil {
+		t.Errorf("clamped params invalid: %v", err)
+	}
+}
+
+func TestOracleFindsGoodParams(t *testing.T) {
+	ds := Evolve(stats.NewRNG(15), EvolveConfig{Taxa: 8, SeqLen: 300, Kappa: 8, MeanBranch: 0.15})
+	_, oracleScore := Oracle(ds)
+	defTree, err := InferTree(ds.Seqs, DefaultParams(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleScore > Score(defTree, ds) {
+		t.Errorf("oracle score %v worse than default %v", oracleScore, Score(defTree, ds))
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for _, shape := range []float64{0.5, 1, 4} {
+		n := 20000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = gammaSample(rng, shape)
+		}
+		if m := stats.Mean(xs); math.Abs(m-shape) > 0.1*shape+0.05 {
+			t.Errorf("gamma(%v) mean = %v", shape, m)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package phylip implements a distance-based phylogeny-inference
+// pipeline in the style of PHYLIP's dnadist + neighbor programs — the
+// paper's third supervised-learning subject (the one scored "lower is
+// better" in Table 3; our score is the normalized Robinson-Foulds
+// distance between the inferred and true trees).
+//
+// The pipeline: DNA sequences → pairwise evolutionary distances
+// (Kimura two-parameter model with tunable assumed transition/
+// transversion ratio, gamma rate-heterogeneity shape, and saturation
+// cap) → neighbor-joining tree. The three distance parameters are the
+// target variables: their ideal values depend on how the input
+// sequences actually evolved, which is recoverable from internal
+// statistics (observed transition/transversion ratios, divergence
+// dispersion) — exactly the structure Autonomizer exploits.
+package phylip
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is an unrooted binary phylogeny over taxa 0..NumTaxa-1.
+// Internal nodes are numbered from NumTaxa upward; Adj is the adjacency
+// list with branch lengths.
+type Tree struct {
+	NumTaxa int
+	Adj     map[int][]Edge
+}
+
+// Edge is one branch.
+type Edge struct {
+	To     int
+	Length float64
+}
+
+// NewTree creates an edgeless tree over n taxa.
+func NewTree(n int) *Tree {
+	return &Tree{NumTaxa: n, Adj: make(map[int][]Edge)}
+}
+
+// AddEdge connects a and b with the given branch length (both ways).
+func (t *Tree) AddEdge(a, b int, length float64) {
+	t.Adj[a] = append(t.Adj[a], Edge{To: b, Length: length})
+	t.Adj[b] = append(t.Adj[b], Edge{To: a, Length: length})
+}
+
+// NodeCount returns the number of nodes with at least one edge.
+func (t *Tree) NodeCount() int { return len(t.Adj) }
+
+// Splits returns the non-trivial bipartitions induced by internal
+// edges, each encoded as a canonical sorted string of the smaller side's
+// taxon set. Robinson-Foulds distance compares these sets.
+func (t *Tree) Splits() map[string]bool {
+	splits := make(map[string]bool)
+	type edgeKey struct{ a, b int }
+	seen := make(map[edgeKey]bool)
+	for a, edges := range t.Adj {
+		for _, e := range edges {
+			k := edgeKey{a, e.To}
+			if a > e.To {
+				k = edgeKey{e.To, a}
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			side := t.taxaBeyond(a, e.To)
+			if len(side) <= 1 || len(side) >= t.NumTaxa-1 {
+				continue // trivial split
+			}
+			splits[canonicalSplit(side, t.NumTaxa)] = true
+		}
+	}
+	return splits
+}
+
+// taxaBeyond collects the taxa reachable from `to` without crossing the
+// edge (from, to).
+func (t *Tree) taxaBeyond(from, to int) []int {
+	var out []int
+	stack := []int{to}
+	visited := map[int]bool{from: true, to: true}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur < t.NumTaxa {
+			out = append(out, cur)
+		}
+		for _, e := range t.Adj[cur] {
+			if !visited[e.To] {
+				visited[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// canonicalSplit encodes a taxon set (or its complement, whichever is
+// lexicographically smaller) as a comparable string.
+func canonicalSplit(side []int, numTaxa int) string {
+	in := make([]bool, numTaxa)
+	for _, x := range side {
+		in[x] = true
+	}
+	if len(side)*2 > numTaxa || (len(side)*2 == numTaxa && !in[0]) {
+		for i := range in {
+			in[i] = !in[i]
+		}
+	}
+	var ids []int
+	for i, b := range in {
+		if b {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}
+
+// RobinsonFoulds returns the symmetric-difference count between the two
+// trees' non-trivial splits, normalized to [0, 1] by the maximum
+// possible (2·(n-3) for binary trees over the same n taxa). Lower is
+// better; 0 means topologically identical.
+func RobinsonFoulds(a, b *Tree) float64 {
+	if a.NumTaxa != b.NumTaxa {
+		panic(fmt.Sprintf("phylip: RF over different taxon sets (%d vs %d)", a.NumTaxa, b.NumTaxa))
+	}
+	sa, sb := a.Splits(), b.Splits()
+	diff := 0
+	for s := range sa {
+		if !sb[s] {
+			diff++
+		}
+	}
+	for s := range sb {
+		if !sa[s] {
+			diff++
+		}
+	}
+	max := 2 * (a.NumTaxa - 3)
+	if max <= 0 {
+		return 0
+	}
+	return float64(diff) / float64(max)
+}

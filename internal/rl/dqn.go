@@ -1,0 +1,216 @@
+package rl
+
+import (
+	"fmt"
+
+	"github.com/autonomizer/autonomizer/internal/nn"
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// Config holds the DQN hyperparameters. Zero values select the defaults
+// listed on each field.
+type Config struct {
+	// Gamma is the discount factor (default 0.97).
+	Gamma float64
+	// EpsilonStart/EpsilonEnd bound the ε-greedy exploration schedule
+	// (defaults 1.0 → 0.05).
+	EpsilonStart, EpsilonEnd float64
+	// EpsilonDecaySteps is how many Observe calls it takes for ε to
+	// anneal from start to end (default 5000).
+	EpsilonDecaySteps int
+	// BatchSize is the replay mini-batch (default 32).
+	BatchSize int
+	// ReplayCapacity bounds the experience buffer (default 10000).
+	ReplayCapacity int
+	// TargetSyncEvery is the target-network refresh interval in training
+	// steps (default 250).
+	TargetSyncEvery int
+	// LearnEvery trains once per this many Observe calls (default 1).
+	LearnEvery int
+	// WarmupSteps delays training until the buffer has this many
+	// transitions (default max(BatchSize, 100)).
+	WarmupSteps int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// StateShape, when set, reshapes flat state vectors before the
+	// forward pass (needed for CNN models over (C,H,W) screens).
+	StateShape []int
+	// DoubleDQN selects van Hasselt-style double Q-learning: the online
+	// network chooses the bootstrap action and the target network
+	// evaluates it, reducing the max-operator's overestimation bias.
+	DoubleDQN bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Gamma == 0 {
+		c.Gamma = 0.97
+	}
+	if c.EpsilonStart == 0 {
+		c.EpsilonStart = 1.0
+	}
+	if c.EpsilonEnd == 0 {
+		c.EpsilonEnd = 0.05
+	}
+	if c.EpsilonDecaySteps == 0 {
+		c.EpsilonDecaySteps = 5000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.ReplayCapacity == 0 {
+		c.ReplayCapacity = 10000
+	}
+	if c.TargetSyncEvery == 0 {
+		c.TargetSyncEvery = 250
+	}
+	if c.LearnEvery == 0 {
+		c.LearnEvery = 1
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = c.BatchSize
+		if c.WarmupSteps < 100 {
+			c.WarmupSteps = 100
+		}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+}
+
+// Agent is a deep Q-learning agent: an online network selects actions,
+// a periodically synced target network supplies bootstrap values, and
+// experience replay decorrelates updates. It implements the paper's "Q"
+// training algorithm invoked by au_NN in TR mode.
+type Agent struct {
+	cfg     Config
+	online  *nn.Network
+	target  *nn.Network
+	buffer  *ReplayBuffer
+	rng     *stats.RNG
+	actions int
+	steps   int
+	trained int
+	// opt is created lazily so an agent constructed for TS (production)
+	// mode never allocates optimizer state.
+	opt nn.Optimizer
+}
+
+// NewAgent wraps online (and a structurally identical targetNet, which
+// will be overwritten with online's weights) into a DQN agent with
+// `actions` discrete outputs.
+func NewAgent(online, targetNet *nn.Network, actions int, cfg Config, rng *stats.RNG) *Agent {
+	if actions <= 0 {
+		panic(fmt.Sprintf("rl: agent needs a positive action count, got %d", actions))
+	}
+	cfg.fillDefaults()
+	targetNet.CopyParamsFrom(online)
+	return &Agent{
+		cfg:     cfg,
+		online:  online,
+		target:  targetNet,
+		buffer:  NewReplayBuffer(cfg.ReplayCapacity, rng.Split()),
+		rng:     rng,
+		actions: actions,
+	}
+}
+
+// Online exposes the online network (e.g. for serialization/size
+// accounting in Table 2).
+func (a *Agent) Online() *nn.Network { return a.online }
+
+// Buffer exposes the replay buffer (for trace-size accounting).
+func (a *Agent) Buffer() *ReplayBuffer { return a.buffer }
+
+// Epsilon reports the current exploration rate.
+func (a *Agent) Epsilon() float64 {
+	frac := float64(a.steps) / float64(a.cfg.EpsilonDecaySteps)
+	if frac > 1 {
+		frac = 1
+	}
+	return a.cfg.EpsilonStart + (a.cfg.EpsilonEnd-a.cfg.EpsilonStart)*frac
+}
+
+// Steps reports how many transitions the agent has observed.
+func (a *Agent) Steps() int { return a.steps }
+
+func (a *Agent) stateTensor(s []float64) *tensor.Tensor {
+	if len(a.cfg.StateShape) > 0 {
+		return tensor.FromSlice(s, a.cfg.StateShape...)
+	}
+	return tensor.FromSlice(s, len(s))
+}
+
+// QValues returns the online network's action values for state.
+func (a *Agent) QValues(state []float64) []float64 {
+	out := a.online.Forward(a.stateTensor(state))
+	return append([]float64(nil), out.Data()...)
+}
+
+// Act selects an action ε-greedily in training, or greedily when greedy
+// is true (the paper's TS/production mode).
+func (a *Agent) Act(state []float64, greedy bool) int {
+	if !greedy && a.rng.Float64() < a.Epsilon() {
+		return a.rng.Intn(a.actions)
+	}
+	return stats.ArgMax(a.QValues(state))
+}
+
+// Observe records a transition and, past warmup, performs a replayed
+// Q-learning update: target = r (terminal) or r + γ·max_a' Q_target(s',a').
+// It returns the training loss, or 0 when no update ran.
+func (a *Agent) Observe(t Transition) float64 {
+	a.buffer.Add(t)
+	a.steps++
+	if a.buffer.Len() < a.cfg.WarmupSteps || a.steps%a.cfg.LearnEvery != 0 {
+		return 0
+	}
+	batch := a.buffer.Sample(a.cfg.BatchSize)
+	if a.online.Params() == nil {
+		return 0
+	}
+	a.ensureOptimizer()
+
+	a.online.ZeroGrads()
+	totalLoss := 0.0
+	huber := nn.Huber{Delta: 1}
+	for _, tr := range batch {
+		// Bootstrap from the target network; under DoubleDQN the online
+		// network picks the action and the target network scores it.
+		y := tr.Reward
+		if !tr.Terminal {
+			q := a.target.Forward(a.stateTensor(tr.NextState))
+			var best float64
+			if a.cfg.DoubleDQN {
+				online := a.online.Forward(a.stateTensor(tr.NextState))
+				best = q.Data()[stats.ArgMax(online.Data())]
+			} else {
+				best = q.Data()[stats.ArgMax(q.Data())]
+			}
+			y += a.cfg.Gamma * best
+		}
+		pred := a.online.Forward(a.stateTensor(tr.State))
+		// Only the taken action's Q-value receives gradient.
+		targetVec := pred.Clone()
+		targetVec.Data()[tr.Action] = y
+		totalLoss += huber.Loss(pred, targetVec)
+		a.online.Backward(huber.Grad(pred, targetVec))
+	}
+	grads := a.online.Grads()
+	for _, g := range grads {
+		g.ScaleInPlace(1 / float64(len(batch)))
+	}
+	nn.ClipGradients(grads, 10)
+	a.opt.Step(grads)
+	a.trained++
+	if a.trained%a.cfg.TargetSyncEvery == 0 {
+		a.target.CopyParamsFrom(a.online)
+	}
+	return totalLoss / float64(len(batch))
+}
+
+func (a *Agent) ensureOptimizer() {
+	if a.opt == nil {
+		a.opt = nn.NewAdam(a.online.Params(), a.cfg.LR)
+	}
+}

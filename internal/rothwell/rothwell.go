@@ -1,0 +1,264 @@
+// Package rothwell implements a topology-driven edge detector in the
+// style of Rothwell, Mundy, Hoffman & Nguyen (ISCV 1995) — the paper's
+// second supervised-learning subject. Where Canny links edges by double
+// hysteresis, the Rothwell detector applies dynamic thresholding on the
+// gradient image followed by topology-preserving thinning and a
+// short-segment filter.
+//
+// Target variables (Table 1 lists 3): the dynamic threshold percentile
+// (alpha), the smoothing width (sigma), and the minimum surviving
+// segment length (minLen). The candidate feature set is small (Table 1:
+// 8), matching the paper's statistics for this subject.
+package rothwell
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// Params are the detector's target variables.
+type Params struct {
+	// Sigma is the Gaussian smoothing width.
+	Sigma float64
+	// Alpha is the dynamic threshold percentile over nonzero gradient
+	// magnitudes, in (0, 1).
+	Alpha float64
+	// MinLen removes connected edge segments shorter than this.
+	MinLen int
+}
+
+// DefaultParams is the fixed baseline configuration.
+func DefaultParams() Params { return Params{Sigma: 1.0, Alpha: 0.7, MinLen: 5} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Sigma <= 0 || p.Sigma > 8 {
+		return fmt.Errorf("rothwell: sigma %v out of (0, 8]", p.Sigma)
+	}
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("rothwell: alpha %v out of (0, 1)", p.Alpha)
+	}
+	if p.MinLen < 0 || p.MinLen > 64 {
+		return fmt.Errorf("rothwell: minLen %d out of [0, 64]", p.MinLen)
+	}
+	return nil
+}
+
+// Clamp coerces parameters into their valid ranges.
+func (p Params) Clamp() Params {
+	p.Sigma = stats.Clamp(p.Sigma, 0.3, 8)
+	p.Alpha = stats.Clamp(p.Alpha, 0.05, 0.95)
+	if p.MinLen < 0 {
+		p.MinLen = 0
+	}
+	if p.MinLen > 64 {
+		p.MinLen = 64
+	}
+	return p
+}
+
+// Trace captures the intermediate variables of one run.
+type Trace struct {
+	// Image is the raw input (Raw feature).
+	Image []float64
+	// GradStats is the compact gradient summary (the Min feature):
+	// {mean, variance, p50, p90, max} of nonzero magnitudes plus the
+	// nonzero-pixel ratio.
+	GradStats []float64
+	// Threshold is the dynamic threshold actually applied.
+	Threshold float64
+	// Segments counts connected segments before length filtering.
+	Segments int
+}
+
+// Detect runs the pipeline, optionally recording dependence events into
+// g and intermediates into tr.
+func Detect(img *imaging.Image, p Params, g *dep.Graph, tr *Trace) (*imaging.Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if g != nil {
+		recordDeps(g)
+	}
+	if tr != nil {
+		tr.Image = append([]float64(nil), img.Pix...)
+	}
+
+	sImg := imaging.GaussianSmooth(img, p.Sigma)
+	mag, _ := imaging.Sobel(sImg)
+
+	// Dynamic threshold: the alpha-percentile of nonzero magnitudes.
+	nonzero := make([]float64, 0, len(mag.Pix))
+	for _, v := range mag.Pix {
+		if v > 1e-9 {
+			nonzero = append(nonzero, v)
+		}
+	}
+	var threshold float64
+	if len(nonzero) > 0 {
+		sorted := append([]float64(nil), nonzero...)
+		sort.Float64s(sorted)
+		idx := int(p.Alpha * float64(len(sorted)-1))
+		threshold = sorted[idx]
+	}
+	if tr != nil {
+		tr.Threshold = threshold
+		tr.GradStats = gradStats(nonzero, len(mag.Pix))
+	}
+
+	binary := imaging.NewImage(img.W, img.H)
+	for i, v := range mag.Pix {
+		if v > threshold && threshold > 0 {
+			binary.Pix[i] = 255
+		}
+	}
+
+	thinned := thin(binary)
+	result, segments := filterSegments(thinned, p.MinLen)
+	if tr != nil {
+		tr.Segments = segments
+	}
+	return result, nil
+}
+
+// gradStats compresses the gradient distribution into the detector's
+// internal summary variables.
+func gradStats(nonzero []float64, total int) []float64 {
+	if len(nonzero) == 0 {
+		return make([]float64, 6)
+	}
+	sorted := append([]float64(nil), nonzero...)
+	sort.Float64s(sorted)
+	max := sorted[len(sorted)-1]
+	return []float64{
+		stats.Mean(nonzero),
+		stats.Variance(nonzero),
+		sorted[len(sorted)/2],
+		sorted[int(0.9*float64(len(sorted)-1))],
+		max,
+		float64(len(nonzero)) / float64(total),
+	}
+}
+
+// thin performs one-pass morphological thinning: interior pixels (all
+// 4-neighbours set) are removed, preserving topology for thin strokes.
+func thin(b *imaging.Image) *imaging.Image {
+	out := b.Clone()
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.At(x, y) == 0 {
+				continue
+			}
+			if b.At(x-1, y) > 0 && b.At(x+1, y) > 0 && b.At(x, y-1) > 0 && b.At(x, y+1) > 0 {
+				out.Set(x, y, 0)
+			}
+		}
+	}
+	return out
+}
+
+// filterSegments removes 8-connected components smaller than minLen,
+// returning the filtered map and the pre-filter segment count.
+func filterSegments(b *imaging.Image, minLen int) (*imaging.Image, int) {
+	w, h := b.W, b.H
+	labels := make([]int, w*h)
+	next := 0
+	var sizes []int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if b.At(x, y) == 0 || labels[y*w+x] != 0 {
+				continue
+			}
+			next++
+			size := 0
+			stack := [][2]int{{x, y}}
+			labels[y*w+x] = next
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				size++
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := p[0]+dx, p[1]+dy
+						if nx < 0 || nx >= w || ny < 0 || ny >= h {
+							continue
+						}
+						if b.At(nx, ny) > 0 && labels[ny*w+nx] == 0 {
+							labels[ny*w+nx] = next
+							stack = append(stack, [2]int{nx, ny})
+						}
+					}
+				}
+			}
+			sizes = append(sizes, size)
+		}
+	}
+	out := imaging.NewImage(w, h)
+	for i, l := range labels {
+		if l > 0 && sizes[l-1] >= minLen {
+			out.Pix[i] = 255
+		}
+	}
+	return out, next
+}
+
+// recordDeps emits the dependence structure of one run. The candidate
+// set is deliberately small (Table 1: 8 candidates for Rothwell).
+func recordDeps(g *dep.Graph) {
+	g.MarkInput("image")
+	g.Def("sImg", "image", "sigma")
+	g.Def("mag", "sImg")
+	g.Def("gradStats", "mag")
+	g.Def("threshold", "gradStats", "alpha")
+	g.Def("binary", "mag", "threshold")
+	g.Def("thinned", "binary")
+	g.Def("segments", "thinned")
+	g.Def("result", "segments", "minLen")
+	for _, v := range []string{"image", "sigma", "sImg"} {
+		g.Use("smooth", v)
+	}
+	for _, v := range []string{"mag", "gradStats", "alpha", "threshold"} {
+		g.Use("dynthresh", v)
+	}
+	for _, v := range []string{"binary", "thinned", "segments", "minLen", "result"} {
+		g.Use("topology", v)
+	}
+}
+
+// Inputs returns the program-input set for Algorithm 1.
+func Inputs() []string { return []string{"image"} }
+
+// Targets returns the target variables (Table 1: 3).
+func Targets() []string { return []string{"sigma", "alpha", "minLen"} }
+
+// Score grades a detection with SSIM against ground truth.
+func Score(result, truth *imaging.Image) float64 {
+	return imaging.SSIM(result, truth)
+}
+
+// Oracle grid-searches for per-scene ideal parameters (training
+// labels).
+func Oracle(sc *imaging.Scene) (Params, float64) {
+	best := DefaultParams()
+	bestScore := -2.0
+	for _, sigma := range []float64{0.6, 1.0, 1.8, 2.6} {
+		for _, alpha := range []float64{0.5, 0.65, 0.8, 0.9} {
+			for _, minLen := range []int{2, 6, 12} {
+				p := Params{Sigma: sigma, Alpha: alpha, MinLen: minLen}
+				result, err := Detect(sc.Img, p, nil, nil)
+				if err != nil {
+					continue
+				}
+				if s := Score(result, sc.Truth); s > bestScore {
+					bestScore = s
+					best = p
+				}
+			}
+		}
+	}
+	return best, bestScore
+}

@@ -1,0 +1,158 @@
+package rothwell
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+func TestValidateAndClamp(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	bad := []Params{
+		{Sigma: 0, Alpha: 0.5, MinLen: 3},
+		{Sigma: 1, Alpha: 0, MinLen: 3},
+		{Sigma: 1, Alpha: 1, MinLen: 3},
+		{Sigma: 1, Alpha: 0.5, MinLen: -1},
+		{Sigma: 1, Alpha: 0.5, MinLen: 100},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v validated", p)
+		}
+		if err := p.Clamp().Validate(); err != nil {
+			t.Errorf("clamp of %+v still invalid: %v", p, err)
+		}
+	}
+}
+
+func TestDetectRejectsBadParams(t *testing.T) {
+	if _, err := Detect(imaging.NewImage(8, 8), Params{}, nil, nil); err == nil {
+		t.Error("Detect with zero params succeeded")
+	}
+}
+
+func TestDetectFindsEdges(t *testing.T) {
+	img := imaging.NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			img.Set(x, y, 200)
+		}
+	}
+	result, err := Detect(img, DefaultParams(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgePixels := 0
+	for _, v := range result.Pix {
+		if v > 0 {
+			edgePixels++
+		}
+	}
+	if edgePixels < 15 {
+		t.Errorf("step edge produced only %d edge pixels", edgePixels)
+	}
+}
+
+func TestBlankImageNoEdges(t *testing.T) {
+	result, err := Detect(imaging.NewImage(16, 16), DefaultParams(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range result.Pix {
+		if v != 0 {
+			t.Fatal("blank image produced edges")
+		}
+	}
+}
+
+func TestMinLenFiltersShortSegments(t *testing.T) {
+	// A single isolated bright dot yields a tiny segment that MinLen
+	// should remove.
+	img := imaging.NewImage(24, 24)
+	img.Set(12, 12, 255)
+	few, err := Detect(img, Params{Sigma: 0.5, Alpha: 0.3, MinLen: 0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Detect(img, Params{Sigma: 0.5, Alpha: 0.3, MinLen: 40}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(im *imaging.Image) int {
+		n := 0
+		for _, v := range im.Pix {
+			if v > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if count(many) >= count(few) && count(few) > 0 {
+		t.Errorf("MinLen=40 (%d px) did not filter below MinLen=0 (%d px)", count(many), count(few))
+	}
+}
+
+func TestTraceCaptured(t *testing.T) {
+	sc := imaging.GenerateScene(stats.NewRNG(1), imaging.SceneConfig{W: 32, H: 32})
+	var tr Trace
+	if _, err := Detect(sc.Img, DefaultParams(), nil, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Image) != 32*32 {
+		t.Error("raw image not traced")
+	}
+	if len(tr.GradStats) != 6 {
+		t.Errorf("GradStats = %v", tr.GradStats)
+	}
+	if tr.Threshold <= 0 {
+		t.Error("threshold not captured")
+	}
+	if tr.Segments == 0 {
+		t.Error("segment count not captured")
+	}
+}
+
+func TestAlgorithm1OnRothwellGraph(t *testing.T) {
+	g := dep.NewGraph()
+	sc := imaging.GenerateScene(stats.NewRNG(2), imaging.SceneConfig{W: 32, H: 32})
+	if _, err := Detect(sc.Img, DefaultParams(), g, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := extract.SL(g, Inputs(), Targets())
+	feats := res["alpha"]
+	if len(feats) == 0 {
+		t.Fatal("no features for alpha")
+	}
+	// gradStats is the near feature for the threshold percentile.
+	if feats[0].Name != "gradStats" {
+		t.Errorf("min feature for alpha = %s, want gradStats", feats[0].Name)
+	}
+	// Candidate count should be small, near Table 1's 8.
+	n := extract.CandidateCount(g, Inputs())
+	if n < 5 || n > 14 {
+		t.Errorf("candidate count = %d, want ~8", n)
+	}
+}
+
+func TestOracleBeatsDefaults(t *testing.T) {
+	scenes := imaging.GenerateCorpus(9, 4, imaging.SceneConfig{W: 32, H: 32})
+	wins := 0
+	for _, sc := range scenes {
+		_, oracleScore := Oracle(sc)
+		d, err := Detect(sc.Img, DefaultParams(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracleScore >= Score(d, sc.Truth) {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("oracle beat defaults on only %d/4 scenes", wins)
+	}
+}

@@ -1,0 +1,115 @@
+package semantics
+
+import "fmt"
+
+// Lint statically checks a statement sequence for annotation mistakes
+// that would stick the machine (or silently train nothing) at run time.
+// It returns one message per issue, in program order. The checks mirror
+// the mistakes the paper's users could make when annotating by hand:
+//
+//   - au_NN on a model never configured;
+//   - au_NN whose input name is never extracted or serialized;
+//   - au_write_back of a name no au_NN produces;
+//   - au_extract/au_write_back of program variables never assigned
+//     (write-back allocates, so that one is advisory only);
+//   - au_restore with no preceding au_checkpoint;
+//   - extracted names that no au_NN or au_serialize ever consumes;
+//   - configuring the same model twice (harmless at run time — the
+//     second is ignored — but usually a copy-paste slip).
+type LintIssue struct {
+	// Index is the statement's position in the program.
+	Index int
+	// Message describes the problem.
+	Message string
+}
+
+// String implements fmt.Stringer.
+func (l LintIssue) String() string {
+	return fmt.Sprintf("stmt %d: %s", l.Index, l.Message)
+}
+
+// Lint analyzes the program without executing it.
+func Lint(stmts []Stmt) []LintIssue {
+	var issues []LintIssue
+	report := func(i int, format string, args ...any) {
+		issues = append(issues, LintIssue{Index: i, Message: fmt.Sprintf(format, args...)})
+	}
+
+	configured := map[string]bool{}
+	assigned := map[string]bool{}
+	piBound := map[string]bool{}  // names bound in π by extract/serialize/NN
+	produced := map[string]bool{} // names produced by au_NN (write-back sources)
+	extracted := map[string]int{} // extract name → statement index
+	consumed := map[string]bool{} // extract names consumed by NN/serialize
+	checkpointed := false
+
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case Assign:
+			assigned[st.Var] = true
+
+		case AuConfig:
+			if configured[st.MdName] {
+				report(i, "model %q configured twice; the second au_config is ignored", st.MdName)
+			}
+			configured[st.MdName] = true
+
+		case AuExtract:
+			if !assigned[st.Var] {
+				report(i, "au_extract reads variable %q before any assignment", st.Var)
+			}
+			if st.SizeVar != "" && !assigned[st.SizeVar] {
+				report(i, "au_extract size variable %q is never assigned", st.SizeVar)
+			}
+			piBound[st.ExtName] = true
+			if _, seen := extracted[st.ExtName]; !seen {
+				extracted[st.ExtName] = i
+			}
+
+		case AuSerialize:
+			for _, t := range []string{st.T1, st.T2} {
+				if !piBound[t] {
+					report(i, "au_serialize reads π name %q that nothing has bound", t)
+				}
+				consumed[t] = true
+			}
+			piBound[st.T1+st.T2] = true
+
+		case AuNN:
+			if !configured[st.MdName] {
+				report(i, "au_NN uses model %q before au_config", st.MdName)
+			}
+			if !piBound[st.ExtName] {
+				report(i, "au_NN input %q is never extracted or serialized", st.ExtName)
+			}
+			consumed[st.ExtName] = true
+			piBound[st.WbName] = true
+			produced[st.WbName] = true
+
+		case AuWriteBack:
+			if !produced[st.WbName] {
+				report(i, "au_write_back reads %q, which no au_NN produces", st.WbName)
+			}
+			if st.SizeVar != "" && !assigned[st.SizeVar] {
+				report(i, "au_write_back size variable %q is never assigned", st.SizeVar)
+			}
+			assigned[st.Var] = true // write-back allocates the variable
+
+		case AuCheckpoint:
+			checkpointed = true
+
+		case AuRestore:
+			if !checkpointed {
+				report(i, "au_restore with no preceding au_checkpoint")
+			}
+		}
+	}
+
+	// Dead extracts: bound but never consumed by NN or serialize.
+	for name, idx := range extracted {
+		if !consumed[name] {
+			report(idx, "extracted name %q is never fed to au_NN or au_serialize", name)
+		}
+	}
+	return issues
+}

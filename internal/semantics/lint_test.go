@@ -1,0 +1,148 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []LintIssue {
+	t.Helper()
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Lint(stmts)
+}
+
+func hasIssue(issues []LintIssue, substr string) bool {
+	for _, i := range issues {
+		if strings.Contains(i.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	issues := lintSource(t, `
+one := 1
+px := 3.5
+@au_config(Mario, DNN, Q, 2, 8, 4)
+@au_checkpoint()
+@au_extract(PX, one, px)
+@au_NN(Mario, PX, output)
+@au_write_back(output, one, actionKey)
+@au_restore()
+`)
+	if len(issues) != 0 {
+		t.Errorf("clean program has issues: %v", issues)
+	}
+}
+
+func TestLintUnconfiguredModel(t *testing.T) {
+	issues := lintSource(t, `
+x := 1
+@au_extract(X, x)
+@au_NN(Ghost, X, out)
+`)
+	if !hasIssue(issues, `model "Ghost" before au_config`) {
+		t.Errorf("missing unconfigured-model issue: %v", issues)
+	}
+}
+
+func TestLintUnboundNNInput(t *testing.T) {
+	issues := lintSource(t, `
+@au_config(M, DNN, Q, 1, 4)
+@au_NN(M, NEVER, out)
+`)
+	if !hasIssue(issues, `"NEVER" is never extracted`) {
+		t.Errorf("missing unbound-input issue: %v", issues)
+	}
+}
+
+func TestLintWriteBackWithoutNN(t *testing.T) {
+	issues := lintSource(t, `@au_write_back(out, y)`)
+	if !hasIssue(issues, `no au_NN produces`) {
+		t.Errorf("missing write-back issue: %v", issues)
+	}
+}
+
+func TestLintUnassignedVariables(t *testing.T) {
+	issues := lintSource(t, `
+@au_config(M, DNN, Q, 1, 4)
+@au_extract(X, sz, ghost)
+@au_NN(M, X, out)
+`)
+	if !hasIssue(issues, `variable "ghost" before any assignment`) {
+		t.Errorf("missing unassigned-var issue: %v", issues)
+	}
+	if !hasIssue(issues, `size variable "sz" is never assigned`) {
+		t.Errorf("missing size-var issue: %v", issues)
+	}
+}
+
+func TestLintRestoreWithoutCheckpoint(t *testing.T) {
+	issues := lintSource(t, `@au_restore()`)
+	if !hasIssue(issues, "no preceding au_checkpoint") {
+		t.Errorf("missing restore issue: %v", issues)
+	}
+}
+
+func TestLintDeadExtract(t *testing.T) {
+	issues := lintSource(t, `
+x := 1
+@au_extract(UNUSED, x)
+`)
+	if !hasIssue(issues, `"UNUSED" is never fed`) {
+		t.Errorf("missing dead-extract issue: %v", issues)
+	}
+}
+
+func TestLintDoubleConfig(t *testing.T) {
+	issues := lintSource(t, `
+@au_config(M, DNN, Q, 1, 4)
+@au_config(M, DNN, Q, 1, 8)
+`)
+	if !hasIssue(issues, `configured twice`) {
+		t.Errorf("missing double-config issue: %v", issues)
+	}
+}
+
+func TestLintSerializeOfUnbound(t *testing.T) {
+	issues := lintSource(t, `
+x := 1
+@au_extract(A, x)
+@au_serialize(A, B)
+`)
+	if !hasIssue(issues, `π name "B"`) {
+		t.Errorf("missing serialize issue: %v", issues)
+	}
+	// A was consumed by serialize, so no dead-extract for A.
+	if hasIssue(issues, `"A" is never fed`) {
+		t.Errorf("false dead-extract for consumed A: %v", issues)
+	}
+}
+
+func TestLintWriteBackAllocates(t *testing.T) {
+	// A variable first written by au_write_back may be extracted later
+	// without a prior assignment.
+	issues := lintSource(t, `
+x := 1
+@au_config(M, DNN, Q, 1, 4)
+@au_extract(X, x)
+@au_NN(M, X, out)
+@au_write_back(out, y)
+@au_extract(Y2, y)
+@au_NN(M, Y2, out2)
+`)
+	if hasIssue(issues, `"y" before any assignment`) {
+		t.Errorf("write-back allocation not tracked: %v", issues)
+	}
+}
+
+func TestLintIssueString(t *testing.T) {
+	li := LintIssue{Index: 3, Message: "boom"}
+	if li.String() != "stmt 3: boom" {
+		t.Errorf("String = %q", li.String())
+	}
+}

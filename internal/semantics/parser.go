@@ -1,0 +1,217 @@
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the concrete syntax of the Fig. 8 statement
+// language, one statement per line:
+//
+//	x := 1 2 3                        assignment (array literal)
+//	@au_config(m, DNN, Q, 2, 256, 64) model construction
+//	@au_extract(X, size, x)           extract σ(x)[0..σ(size)) into π(X)
+//	@au_extract(X, x)                 extract the whole array
+//	@au_serialize(A, B)               bind π(AB) = π(A) ++ π(B)
+//	@au_NN(m, X, out)                 run/train model m
+//	@au_write_back(out, size, y)      copy π(out)[0..σ(size)) into σ(y)
+//	@au_write_back(out, y)            copy the whole binding
+//	@au_checkpoint()
+//	@au_restore()
+//
+// Blank lines and lines starting with # or // are ignored. Parse
+// returns the statement list or a syntax error naming the line.
+func Parse(src string) ([]Stmt, error) {
+	var out []Stmt
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		stmt, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("semantics: line %d: %w", lineNo+1, err)
+		}
+		out = append(out, stmt)
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Stmt, error) {
+	if strings.HasPrefix(line, "@") {
+		return parsePrimitive(line)
+	}
+	// Assignment: ident := value...
+	parts := strings.SplitN(line, ":=", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("expected assignment or primitive, got %q", line)
+	}
+	name := strings.TrimSpace(parts[0])
+	if !isIdent(name) {
+		return nil, fmt.Errorf("bad variable name %q", name)
+	}
+	var vals []float64
+	for _, f := range strings.Fields(parts[1]) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("assignment to %q has no values", name)
+	}
+	return Assign{Var: name, Vals: vals}, nil
+}
+
+func parsePrimitive(line string) (Stmt, error) {
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("malformed primitive %q", line)
+	}
+	name := line[1:open]
+	argStr := strings.TrimSpace(line[open+1 : len(line)-1])
+	var args []string
+	if argStr != "" {
+		for _, a := range strings.Split(argStr, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	switch name {
+	case "au_config":
+		if len(args) < 4 {
+			return nil, fmt.Errorf("au_config needs (name, type, algo, layers, ...), got %d args", len(args))
+		}
+		mt, err := parseModelType(args[1])
+		if err != nil {
+			return nil, err
+		}
+		algo, err := parseAlgorithm(args[2])
+		if err != nil {
+			return nil, err
+		}
+		layers, err := strconv.Atoi(args[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad layer count %q", args[3])
+		}
+		var neurons []int
+		for _, a := range args[4:] {
+			n, err := strconv.Atoi(a)
+			if err != nil {
+				return nil, fmt.Errorf("bad neuron count %q", a)
+			}
+			neurons = append(neurons, n)
+		}
+		return AuConfig{MdName: args[0], Type: mt, Algo: algo, Layers: layers, Neurons: neurons}, nil
+
+	case "au_extract":
+		switch len(args) {
+		case 2:
+			return AuExtract{ExtName: args[0], Var: args[1]}, nil
+		case 3:
+			return AuExtract{ExtName: args[0], SizeVar: args[1], Var: args[2]}, nil
+		default:
+			return nil, fmt.Errorf("au_extract needs (name, [size,] var), got %d args", len(args))
+		}
+
+	case "au_serialize":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("au_serialize needs (t1, t2), got %d args", len(args))
+		}
+		return AuSerialize{T1: args[0], T2: args[1]}, nil
+
+	case "au_NN":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("au_NN needs (model, extName, wbName), got %d args", len(args))
+		}
+		return AuNN{MdName: args[0], ExtName: args[1], WbName: args[2]}, nil
+
+	case "au_write_back":
+		switch len(args) {
+		case 2:
+			return AuWriteBack{WbName: args[0], Var: args[1]}, nil
+		case 3:
+			return AuWriteBack{WbName: args[0], SizeVar: args[1], Var: args[2]}, nil
+		default:
+			return nil, fmt.Errorf("au_write_back needs (name, [size,] var), got %d args", len(args))
+		}
+
+	case "au_checkpoint":
+		if len(args) != 0 {
+			return nil, fmt.Errorf("au_checkpoint takes no arguments")
+		}
+		return AuCheckpoint{}, nil
+
+	case "au_restore":
+		if len(args) != 0 {
+			return nil, fmt.Errorf("au_restore takes no arguments")
+		}
+		return AuRestore{}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown primitive @%s", name)
+	}
+}
+
+func parseModelType(s string) (ModelType, error) {
+	switch s {
+	case "DNN":
+		return DNN, nil
+	case "CNN":
+		return CNN, nil
+	default:
+		return 0, fmt.Errorf("unknown model type %q (want DNN or CNN)", s)
+	}
+}
+
+func parseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "Q", "QLearn":
+		return Q, nil
+	case "AdamOpt", "Adam":
+		return AdamOpt, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want Q or AdamOpt)", s)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// FormatStores renders ⟨σ, π, θ⟩ for display after a Run, with names
+// sorted for stable output.
+func (m *Machine) FormatStores() string {
+	var b strings.Builder
+	writeStore := func(label string, s map[string][]float64) {
+		fmt.Fprintf(&b, "%s:\n", label)
+		names := make([]string, 0, len(s))
+		for k := range s {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, "  %-12s %v\n", k, s[k])
+		}
+	}
+	writeStore("σ (program store)", m.Sigma)
+	writeStore("π (database store)", m.Pi)
+	writeStore("θ (model store)", m.Theta)
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package semantics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFullProgram(t *testing.T) {
+	src := `
+# the Fig. 2 loop in the concrete statement syntax
+one := 1
+px := 3.5
+py := 2
+@au_config(Mario, DNN, Q, 2, 256, 64)
+@au_checkpoint()
+@au_extract(PX, one, px)
+@au_extract(PY, one, py)
+@au_serialize(PX, PY)
+@au_NN(Mario, PXPY, output)
+@au_write_back(output, one, actionKey)
+`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 10 {
+		t.Fatalf("parsed %d statements, want 10", len(stmts))
+	}
+	// Spot-check statement kinds and payloads.
+	if a, ok := stmts[1].(Assign); !ok || a.Var != "px" || a.Vals[0] != 3.5 {
+		t.Errorf("stmt[1] = %#v", stmts[1])
+	}
+	cfg, ok := stmts[3].(AuConfig)
+	if !ok || cfg.MdName != "Mario" || cfg.Type != DNN || cfg.Algo != Q ||
+		cfg.Layers != 2 || !reflect.DeepEqual(cfg.Neurons, []int{256, 64}) {
+		t.Errorf("stmt[3] = %#v", stmts[3])
+	}
+	if _, ok := stmts[4].(AuCheckpoint); !ok {
+		t.Errorf("stmt[4] = %#v", stmts[4])
+	}
+	// The parsed program must execute on the machine.
+	m := NewMachine(TR)
+	if err := m.Run(stmts...); err != nil {
+		t.Fatalf("executing parsed program: %v", err)
+	}
+	if len(m.Sigma["actionKey"]) != 1 {
+		t.Errorf("actionKey = %v", m.Sigma["actionKey"])
+	}
+	// A final au_restore must roll actionKey back out of σ (it was
+	// written after the checkpoint) while θ keeps its trained state.
+	theta := m.ThetaCopy()
+	if err := m.Exec(AuRestore{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, bound := m.Sigma["actionKey"]; bound {
+		t.Error("restore did not roll back the post-checkpoint write-back")
+	}
+	if !reflect.DeepEqual(m.ThetaCopy(), theta) {
+		t.Error("restore modified θ")
+	}
+	out := m.FormatStores()
+	for _, want := range []string{"σ (program store)", "π (database store)", "θ (model store)", "Mario"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatStores missing %q", want)
+		}
+	}
+}
+
+func TestParseWholeArrayForms(t *testing.T) {
+	stmts, err := Parse(`
+xs := 1 2 3
+@au_extract(X, xs)
+@au_write_back(X, ys)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(TR)
+	if err := m.Run(stmts...); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Sigma["ys"], []float64{1, 2, 3}) {
+		t.Errorf("ys = %v", m.Sigma["ys"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x",                           // not an assignment
+		"1x := 2",                     // bad identifier
+		"x := ",                       // no values
+		"x := one",                    // bad number
+		"@au_config(m)",               // too few args
+		"@au_config(m, GNN, Q, 1)",    // bad model type
+		"@au_config(m, DNN, SGD, 1)",  // bad algorithm
+		"@au_config(m, DNN, Q, x)",    // bad layer count
+		"@au_config(m, DNN, Q, 1, y)", // bad neuron count
+		"@au_extract(X)",              // too few args
+		"@au_serialize(A)",            // wrong arity
+		"@au_NN(m, X)",                // wrong arity
+		"@au_write_back(X)",           // too few args
+		"@au_checkpoint(x)",           // unexpected arg
+		"@au_restore(x)",              // unexpected arg
+		"@au_mystery()",               // unknown primitive
+		"@au_NN(m, X, out",            // missing paren
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	stmts, err := Parse("\n# comment\n// another\n\nx := 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 {
+		t.Errorf("parsed %d statements, want 1", len(stmts))
+	}
+}
+
+func TestParseErrorNamesLine(t *testing.T) {
+	_, err := Parse("x := 1\nbroken line\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %v does not name line 2", err)
+	}
+}
+
+func TestIsIdent(t *testing.T) {
+	for _, good := range []string{"x", "actionKey", "_tmp", "a1"} {
+		if !isIdent(good) {
+			t.Errorf("rejected %q", good)
+		}
+	}
+	for _, bad := range []string{"", "1a", "a-b", "a b", "π"} {
+		if isIdent(bad) {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

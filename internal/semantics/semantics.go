@@ -1,0 +1,350 @@
+// Package semantics is a direct, executable transcription of the
+// operational semantics in Fig. 8 of the paper. It exists to pin down —
+// and property-test — exactly what each primitive means, independently
+// of the production runtime in internal/core.
+//
+// The machine configuration is ⟨σ, π, θ, ω⟩:
+//
+//	σ : Var → [Value]      the Program Store (arrays of float64)
+//	π : String → [Value]   the Database Store
+//	θ : String → [Parm]    the Model store (abstract parameter lists)
+//	ω : TR | TS            the execution mode
+//
+// Statements step via Machine.Exec, which dispatches to one rule per
+// primitive. The model itself is abstracted, as in the paper, by two
+// uninterpreted-but-deterministic statements runModel and gradient; the
+// properties of interest (store isolation, θ exclusion from
+// checkpoints, TR-vs-TS model mutation) do not depend on what the model
+// computes.
+package semantics
+
+import (
+	"fmt"
+)
+
+// Mode is ω.
+type Mode int
+
+const (
+	// TR is training mode.
+	TR Mode = iota
+	// TS is testing (production) mode.
+	TS
+)
+
+// ModelType is δ.
+type ModelType int
+
+const (
+	// DNN is the fully connected model type.
+	DNN ModelType = iota
+	// CNN is the convolutional model type.
+	CNN
+)
+
+// Algorithm is α.
+type Algorithm int
+
+const (
+	// Q is Q-learning.
+	Q Algorithm = iota
+	// AdamOpt is Adam-optimized supervised learning.
+	AdamOpt
+)
+
+// Stmt is one statement s of the language. Concrete statements are the
+// seven primitives plus assignment and sequencing.
+type Stmt interface {
+	stmt()
+}
+
+// Assign is x := v (the ASSIGN rule); Var may denote an array, in which
+// case the whole array value is replaced.
+type Assign struct {
+	Var  string
+	Vals []float64
+}
+
+// AuConfig is @au_config(mdName, δ, α, l, n1, …).
+type AuConfig struct {
+	MdName  string
+	Type    ModelType
+	Algo    Algorithm
+	Layers  int
+	Neurons []int
+}
+
+// AuExtract is @au_extract(extName, size, x): append x[0..σ(size)-1]
+// to π(extName).
+type AuExtract struct {
+	ExtName string
+	// SizeVar names a program variable holding the element count, per
+	// the rule's σ[size] lookup. If empty, the whole array is taken.
+	SizeVar string
+	Var     string
+}
+
+// AuWriteBack is @au_write_back(wbName, size, x): copy π(wbName)[0..size)
+// into the program array x.
+type AuWriteBack struct {
+	WbName  string
+	SizeVar string
+	Var     string
+}
+
+// AuNN is @au_NN(mdName, extName, wbName).
+type AuNN struct {
+	MdName  string
+	ExtName string
+	WbName  string
+}
+
+// AuSerialize is @au_serialize(t1, t2): bind strcat(t1,t2) to
+// concat(π(t1), π(t2)).
+type AuSerialize struct {
+	T1, T2 string
+}
+
+// AuCheckpoint is @au_checkpoint().
+type AuCheckpoint struct{}
+
+// AuRestore is @au_restore().
+type AuRestore struct{}
+
+func (Assign) stmt()       {}
+func (AuConfig) stmt()     {}
+func (AuExtract) stmt()    {}
+func (AuWriteBack) stmt()  {}
+func (AuNN) stmt()         {}
+func (AuSerialize) stmt()  {}
+func (AuCheckpoint) stmt() {}
+func (AuRestore) stmt()    {}
+
+// Machine is the configuration ⟨σ, π, θ, ω⟩ plus the snapshot used by
+// the CHECKPOINT/RESTORE rules.
+type Machine struct {
+	Sigma map[string][]float64 // σ
+	Pi    map[string][]float64 // π
+	Theta map[string][]float64 // θ
+	Omega Mode                 // ω
+
+	snapshot *snapshot
+
+	// savedModels backs the loadModel statement used by CONFIG-TEST.
+	savedModels map[string][]float64
+}
+
+type snapshot struct {
+	sigma map[string][]float64
+	pi    map[string][]float64
+}
+
+// NewMachine returns an empty machine in the given mode.
+func NewMachine(mode Mode) *Machine {
+	return &Machine{
+		Sigma:       map[string][]float64{},
+		Pi:          map[string][]float64{},
+		Theta:       map[string][]float64{},
+		Omega:       mode,
+		savedModels: map[string][]float64{},
+	}
+}
+
+// InstallSavedModel provides the persistent model that loadModel returns
+// in TS mode.
+func (m *Machine) InstallSavedModel(name string, params []float64) {
+	m.savedModels[name] = append([]float64(nil), params...)
+}
+
+// buildModel is the statement extension buildModel(mdName, δ, α, l, n…):
+// it deterministically derives an initial parameter list from the
+// configuration, standing in for weight initialization.
+func buildModel(mdName string, _ ModelType, _ Algorithm, layers int, neurons []int) []float64 {
+	n := layers + len(neurons) + 1
+	params := make([]float64, n)
+	seed := float64(len(mdName) + 1)
+	for i := range params {
+		params[i] = seed * float64(i+1) * 0.01
+	}
+	return params
+}
+
+// runModel is the statement extension runModel(parm, v…): a
+// deterministic abstract model application producing one output per
+// parameter.
+func runModel(params, in []float64) []float64 {
+	sum := 0.0
+	for _, v := range in {
+		sum += v
+	}
+	out := make([]float64, len(params))
+	for i, p := range params {
+		out[i] = p * (1 + sum)
+	}
+	return out
+}
+
+// gradient is the statement extension gradient(parm, v…): a
+// deterministic abstract gradient.
+func gradient(params, target []float64) []float64 {
+	tsum := 0.0
+	for _, v := range target {
+		tsum += v
+	}
+	out := make([]float64, len(params))
+	for i, p := range params {
+		out[i] = 0.01 * (p - tsum/float64(len(params)+1))
+	}
+	return out
+}
+
+// concat is the statement extension concat(v1, v2).
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Exec performs one statement transition. It returns an error for stuck
+// configurations (e.g. write-back of an unbound name), which the paper's
+// rules leave undefined.
+func (m *Machine) Exec(s Stmt) error {
+	switch st := s.(type) {
+	case Assign:
+		// [ASSIGN] σ' = σ[x ↦ v]
+		m.Sigma[st.Var] = append([]float64(nil), st.Vals...)
+		return nil
+
+	case AuConfig:
+		if _, bound := m.Theta[st.MdName]; bound {
+			// θ(mdName) ≢ ⊥ ⇒ θ' = θ in both rules.
+			return nil
+		}
+		switch m.Omega {
+		case TR:
+			// [CONFIG-TRAIN] θ' = θ[mdName ↦ buildModel(…)]
+			m.Theta[st.MdName] = buildModel(st.MdName, st.Type, st.Algo, st.Layers, st.Neurons)
+		case TS:
+			// [CONFIG-TEST] θ' = θ[mdName ↦ loadModel(mdName)]
+			saved, ok := m.savedModels[st.MdName]
+			if !ok {
+				return fmt.Errorf("semantics: loadModel(%q): no saved model", st.MdName)
+			}
+			m.Theta[st.MdName] = append([]float64(nil), saved...)
+		}
+		return nil
+
+	case AuExtract:
+		// [EXTRACT] π' = π[extName ↦ concat(π(extName), x[0..σ[size]-1])]
+		x, ok := m.Sigma[st.Var]
+		if !ok {
+			return fmt.Errorf("semantics: au_extract of unbound variable %q", st.Var)
+		}
+		n := len(x)
+		if st.SizeVar != "" {
+			sv, ok := m.Sigma[st.SizeVar]
+			if !ok || len(sv) == 0 {
+				return fmt.Errorf("semantics: au_extract size variable %q unbound", st.SizeVar)
+			}
+			n = int(sv[0])
+			if n < 0 || n > len(x) {
+				return fmt.Errorf("semantics: au_extract size %d out of range for %q (len %d)", n, st.Var, len(x))
+			}
+		}
+		m.Pi[st.ExtName] = concat(m.Pi[st.ExtName], x[:n])
+		return nil
+
+	case AuWriteBack:
+		// [WRITE-BACK] ∀i ∈ [0, σ(size)), σ[x[i] ↦ π(wbName)[i]]
+		vals, ok := m.Pi[st.WbName]
+		if !ok {
+			return fmt.Errorf("semantics: au_write_back of unbound name %q", st.WbName)
+		}
+		n := len(vals)
+		if st.SizeVar != "" {
+			sv, ok := m.Sigma[st.SizeVar]
+			if !ok || len(sv) == 0 {
+				return fmt.Errorf("semantics: au_write_back size variable %q unbound", st.SizeVar)
+			}
+			n = int(sv[0])
+		}
+		if n > len(vals) {
+			return fmt.Errorf("semantics: au_write_back size %d exceeds binding %q (len %d)", n, st.WbName, len(vals))
+		}
+		x := append([]float64(nil), m.Sigma[st.Var]...)
+		if len(x) < n {
+			grown := make([]float64, n)
+			copy(grown, x)
+			x = grown
+		}
+		copy(x[:n], vals[:n])
+		m.Sigma[st.Var] = x
+		return nil
+
+	case AuNN:
+		params, ok := m.Theta[st.MdName]
+		if !ok {
+			return fmt.Errorf("semantics: au_NN on unconfigured model %q", st.MdName)
+		}
+		switch m.Omega {
+		case TR:
+			// [TRAIN] θ' = θ[m ↦ θ(m) − gradient(θ(m), π(wbName))],
+			// π' = π[wbName ↦ runModel(θ'(m), π(extName)), extName ↦ ⊥]
+			g := gradient(params, m.Pi[st.WbName])
+			updated := make([]float64, len(params))
+			for i := range params {
+				updated[i] = params[i] - g[i]
+			}
+			m.Theta[st.MdName] = updated
+			m.Pi[st.WbName] = runModel(updated, m.Pi[st.ExtName])
+		case TS:
+			// [TEST] π' = π[wbName ↦ runModel(θ(m), π(extName)), extName ↦ ⊥]
+			m.Pi[st.WbName] = runModel(params, m.Pi[st.ExtName])
+		}
+		delete(m.Pi, st.ExtName)
+		return nil
+
+	case AuSerialize:
+		// [SERIALIZE] π' = π[strcat(t1,t2) ↦ concat(π(t1), π(t2))]
+		m.Pi[st.T1+st.T2] = concat(m.Pi[st.T1], m.Pi[st.T2])
+		return nil
+
+	case AuCheckpoint:
+		// [CHECKPOINT] mkSnapshot(⟨σ, π⟩) — θ is deliberately excluded.
+		m.snapshot = &snapshot{sigma: copyStore(m.Sigma), pi: copyStore(m.Pi)}
+		return nil
+
+	case AuRestore:
+		// [RESTORE] ⟨σ', π'⟩ := rtSnapshot()
+		if m.snapshot == nil {
+			return fmt.Errorf("semantics: au_restore without checkpoint")
+		}
+		m.Sigma = copyStore(m.snapshot.sigma)
+		m.Pi = copyStore(m.snapshot.pi)
+		return nil
+
+	default:
+		return fmt.Errorf("semantics: unknown statement %T", s)
+	}
+}
+
+// Run executes a statement sequence, stopping at the first error.
+func (m *Machine) Run(stmts ...Stmt) error {
+	for i, s := range stmts {
+		if err := m.Exec(s); err != nil {
+			return fmt.Errorf("statement %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func copyStore(s map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(s))
+	for k, v := range s {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// ThetaCopy returns a deep copy of θ, for test assertions.
+func (m *Machine) ThetaCopy() map[string][]float64 { return copyStore(m.Theta) }

@@ -1,0 +1,381 @@
+package semantics
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssign(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Exec(Assign{Var: "x", Vals: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sigma["x"][0] != 3 {
+		t.Errorf("sigma[x] = %v", m.Sigma["x"])
+	}
+}
+
+func TestConfigTrainBuildsModelOnce(t *testing.T) {
+	m := NewMachine(TR)
+	cfg := AuConfig{MdName: "Mario", Type: DNN, Algo: Q, Layers: 2, Neurons: []int{256, 64}}
+	if err := m.Exec(cfg); err != nil {
+		t.Fatal(err)
+	}
+	first := m.ThetaCopy()["Mario"]
+	if len(first) == 0 {
+		t.Fatal("CONFIG-TRAIN did not build a model")
+	}
+	// Mutate then reconfigure: θ(mdName) ≢ ⊥ means no rebuild.
+	m.Theta["Mario"][0] = 42
+	if err := m.Exec(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if m.Theta["Mario"][0] != 42 {
+		t.Error("CONFIG-TRAIN rebuilt an existing model")
+	}
+}
+
+func TestConfigTestLoadsSavedModel(t *testing.T) {
+	m := NewMachine(TS)
+	if err := m.Exec(AuConfig{MdName: "m"}); err == nil {
+		t.Error("CONFIG-TEST without saved model succeeded")
+	}
+	m.InstallSavedModel("m", []float64{1, 2, 3})
+	if err := m.Exec(AuConfig{MdName: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Theta["m"], []float64{1, 2, 3}) {
+		t.Errorf("loaded model = %v", m.Theta["m"])
+	}
+}
+
+func TestExtractAppends(t *testing.T) {
+	m := NewMachine(TR)
+	m.Sigma["x"] = []float64{7, 8, 9}
+	m.Sigma["sz"] = []float64{2}
+	if err := m.Exec(AuExtract{ExtName: "X", SizeVar: "sz", Var: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Pi["X"], []float64{7, 8}) {
+		t.Errorf("pi[X] = %v", m.Pi["X"])
+	}
+	// Second extract appends (the in-loop case from the paper).
+	if err := m.Exec(AuExtract{ExtName: "X", SizeVar: "sz", Var: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Pi["X"], []float64{7, 8, 7, 8}) {
+		t.Errorf("pi[X] after second extract = %v", m.Pi["X"])
+	}
+}
+
+func TestExtractWholeArrayWhenNoSize(t *testing.T) {
+	m := NewMachine(TR)
+	m.Sigma["x"] = []float64{1, 2, 3}
+	if err := m.Exec(AuExtract{ExtName: "X", Var: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pi["X"]) != 3 {
+		t.Errorf("pi[X] = %v", m.Pi["X"])
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Exec(AuExtract{ExtName: "X", Var: "ghost"}); err == nil {
+		t.Error("extract of unbound variable succeeded")
+	}
+	m.Sigma["x"] = []float64{1}
+	if err := m.Exec(AuExtract{ExtName: "X", SizeVar: "ghost", Var: "x"}); err == nil {
+		t.Error("extract with unbound size succeeded")
+	}
+	m.Sigma["sz"] = []float64{5}
+	if err := m.Exec(AuExtract{ExtName: "X", SizeVar: "sz", Var: "x"}); err == nil {
+		t.Error("extract with oversized size succeeded")
+	}
+}
+
+func TestWriteBack(t *testing.T) {
+	m := NewMachine(TR)
+	m.Pi["out"] = []float64{4, 5, 6}
+	m.Sigma["sz"] = []float64{2}
+	m.Sigma["x"] = []float64{0, 0, 99}
+	if err := m.Exec(AuWriteBack{WbName: "out", SizeVar: "sz", Var: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Sigma["x"], []float64{4, 5, 99}) {
+		t.Errorf("sigma[x] = %v", m.Sigma["x"])
+	}
+	// Write-back into an unbound variable allocates it.
+	if err := m.Exec(AuWriteBack{WbName: "out", SizeVar: "sz", Var: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Sigma["fresh"], []float64{4, 5}) {
+		t.Errorf("sigma[fresh] = %v", m.Sigma["fresh"])
+	}
+}
+
+func TestWriteBackErrors(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Exec(AuWriteBack{WbName: "ghost", Var: "x"}); err == nil {
+		t.Error("write-back of unbound name succeeded")
+	}
+	m.Pi["out"] = []float64{1}
+	m.Sigma["sz"] = []float64{5}
+	if err := m.Exec(AuWriteBack{WbName: "out", SizeVar: "sz", Var: "x"}); err == nil {
+		t.Error("write-back beyond binding length succeeded")
+	}
+	if err := m.Exec(AuWriteBack{WbName: "out", SizeVar: "ghost", Var: "x"}); err == nil {
+		t.Error("write-back with unbound size variable succeeded")
+	}
+}
+
+func TestSerializeRule(t *testing.T) {
+	m := NewMachine(TR)
+	m.Pi["PX"] = []float64{1}
+	m.Pi["PY"] = []float64{2, 3}
+	if err := m.Exec(AuSerialize{T1: "PX", T2: "PY"}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Pi["PXPY"], []float64{1, 2, 3}) {
+		t.Errorf("pi[PXPY] = %v", m.Pi["PXPY"])
+	}
+	// Constituents remain bound in the literal rule.
+	if len(m.Pi["PX"]) != 1 || len(m.Pi["PY"]) != 2 {
+		t.Error("literal SERIALIZE must not consume constituents")
+	}
+}
+
+func TestTrainRuleUpdatesModelAndResetsInput(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Run(
+		AuConfig{MdName: "m", Layers: 2, Neurons: []int{4, 2}},
+		Assign{Var: "x", Vals: []float64{1, 2}},
+		AuExtract{ExtName: "in", Var: "x"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	before := m.ThetaCopy()["m"]
+	m.Pi["out"] = []float64{5} // prior target in π(wbName)
+	if err := m.Exec(AuNN{MdName: "m", ExtName: "in", WbName: "out"}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Theta["m"]
+	if reflect.DeepEqual(before, after) {
+		t.Error("TRAIN did not update θ")
+	}
+	if _, bound := m.Pi["in"]; bound {
+		t.Error("TRAIN did not reset extName to ⊥")
+	}
+	if len(m.Pi["out"]) != len(after) {
+		t.Errorf("TRAIN output length %d, want %d", len(m.Pi["out"]), len(after))
+	}
+}
+
+func TestTestRuleLeavesModelUntouched(t *testing.T) {
+	m := NewMachine(TS)
+	m.InstallSavedModel("m", []float64{1, 2})
+	if err := m.Run(
+		AuConfig{MdName: "m"},
+		Assign{Var: "x", Vals: []float64{3}},
+		AuExtract{ExtName: "in", Var: "x"},
+		AuNN{MdName: "m", ExtName: "in", WbName: "out"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Theta["m"], []float64{1, 2}) {
+		t.Errorf("TEST modified θ: %v", m.Theta["m"])
+	}
+	if _, bound := m.Pi["in"]; bound {
+		t.Error("TEST did not reset extName")
+	}
+	if len(m.Pi["out"]) != 2 {
+		t.Errorf("TEST output = %v", m.Pi["out"])
+	}
+}
+
+func TestNNUnconfiguredModel(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Exec(AuNN{MdName: "ghost", ExtName: "a", WbName: "b"}); err == nil {
+		t.Error("au_NN on unconfigured model succeeded")
+	}
+}
+
+// TestCheckpointRestoreExcludesTheta is the central semantic property:
+// restore rolls ⟨σ, π⟩ back together while θ is untouched.
+func TestCheckpointRestoreExcludesTheta(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Run(
+		AuConfig{MdName: "m", Layers: 1, Neurons: []int{2}},
+		Assign{Var: "x", Vals: []float64{1}},
+		AuCheckpoint{},
+	); err != nil {
+		t.Fatal(err)
+	}
+	// Progress: mutate σ, π and θ.
+	if err := m.Run(
+		Assign{Var: "x", Vals: []float64{99}},
+		AuExtract{ExtName: "in", Var: "x"},
+		AuNN{MdName: "m", ExtName: "in", WbName: "out"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	thetaBefore := m.ThetaCopy()
+	if err := m.Exec(AuRestore{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sigma["x"][0] != 1 {
+		t.Errorf("σ not restored: %v", m.Sigma["x"])
+	}
+	if _, bound := m.Pi["out"]; bound {
+		t.Error("π not restored")
+	}
+	if !reflect.DeepEqual(m.ThetaCopy(), thetaBefore) {
+		t.Error("θ was modified by restore")
+	}
+}
+
+func TestRestoreWithoutCheckpoint(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Exec(AuRestore{}); err == nil {
+		t.Error("restore without checkpoint succeeded")
+	}
+}
+
+// TestStoreIsolation property: no sequence of extract/serialize/NN
+// statements ever mutates σ, and no assign ever mutates π. Data crosses
+// only via extract (σ→π) and write-back (π→σ).
+func TestStoreIsolation(t *testing.T) {
+	prop := func(vals []float64, n uint8) bool {
+		if len(vals) == 0 {
+			vals = []float64{1}
+		}
+		for i, v := range vals {
+			// Keep the abstract model arithmetic finite (NaN breaks
+			// DeepEqual, not the semantics).
+			if v != v || v > 1e6 || v < -1e6 {
+				vals[i] = float64(i)
+			}
+		}
+		m := NewMachine(TR)
+		m.Sigma["x"] = append([]float64(nil), vals...)
+		m.Theta["m"] = []float64{0.5, 0.5}
+		sigmaBefore := copyStore(m.Sigma)
+
+		// π-side statements must not touch σ.
+		stmts := []Stmt{
+			AuExtract{ExtName: "a", Var: "x"},
+			AuSerialize{T1: "a", T2: "a"},
+			AuNN{MdName: "m", ExtName: "aa", WbName: "out"},
+		}
+		for i := 0; i < int(n%4)+1; i++ {
+			for _, s := range stmts {
+				if err := m.Exec(s); err != nil {
+					return false
+				}
+			}
+		}
+		if !reflect.DeepEqual(m.Sigma, sigmaBefore) {
+			return false
+		}
+		// σ-side assignment must not touch π.
+		piBefore := copyStore(m.Pi)
+		if err := m.Exec(Assign{Var: "x", Vals: []float64{42}}); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m.Pi, piBefore)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointIdempotentRestore property: any number of restores
+// returns to the same ⟨σ, π⟩.
+func TestCheckpointIdempotentRestore(t *testing.T) {
+	prop := func(vals []float64, rounds uint8) bool {
+		m := NewMachine(TR)
+		m.Sigma["x"] = append([]float64(nil), vals...)
+		if err := m.Exec(AuCheckpoint{}); err != nil {
+			return false
+		}
+		want := copyStore(m.Sigma)
+		for i := 0; i < int(rounds%5)+1; i++ {
+			m.Sigma["x"] = []float64{float64(i) * 7}
+			if err := m.Exec(AuRestore{}); err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(m.Sigma, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMarioLoopShape runs a miniature version of the Fig. 2 annotation
+// end-to-end through the formal machine.
+func TestMarioLoopShape(t *testing.T) {
+	m := NewMachine(TR)
+	if err := m.Run(
+		AuConfig{MdName: "Mario", Type: DNN, Algo: Q, Layers: 2, Neurons: []int{256, 64}},
+		Assign{Var: "one", Vals: []float64{1}},
+		Assign{Var: "five", Vals: []float64{5}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 3; iter++ {
+		if err := m.Run(
+			AuCheckpoint{},
+			Assign{Var: "px", Vals: []float64{float64(iter)}},
+			Assign{Var: "py", Vals: []float64{2}},
+			AuExtract{ExtName: "PX", SizeVar: "one", Var: "px"},
+			AuExtract{ExtName: "PY", SizeVar: "one", Var: "py"},
+			AuSerialize{T1: "PX", T2: "PY"},
+			AuNN{MdName: "Mario", ExtName: "PXPY", WbName: "output"},
+		); err != nil {
+			t.Fatal(err)
+		}
+		// Model emits as many values as parameters; write back the
+		// first element as the action key.
+		if err := m.Exec(AuWriteBack{WbName: "output", SizeVar: "one", Var: "actionKey"}); err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Sigma["actionKey"]) != 1 {
+			t.Fatalf("actionKey = %v", m.Sigma["actionKey"])
+		}
+		if err := m.Exec(AuRestore{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three training NN calls must have moved θ three times.
+	if reflect.DeepEqual(m.Theta["Mario"], buildModel("Mario", DNN, Q, 2, []int{256, 64})) {
+		t.Error("θ did not accumulate learning across restores")
+	}
+}
+
+func TestUnknownStatement(t *testing.T) {
+	m := NewMachine(TR)
+	type bogus struct{ Stmt }
+	if err := m.Exec(bogus{}); err == nil {
+		t.Error("unknown statement succeeded")
+	}
+}
+
+func TestRunStopsAtFirstError(t *testing.T) {
+	m := NewMachine(TR)
+	err := m.Run(
+		Assign{Var: "x", Vals: []float64{1}},
+		AuWriteBack{WbName: "ghost", Var: "x"}, // fails
+		Assign{Var: "x", Vals: []float64{2}},   // must not run
+	)
+	if err == nil {
+		t.Fatal("Run did not propagate the error")
+	}
+	if m.Sigma["x"][0] != 1 {
+		t.Error("Run continued past the failing statement")
+	}
+}

@@ -1,0 +1,235 @@
+package sphinx
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/dep"
+	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+func TestParamsValidateClamp(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := []Params{
+		{VadThreshold: 0, WarpBand: 3},
+		{VadThreshold: 1, WarpBand: 3},
+		{VadThreshold: 0.1, WarpBand: 0},
+		{VadThreshold: 0.1, WarpBand: 100},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v validated", p)
+		}
+		if err := p.Clamp().Validate(); err != nil {
+			t.Errorf("clamp of %+v invalid: %v", p, err)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	u := Generate(stats.NewRNG(1), GenConfig{})
+	if len(u.Words) < 2 || len(u.Words) > 5 {
+		t.Errorf("word count %d", len(u.Words))
+	}
+	for _, w := range u.Words {
+		if w < 0 || w >= VocabSize {
+			t.Errorf("word %d out of vocabulary", w)
+		}
+	}
+	if len(u.Samples) < 4*FrameLen {
+		t.Error("utterance too short")
+	}
+	if u.NoiseFloor <= 0 || u.Rate <= 0 {
+		t.Error("generation metadata missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(stats.NewRNG(3), GenConfig{})
+	b := Generate(stats.NewRNG(3), GenConfig{})
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed, different samples")
+		}
+	}
+}
+
+func TestRecognizeErrors(t *testing.T) {
+	if _, err := Recognize(make([]float64, 10), DefaultParams(), nil, nil); err == nil {
+		t.Error("too-short utterance accepted")
+	}
+	if _, err := Recognize(make([]float64, 1000), Params{}, nil, nil); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+// TestRecognizeCleanUtterance checks end-to-end decoding on an easy
+// utterance: low noise, nominal rate.
+func TestRecognizeCleanUtterance(t *testing.T) {
+	rng := stats.NewRNG(5)
+	u := Generate(rng, GenConfig{MaxNoise: 0.05, MaxRateJitter: 0.05})
+	hyp, err := Recognize(u.Samples, DefaultParams(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Score(hyp, u.Words); s < 0.7 {
+		t.Errorf("clean-utterance accuracy %v (hyp %v, truth %v)", s, hyp, u.Words)
+	}
+}
+
+func TestScore(t *testing.T) {
+	if got := Score([]int{1, 2, 3}, []int{1, 2, 3}); got != 1 {
+		t.Errorf("perfect score = %v", got)
+	}
+	if got := Score(nil, []int{1}); got != 0 {
+		t.Errorf("empty hypothesis score = %v", got)
+	}
+	if got := Score(nil, nil); got != 1 {
+		t.Errorf("empty/empty score = %v", got)
+	}
+	if got := Score([]int{5, 5, 5, 5}, nil); got != 0 {
+		t.Errorf("insertions-only score = %v", got)
+	}
+	// Insertions cost half a word each.
+	if got := Score([]int{1, 2, 0}, []int{1, 2}); got != 0.75 {
+		t.Errorf("insertion-penalized score = %v, want 0.75", got)
+	}
+	// Order matters (LCS, not set overlap).
+	if got := Score([]int{2, 1}, []int{1, 2}); got >= 1 {
+		t.Errorf("reordered hypothesis scored %v", got)
+	}
+}
+
+func TestTraceCaptured(t *testing.T) {
+	u := Generate(stats.NewRNG(7), GenConfig{})
+	var tr Trace
+	if _, err := Recognize(u.Samples, DefaultParams(), nil, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != len(u.Samples) {
+		t.Error("samples not traced")
+	}
+	if len(tr.FrameEnergies) != len(u.Samples)/FrameLen {
+		t.Error("frame energies not traced")
+	}
+	if len(tr.EnergyHist) != 16 {
+		t.Errorf("energy hist bins = %d", len(tr.EnergyHist))
+	}
+	if tr.Segments == 0 {
+		t.Error("no segments detected")
+	}
+	if fv := tr.FeatureVector(); len(fv) != 18 {
+		t.Errorf("FeatureVector length = %d, want 18", len(fv))
+	}
+	if mv := tr.MedFeatureVector(50); len(mv) != 50 {
+		t.Errorf("MedFeatureVector length = %d", len(mv))
+	}
+	if rv := tr.RawFeatureVector(200); len(rv) != 200 {
+		t.Errorf("RawFeatureVector length = %d", len(rv))
+	}
+}
+
+// TestVadThresholdMatters verifies the target variable has real effect:
+// on a noisy utterance, a sensible threshold beats an extreme one.
+func TestVadThresholdMatters(t *testing.T) {
+	var good, bad float64
+	for seed := uint64(10); seed < 16; seed++ {
+		u := Generate(stats.NewRNG(seed), GenConfig{MaxNoise: 0.3})
+		hypGood, err := Recognize(u.Samples, Params{VadThreshold: 0.12, WarpBand: 4}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hypBad, err := Recognize(u.Samples, Params{VadThreshold: 0.9, WarpBand: 4}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good += Score(hypGood, u.Words)
+		bad += Score(hypBad, u.Words)
+	}
+	if good <= bad {
+		t.Errorf("sensible threshold (%v) not better than extreme (%v)", good, bad)
+	}
+}
+
+func TestAlgorithm1OnSphinxGraph(t *testing.T) {
+	g := dep.NewGraph()
+	u := Generate(stats.NewRNG(20), GenConfig{})
+	if _, err := Recognize(u.Samples, DefaultParams(), g, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := extract.SL(g, Inputs(), Targets())
+	feats := res["vadThreshold"]
+	if len(feats) == 0 {
+		t.Fatal("no features for vadThreshold")
+	}
+	// The near features for the VAD threshold are the energy-derived
+	// variables, not the raw samples.
+	if feats[0].Name == "samples" {
+		t.Errorf("raw input ranked first: %v", feats[:3])
+	}
+	for _, f := range feats {
+		if f.Name == "samples" && f.Dist <= feats[0].Dist {
+			t.Errorf("samples not ranked worse than %s", feats[0].Name)
+		}
+	}
+}
+
+func TestOracleBeatsDefaults(t *testing.T) {
+	var oracleSum, defSum float64
+	for _, u := range GenerateCorpus(30, 5, GenConfig{}) {
+		_, s := Oracle(u)
+		oracleSum += s
+		hyp, err := Recognize(u.Samples, DefaultParams(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defSum += Score(hyp, u.Words)
+	}
+	if oracleSum < defSum {
+		t.Errorf("oracle total %v below default total %v", oracleSum, defSum)
+	}
+}
+
+func TestParamsVectorRoundTrip(t *testing.T) {
+	p := Params{VadThreshold: 0.25, WarpBand: 8}
+	got := VectorToParams(ParamsToVector(p))
+	if got.VadThreshold != 0.25 || got.WarpBand != 8 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if err := VectorToParams([]float64{-5, 99}).Validate(); err != nil {
+		t.Errorf("clamped params invalid: %v", err)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	e := []float64{0, 0, 5, 6, 0, 7, 0, 0, 8, 8, 8, 0}
+	segs := segment(e, 1)
+	// The single-frame gap at index 4 is bridged; the two-frame gap at
+	// 6-7 splits.
+	if len(segs) != 2 {
+		t.Fatalf("segments = %v, want 2", segs)
+	}
+	if segs[0][0] != 2 || segs[0][1] != 6 {
+		t.Errorf("first segment = %v", segs[0])
+	}
+	if segs[1][0] != 8 || segs[1][1] != 11 {
+		t.Errorf("second segment = %v", segs[1])
+	}
+	if got := segment([]float64{5, 5}, 1); len(got) != 1 || got[0] != [2]int{0, 2} {
+		t.Errorf("trailing segment = %v", got)
+	}
+}
+
+func TestLCS(t *testing.T) {
+	if got := lcs([]int{1, 3, 2, 4}, []int{1, 2, 3, 4}); got != 3 {
+		t.Errorf("lcs = %d, want 3", got)
+	}
+	if got := lcs(nil, []int{1}); got != 0 {
+		t.Errorf("lcs empty = %d", got)
+	}
+}

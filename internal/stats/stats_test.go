@@ -1,0 +1,332 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("variance of constant sequence = %v, want 0", got)
+	}
+	// Population variance of {2,4,4,4,5,5,7,9} is 4.
+	got := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("variance of single element = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+	lo, err := Min([]float64{3, -1, 2})
+	if err != nil || lo != -1 {
+		t.Errorf("Min = %v, %v; want -1, nil", lo, err)
+	}
+	hi, err := Max([]float64{3, -1, 2})
+	if err != nil || hi != 3 {
+		t.Errorf("Max = %v, %v; want 3, nil", hi, err)
+	}
+}
+
+func TestMinMaxScale(t *testing.T) {
+	got := MinMaxScale([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("MinMaxScale = %v, want %v", got, want)
+		}
+	}
+	// Constant sequences must scale to zeros, not NaN.
+	for _, v := range MinMaxScale([]float64{7, 7, 7}) {
+		if v != 0 {
+			t.Fatalf("constant scale produced %v, want 0", v)
+		}
+	}
+	if got := MinMaxScale(nil); len(got) != 0 {
+		t.Fatalf("MinMaxScale(nil) = %v, want empty", got)
+	}
+}
+
+// TestMinMaxScaleProperties checks the scaling invariants with
+// property-based testing: output stays within [0,1] and ordering is
+// preserved.
+func TestMinMaxScaleProperties(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+			// Bound magnitudes so hi-lo cannot overflow to +Inf.
+			xs[i] = math.Mod(xs[i], 1e9)
+		}
+		out := MinMaxScale(xs)
+		if len(out) != len(xs) {
+			return false
+		}
+		for _, v := range out {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		for i := 0; i < len(xs); i++ {
+			for j := i + 1; j < len(xs); j++ {
+				if xs[i] < xs[j] && out[i] > out[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	// The worked example from the paper, Section 4: [0.1,0.3,0.4] vs
+	// [0.1,0.2] with zero padding gives sqrt(0.17).
+	got := EuclideanDistance([]float64{0.1, 0.3, 0.4}, []float64{0.1, 0.2})
+	if !almostEqual(got, math.Sqrt(0.17), 1e-12) {
+		t.Errorf("paper example distance = %v, want sqrt(0.17)=%v", got, math.Sqrt(0.17))
+	}
+	if got := EuclideanDistance(nil, nil); got != 0 {
+		t.Errorf("distance of empty traces = %v, want 0", got)
+	}
+	if got := EuclideanDistance([]float64{3, 4}, nil); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("distance to empty = %v, want 5", got)
+	}
+}
+
+// TestEuclideanDistanceMetricProperties validates symmetry and
+// non-negativity, the properties Algorithm 2's pruning relies on.
+func TestEuclideanDistanceMetricProperties(t *testing.T) {
+	clean := func(xs []float64) []float64 {
+		out := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			out = append(out, math.Mod(x, 1e6))
+		}
+		return out
+	}
+	prop := func(a, b []float64) bool {
+		a, b = clean(a), clean(b)
+		d1 := EuclideanDistance(a, b)
+		d2 := EuclideanDistance(b, a)
+		if d1 < 0 {
+			return false
+		}
+		return almostEqual(d1, d2, 1e-9*(1+d1))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Identity: d(a, a) == 0.
+	idProp := func(a []float64) bool {
+		a = clean(a)
+		return EuclideanDistance(a, a) == 0
+	}
+	if err := quick.Check(idProp, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v, want 1", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v, want 0", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v, want 0.5", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d, want -1", got)
+	}
+	if got := ArgMax([]float64{1, 3, 2}); got != 1 {
+		t.Errorf("ArgMax = %d, want 1", got)
+	}
+	// Ties resolve to the lowest index for deterministic greedy policies.
+	if got := ArgMax([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("ArgMax tie = %d, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{1, 3})
+	if !almostEqual(got[0], 0.25, 1e-12) || !almostEqual(got[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", got)
+	}
+	got = Normalize([]float64{0, 0})
+	if !almostEqual(got[0], 0.5, 1e-12) || !almostEqual(got[1], 0.5, 1e-12) {
+		t.Errorf("Normalize zeros = %v, want uniform", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.1, 0.6, 0.9, 2, -3}, 2, 0, 1)
+	// Buckets: [0,0.5) and [0.5,1]; 2 clamps high, -3 clamps low.
+	if h[0] != 3 || h[1] != 3 {
+		t.Errorf("Histogram = %v, want [3 3]", h)
+	}
+	if got := Histogram([]float64{1}, 0, 0, 1); len(got) != 0 {
+		t.Errorf("zero-bucket histogram = %v", got)
+	}
+	if got := Histogram([]float64{1}, 3, 1, 1); Sum(got) != 0 {
+		t.Errorf("degenerate-range histogram = %v, want zeros", got)
+	}
+}
+
+func TestHistogramMassConserved(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		h := Histogram(xs, 8, -10, 10)
+		return Sum(h) == float64(len(xs))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed degenerated to all-zero stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Intn(5) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Split()
+	// The child's next values must differ from the parent's: they are
+	// separate streams.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams coincide on %d of 50 draws", same)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(1234)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	if m := Mean(xs); math.Abs(m) > 0.05 {
+		t.Errorf("normal mean = %v, want ~0", m)
+	}
+	if v := Variance(xs); math.Abs(v-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", v)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}

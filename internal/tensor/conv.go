@@ -1,0 +1,90 @@
+package tensor
+
+import "fmt"
+
+// Im2Col lowers a convolution over an input of shape (channels, height,
+// width) into a matrix multiplication. It returns a matrix of shape
+// (channels*kh*kw, outH*outW) where each column is the receptive field of
+// one output position. stride must be >= 1; pad adds implicit zeros on
+// every edge.
+//
+// Convolution via im2col is how the CNN layer in internal/nn executes:
+// output = weights(outC, inC*kh*kw) × Im2Col(input). This mirrors the
+// lowering used by mainstream frameworks, making the CNN substitute for
+// the paper's TensorFlow raw-pixel models faithful in structure.
+func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(in.shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col wants (C,H,W) input, got %v", in.shape))
+	}
+	if stride < 1 {
+		panic("tensor: Im2Col stride must be >= 1")
+	}
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col kernel %dx%d too large for %dx%d input (pad %d)", kh, kw, h, w, pad))
+	}
+	out := New(c*kh*kw, outH*outW)
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ch*kh+ky)*kw + kx
+				dst := out.data[row*outH*outW:]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						var v float64
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							v = in.data[(ch*h+iy)*w+ix]
+						}
+						dst[oy*outW+ox] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (channels*kh*kw,
+// outH*outW) gradient matrix back onto an input-shaped (channels, height,
+// width) tensor, accumulating where receptive fields overlap. It is used
+// for the convolution backward pass.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if len(cols.shape) != 2 || cols.shape[0] != c*kh*kw || cols.shape[1] != outH*outW {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with params", cols.shape))
+	}
+	out := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ch*kh+ky)*kw + kx
+				src := cols.data[row*outH*outW:]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						out.data[(ch*h+iy)*w+ix] += src[oy*outW+ox]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvOutputSize returns the spatial output size of a convolution or
+// pooling window: (inSize + 2*pad - kernel)/stride + 1.
+func ConvOutputSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

@@ -1,0 +1,77 @@
+// Package trace records runtime value traces of candidate feature
+// variables, the second input to the paper's RL feature extraction
+// (Algorithm 2): each variable's values are sampled in a profiled time
+// sequence, min-max scaled to [0, 1], and compared by Euclidean distance
+// (redundancy pruning, threshold ε₁) and variance (unchanging-variable
+// pruning, threshold ε₂).
+package trace
+
+import (
+	"sort"
+
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// Recorder accumulates per-variable value traces during a profiling run.
+type Recorder struct {
+	traces map[string][]float64
+	// order remembers first-recording order for deterministic iteration.
+	order []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{traces: make(map[string][]float64)}
+}
+
+// Record appends one sampled value for the variable.
+func (r *Recorder) Record(name string, value float64) {
+	if _, seen := r.traces[name]; !seen {
+		r.order = append(r.order, name)
+	}
+	r.traces[name] = append(r.traces[name], value)
+}
+
+// RecordAll samples a whole variable snapshot at once (one game-loop
+// iteration's worth of state).
+func (r *Recorder) RecordAll(snapshot map[string]float64) {
+	// Sort for deterministic first-seen order.
+	names := make([]string, 0, len(snapshot))
+	for k := range snapshot {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		r.Record(k, snapshot[k])
+	}
+}
+
+// Trace returns the raw value sequence for a variable (nil if absent).
+func (r *Recorder) Trace(name string) []float64 {
+	return append([]float64(nil), r.traces[name]...)
+}
+
+// ScaledTrace returns the min-max scaled trace — the Scale0-1(Tracing(w))
+// term of Algorithm 2.
+func (r *Recorder) ScaledTrace(name string) []float64 {
+	return stats.MinMaxScale(r.traces[name])
+}
+
+// Variance returns the variance of the variable's raw trace.
+func (r *Recorder) Variance(name string) float64 {
+	return stats.Variance(r.traces[name])
+}
+
+// Names returns the recorded variables in first-seen order.
+func (r *Recorder) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Len reports the number of samples recorded for a variable.
+func (r *Recorder) Len(name string) int { return len(r.traces[name]) }
+
+// Similarity returns the Euclidean distance between two variables'
+// scaled traces (zero-padded to equal length, per the paper).
+func (r *Recorder) Similarity(a, b string) float64 {
+	return stats.EuclideanDistance(r.ScaledTrace(a), r.ScaledTrace(b))
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRecordAndTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Record("x", 1)
+	r.Record("x", 2)
+	r.Record("y", 5)
+	if got := r.Trace("x"); !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Errorf("Trace(x) = %v", got)
+	}
+	if r.Len("x") != 2 || r.Len("y") != 1 || r.Len("z") != 0 {
+		t.Error("Len wrong")
+	}
+	if got := r.Trace("z"); len(got) != 0 {
+		t.Errorf("Trace(z) = %v", got)
+	}
+}
+
+func TestTraceReturnsCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Record("x", 1)
+	tr := r.Trace("x")
+	tr[0] = 99
+	if r.Trace("x")[0] != 1 {
+		t.Error("Trace leaked internal slice")
+	}
+}
+
+func TestScaledTrace(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []float64{10, 20, 30} {
+		r.Record("x", v)
+	}
+	got := r.ScaledTrace("x")
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ScaledTrace = %v", got)
+		}
+	}
+}
+
+func TestVariance(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		r.Record("const", 3)
+		r.Record("varying", float64(i))
+	}
+	if r.Variance("const") != 0 {
+		t.Error("constant trace has nonzero variance")
+	}
+	if r.Variance("varying") == 0 {
+		t.Error("varying trace has zero variance")
+	}
+}
+
+func TestNamesFirstSeenOrder(t *testing.T) {
+	r := NewRecorder()
+	r.Record("b", 1)
+	r.Record("a", 1)
+	r.Record("b", 2)
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestRecordAllDeterministic(t *testing.T) {
+	r := NewRecorder()
+	r.RecordAll(map[string]float64{"z": 1, "a": 2, "m": 3})
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Errorf("Names after RecordAll = %v", got)
+	}
+	r.RecordAll(map[string]float64{"z": 4, "a": 5, "m": 6})
+	if got := r.Trace("z"); !reflect.DeepEqual(got, []float64{1, 4}) {
+		t.Errorf("Trace(z) = %v", got)
+	}
+}
+
+// TestSimilarityPaperScenario reproduces Fig. 15: two variables with
+// (nearly) identical traces have similarity ≈ 0.
+func TestSimilarityPaperScenario(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 20; i++ {
+		v := math.Sin(float64(i) / 3)
+		r.Record("posX", v)
+		r.Record("roll", v*2+5) // affine copy: identical after scaling
+		r.Record("speed", float64(i%7))
+	}
+	if d := r.Similarity("posX", "roll"); d > 1e-9 {
+		t.Errorf("Similarity(posX, roll) = %v, want ~0", d)
+	}
+	if d := r.Similarity("posX", "speed"); d < 0.5 {
+		t.Errorf("Similarity(posX, speed) = %v, want clearly nonzero", d)
+	}
+}
