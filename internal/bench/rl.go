@@ -234,15 +234,11 @@ var defaultLearnEvery = 1
 // human average of 92%/90%.
 const playerNoise = 0.01
 
-// noisyPolicy wraps a policy with the standard player-noise rate.
-func noisyPolicy(p env.Policy, actions int, seed uint64) env.Policy {
-	return noisyPolicyRate(p, actions, seed, playerNoise)
-}
-
-// noisyPolicyRate wraps a policy with uniform action noise at the given
-// rate.
-func noisyPolicyRate(p env.Policy, actions int, seed uint64, rate float64) env.Policy {
-	rng := stats.NewRNG(seed)
+// noisyPolicyStream wraps a policy with uniform action noise drawn from
+// the given private stream. Parallel rollouts hand each episode its own
+// stream (stats.RNG.SplitN), so episode outcomes are independent of how
+// episodes are scheduled onto workers.
+func noisyPolicyStream(p env.Policy, actions int, rng *stats.RNG, rate float64) env.Policy {
 	return func(e env.Env) int {
 		if rng.Bool(rate) {
 			return rng.Intn(actions)
@@ -290,13 +286,19 @@ func RunRL(subject *RLSubject, cfg RLConfig) (*RLResult, error) {
 	// controller with a small action-noise rate, standing in for the
 	// paper's average of 10 human players (humans mistime inputs; a
 	// noise-free script would set a bar no human baseline sets).
-	noisy := noisyPolicy(subject.Player, subject.Actions, cfg.Seed+77)
+	// Episodes roll out in parallel, each with a private environment and
+	// its own noise stream split from the player seed.
 	playerEpisodes := cfg.EvalEpisodes
 	if playerEpisodes < 20 {
 		playerEpisodes = 20 // the noisy reference needs a stable average
 	}
-	res.PlayerScore, res.PlayerSuccess = env.AverageScore(
-		subject.NewEnv(cfg.Seed), noisy, playerEpisodes, subject.MaxEpisodeSteps)
+	noiseStreams := stats.NewRNG(cfg.Seed + 77).SplitN(playerEpisodes)
+	res.PlayerScore, res.PlayerSuccess = env.ParallelAverageScore(
+		func(int) env.Env { return subject.NewEnv(cfg.Seed) },
+		func(ep int) env.Policy {
+			return noisyPolicyStream(subject.Player, subject.Actions, noiseStreams[ep], playerNoise)
+		},
+		playerEpisodes, subject.MaxEpisodeSteps)
 
 	// Un-autonomized per-frame cost (Table 3 baseline exec time).
 	baseEnv := subject.NewEnv(cfg.Seed)
@@ -410,18 +412,25 @@ func RunRL(subject *RLSubject, cfg RLConfig) (*RLResult, error) {
 	return res, nil
 }
 
-// evalGreedy plays EvalEpisodes with the greedy policy on a fresh
-// environment with the same layout seed.
+// evalGreedy plays EvalEpisodes with the greedy policy, rolling episodes
+// out in parallel: each episode owns a fresh environment with the same
+// layout seed and a private inference replica from rt.Predictor (shared
+// weights, private activation caches), so no episode serializes on the
+// training network's lock. The training loop is paused while this runs,
+// so the weights are quiescent as Predictor requires.
 func evalGreedy(subject *RLSubject, rt *core.Runtime, encode func(env.Env) []float64, cfg RLConfig) (score, success float64) {
-	e := subject.NewEnv(cfg.Seed)
-	policy := func(e env.Env) int {
-		out, err := rt.Predict(subject.Name, encode(e))
-		if err != nil {
-			return 0
-		}
-		return stats.ArgMax(out)
-	}
-	return env.AverageScore(e, policy, cfg.EvalEpisodes, subject.MaxEpisodeSteps)
+	return env.ParallelAverageScore(
+		func(int) env.Env { return subject.NewEnv(cfg.Seed) },
+		func(int) env.Policy {
+			pred, err := rt.Predictor(subject.Name)
+			if err != nil {
+				return func(env.Env) int { return 0 }
+			}
+			return func(e env.Env) int {
+				return stats.ArgMax(pred(encode(e)))
+			}
+		},
+		cfg.EvalEpisodes, subject.MaxEpisodeSteps)
 }
 
 // AllRLSubjects lists the five interactive subjects in Table 1/3 order.

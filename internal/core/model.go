@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/autonomizer/autonomizer/internal/nn"
 	"github.com/autonomizer/autonomizer/internal/rl"
@@ -37,6 +38,11 @@ type model struct {
 	// pendingParams holds serialized weights loaded before the network
 	// is materialized (TS mode loads by name before sizes are known).
 	pendingParams []byte
+
+	// predMu serializes predictions through the shared network, whose
+	// layers cache forward-pass state. Parallel rollouts avoid this lock
+	// entirely by taking private replicas via predictor().
+	predMu sync.Mutex
 }
 
 func newModel(spec ModelSpec, rng *stats.RNG) *model {
@@ -73,6 +79,7 @@ func (m *model) materialize(inSize, outSize int) error {
 		return net
 	}
 	m.net = build()
+	m.net.SetMaxWorkers(m.spec.Workers)
 
 	switch m.spec.Algo {
 	case QLearn:
@@ -89,7 +96,9 @@ func (m *model) materialize(inSize, outSize int) error {
 		if m.spec.Type == CNN {
 			cfg.StateShape = m.spec.InputShape
 		}
-		m.agent = rl.NewAgent(m.net, build(), m.spec.Actions, cfg, m.rng.Split())
+		target := build()
+		target.SetMaxWorkers(m.spec.Workers)
+		m.agent = rl.NewAgent(m.net, target, m.spec.Actions, cfg, m.rng.Split())
 	case AdamOpt:
 		lr := m.spec.LR
 		if lr == 0 {
@@ -106,12 +115,33 @@ func (m *model) materialize(inSize, outSize int) error {
 	return nil
 }
 
-// predict runs the network on a flat input vector.
+// predict runs the network on a flat input vector. The shared network's
+// layers cache forward state, so concurrent callers are serialized; hot
+// concurrent paths should use predictor() instead.
 func (m *model) predict(in []float64) []float64 {
+	m.predMu.Lock()
+	defer m.predMu.Unlock()
 	if m.spec.Type == CNN {
 		return m.net.Predict(in, m.spec.InputShape...)
 	}
 	return m.net.Predict(in)
+}
+
+// predictor returns an inference function backed by a private replica of
+// the network (shared weights, private caches), safe to call concurrently
+// with other predictors while no training step is mutating the weights.
+// Networks that cannot be replicated fall back to the lock-guarded shared
+// path.
+func (m *model) predictor() func(in []float64) []float64 {
+	rep, ok := m.net.Replica()
+	if !ok {
+		return m.predict
+	}
+	if m.spec.Type == CNN {
+		shape := m.spec.InputShape
+		return func(in []float64) []float64 { return rep.Predict(in, shape...) }
+	}
+	return func(in []float64) []float64 { return rep.Predict(in) }
 }
 
 // slTrainStep performs one online gradient step (the literal TRAIN rule)

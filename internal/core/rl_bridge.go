@@ -31,7 +31,7 @@ type AgentStats struct {
 // RLStats returns agent statistics for a QLearn model, or false if the
 // model is unknown, not QLearn, or not yet materialized.
 func (rt *Runtime) RLStats(mdName string) (AgentStats, bool) {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok || m.agent == nil {
 		return AgentStats{}, false
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/autonomizer/autonomizer/internal/ckpt"
 	"github.com/autonomizer/autonomizer/internal/db"
@@ -16,12 +17,25 @@ import (
 // program creates one Runtime and calls the primitive methods at its
 // annotated program points.
 //
-// Runtime is not goroutine-safe; the paper's execution model is a single
-// main process that transfers control to the learning runtime at au_NN
-// points, which is exactly the synchronous call structure here.
+// Concurrency contract (the sharding rule for parallel rollouts):
+//
+//   - The model registry (θ and the saved-weights store) is mutex-guarded,
+//     so Config, SaveModel, LoadModel and the lookups they race with are
+//     safe from any goroutine.
+//   - Training primitives (NN, NNRL, Fit, RecordExample, LoadModelParams)
+//     mutate per-model learning state and must be confined to a single
+//     training goroutine per model, mirroring the paper's single main
+//     process that transfers control at au_NN points.
+//   - Inference is concurrent: Predict serializes through a per-model
+//     lock, and Predictor hands out lock-free replicas (shared weights,
+//     private activation caches) for parallel rollouts — valid while no
+//     training step is concurrently mutating the weights.
+//   - The database store π and the checkpoint manager keep the original
+//     single-goroutine contract.
 type Runtime struct {
 	mode   Mode
 	store  *db.Store
+	mu     sync.RWMutex // guards models, saved and rng
 	models map[string]*model
 	rng    *stats.RNG
 	ckpts  *ckpt.Manager
@@ -59,13 +73,24 @@ func (rt *Runtime) DB() *db.Store { return rt.store }
 // configuration and Table 2 statistics.
 func (rt *Runtime) Checkpoints() *ckpt.Manager { return rt.ckpts }
 
+// getModel looks a model up in θ under the registry lock.
+func (rt *Runtime) getModel(name string) (*model, bool) {
+	rt.mu.RLock()
+	m, ok := rt.models[name]
+	rt.mu.RUnlock()
+	return m, ok
+}
+
 // Config is au_config: in Train mode it registers a fresh model under
 // spec.Name unless one already exists (CONFIG-TRAIN); in Test mode it
-// loads previously saved weights for the name (CONFIG-TEST).
+// loads previously saved weights for the name (CONFIG-TEST). It is safe
+// to call from concurrent goroutines configuring different models.
 func (rt *Runtime) Config(spec ModelSpec) error {
 	if err := spec.validate(); err != nil {
 		return err
 	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	if _, exists := rt.models[spec.Name]; exists {
 		// θ(mdName) ≢ ⊥ ⇒ θ' = θ: reconfiguring an existing model is a
 		// no-op in both rules.
@@ -128,7 +153,7 @@ func (rt *Runtime) Serialize(names ...string) string {
 // target (the literal TRAIN rule) and the example is also recorded for
 // offline fitting via Fit.
 func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return fmt.Errorf("core: au_NN on unconfigured model %q", mdName)
 	}
@@ -199,7 +224,7 @@ func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
 // replayed Q-learning updates; in Test mode the action is greedy and the
 // model is untouched (TEST rule).
 func (rt *Runtime) NNRL(mdName, extName string, reward float64, terminal bool, wbName string) error {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return fmt.Errorf("core: au_NN on unconfigured model %q", mdName)
 	}
@@ -279,9 +304,11 @@ func (rt *Runtime) Restore(prog ckpt.Snapshotter) error {
 	}
 	// A restore ends the current trajectory: no transition may bridge
 	// the rollback.
+	rt.mu.RLock()
 	for _, m := range rt.models {
 		m.havePrev = false
 	}
+	rt.mu.RUnlock()
 	return nil
 }
 
@@ -289,7 +316,7 @@ func (rt *Runtime) Restore(prog ckpt.Snapshotter) error {
 // Train-mode au_NN calls, for the given number of epochs, returning the
 // final mean loss. This is the paper's offline SL training phase.
 func (rt *Runtime) Fit(mdName string, epochs, batchSize int) (float64, error) {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return 0, fmt.Errorf("core: Fit of unconfigured model %q", mdName)
 	}
@@ -300,7 +327,7 @@ func (rt *Runtime) Fit(mdName string, epochs, batchSize int) (float64, error) {
 // dataset construction, used when the oracle labels are computed outside
 // the annotated control flow).
 func (rt *Runtime) RecordExample(mdName string, in, target []float64) error {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return fmt.Errorf("core: RecordExample on unconfigured model %q", mdName)
 	}
@@ -314,7 +341,7 @@ func (rt *Runtime) RecordExample(mdName string, in, target []float64) error {
 
 // ExampleCount reports the recorded SL dataset size for a model.
 func (rt *Runtime) ExampleCount(mdName string) int {
-	if m, ok := rt.models[mdName]; ok {
+	if m, ok := rt.getModel(mdName); ok {
 		return len(m.slInputs)
 	}
 	return 0
@@ -324,7 +351,7 @@ func (rt *Runtime) ExampleCount(mdName string) int {
 // the runtime's registry and returns the bytes, emulating the on-disk
 // model that a TS-mode execution loads.
 func (rt *Runtime) SaveModel(mdName string) ([]byte, error) {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return nil, fmt.Errorf("core: SaveModel of unconfigured model %q", mdName)
 	}
@@ -344,14 +371,18 @@ func (rt *Runtime) SaveModel(mdName string) ([]byte, error) {
 	}
 	buf.Write(params)
 	data := buf.Bytes()
+	rt.mu.Lock()
 	rt.saved[mdName] = data
+	rt.mu.Unlock()
 	return data, nil
 }
 
 // LoadModel installs serialized weights into the registry so that a
 // Test-mode Config(spec) can load them (the loadModel statement).
 func (rt *Runtime) LoadModel(mdName string, data []byte) {
+	rt.mu.Lock()
 	rt.saved[mdName] = append([]byte(nil), data...)
+	rt.mu.Unlock()
 }
 
 // LoadModelParams restores previously saved weights into an
@@ -359,7 +390,7 @@ func (rt *Runtime) LoadModel(mdName string, data []byte) {
 // keep the best-scoring snapshot (the counterpart of the paper's
 // stop-at-best-evaluation protocol).
 func (rt *Runtime) LoadModelParams(mdName string, data []byte) error {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return fmt.Errorf("core: LoadModelParams on unconfigured model %q", mdName)
 	}
@@ -385,7 +416,7 @@ func decodeSavedModel(data []byte) (inSize, outSize int, params []byte, err erro
 // ModelSizeBytes reports the serialized size of a model's parameters
 // (Table 2 "Model Size").
 func (rt *Runtime) ModelSizeBytes(mdName string) (int, error) {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown model %q", mdName)
 	}
@@ -397,7 +428,7 @@ func (rt *Runtime) ModelSizeBytes(mdName string) (int, error) {
 
 // ModelParamCount reports the scalar parameter count of a model.
 func (rt *Runtime) ModelParamCount(mdName string) (int, error) {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown model %q", mdName)
 	}
@@ -416,10 +447,12 @@ func (rt *Runtime) NNCallCount() int { return rt.nnCalls }
 
 // ModelNames lists configured models in sorted order.
 func (rt *Runtime) ModelNames() []string {
+	rt.mu.RLock()
 	out := make([]string, 0, len(rt.models))
 	for name := range rt.models {
 		out = append(out, name)
 	}
+	rt.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -428,7 +461,7 @@ func (rt *Runtime) ModelNames() []string {
 // touching π — the fast path used by benchmark harnesses when measuring
 // pure inference cost.
 func (rt *Runtime) Predict(mdName string, in []float64) ([]float64, error) {
-	m, ok := rt.models[mdName]
+	m, ok := rt.getModel(mdName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown model %q", mdName)
 	}
@@ -436,4 +469,21 @@ func (rt *Runtime) Predict(mdName string, in []float64) ([]float64, error) {
 		return nil, fmt.Errorf("core: model %q not materialized", mdName)
 	}
 	return m.predict(in), nil
+}
+
+// Predictor returns a standalone inference function for the model,
+// backed by a private network replica (shared weights, private
+// activation caches). Distinct Predictor closures may run concurrently
+// with each other and with Predict, as long as no training step is
+// mutating the model's weights — the fan-out primitive for parallel
+// rollouts.
+func (rt *Runtime) Predictor(mdName string) (func(in []float64) []float64, error) {
+	m, ok := rt.getModel(mdName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model %q", mdName)
+	}
+	if m.net == nil {
+		return nil, fmt.Errorf("core: model %q not materialized", mdName)
+	}
+	return m.predictor(), nil
 }

@@ -134,6 +134,11 @@ type ModelSpec struct {
 	LearnEvery int
 	// DoubleDQN enables double Q-learning for QLearn models.
 	DoubleDQN bool
+	// Workers caps the data-parallel training width for this model's
+	// networks (0 = the process-wide parallel.Workers setting, itself
+	// GOMAXPROCS or AUTONOMIZER_WORKERS). Training results are
+	// bit-identical at any width; this is purely a resource knob.
+	Workers int
 	// Builder, when set, constructs the network instead of the built-in
 	// DNN/CNN families — the analog of the paper's callback "in which
 	// the users can create arbitrary neural networks from scratch with

@@ -1,0 +1,168 @@
+// Package parallel provides the shared worker pool behind Autonomizer's
+// parallel execution layer. The paper's runtime spends nearly all of its
+// time inside model training and query calls (au_NN / au_write_back
+// dominate its Tables 2–3); our from-scratch nn/tensor substitute runs
+// those kernels on this pool so the hot path scales with the machine
+// instead of pinning one core.
+//
+// Design:
+//
+//   - One process-wide pool of helper goroutines, created lazily on the
+//     first parallel call. Tasks are submitted non-blocking; when every
+//     helper is busy (or the pool is empty on a single-core machine) the
+//     submitting goroutine runs the task inline, which makes nested
+//     parallel calls deadlock-free by construction.
+//
+//   - The *configured width* (Workers) and the *physical pool* are
+//     deliberately distinct. Width controls how a range is sharded and is
+//     part of the deterministic contract callers rely on; the pool only
+//     controls how many shards physically run at once. Sharding writes to
+//     disjoint output regions in every kernel built on this package, so
+//     results are bit-identical at any width on any machine.
+//
+// The default width is GOMAXPROCS, overridable by the
+// AUTONOMIZER_WORKERS environment variable and programmatically by
+// SetWorkers.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers resolves the initial width: AUTONOMIZER_WORKERS when set
+// to a positive integer, else GOMAXPROCS.
+func defaultWorkers() int {
+	if s := os.Getenv("AUTONOMIZER_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+var width atomic.Int64
+
+func init() { width.Store(int64(defaultWorkers())) }
+
+// Workers returns the configured parallel width. A width of 1 disables
+// parallel execution everywhere.
+func Workers() int { return int(width.Load()) }
+
+// SetWorkers sets the parallel width and returns the previous value so
+// tests and benchmarks can restore it with defer. n < 1 is clamped to 1.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(width.Swap(int64(n)))
+}
+
+// task is one shard of a parallel-for: run fn over [lo, hi) and signal wg.
+type task struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func (t task) run() {
+	defer t.wg.Done()
+	t.fn(t.lo, t.hi)
+}
+
+var (
+	poolMu    sync.Mutex
+	poolSize  int
+	taskQueue = make(chan task, 256)
+)
+
+// ensurePool grows the helper pool to at least n goroutines. Helpers are
+// cheap (blocked on a channel) and live for the process lifetime; the
+// pool never shrinks.
+func ensurePool(n int) {
+	if n <= 0 {
+		return
+	}
+	poolMu.Lock()
+	for poolSize < n {
+		poolSize++
+		go func() {
+			for t := range taskQueue {
+				t.run()
+			}
+		}()
+	}
+	poolMu.Unlock()
+}
+
+// For splits [0, n) into at most Workers() contiguous chunks of at least
+// grain elements each and runs fn on every chunk, returning when all
+// chunks are done. Chunk boundaries depend only on n, grain and the
+// configured width — never on scheduling — so kernels whose chunks write
+// disjoint outputs are bit-identical at any width.
+//
+// Small ranges (n <= grain) and width 1 run inline with zero overhead,
+// which is the sequential fallback below the size cutoff.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > w {
+		chunks = w
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	ensurePool(chunks - 1)
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	// Even split: the first (n % chunks) chunks get one extra element.
+	base, rem := n/chunks, n%chunks
+	lo := 0
+	for c := 0; c < chunks; c++ {
+		hi := lo + base
+		if c < rem {
+			hi++
+		}
+		t := task{fn: fn, lo: lo, hi: hi, wg: &wg}
+		if c == chunks-1 {
+			// Run the last chunk on the calling goroutine: the caller
+			// always contributes instead of idling at Wait.
+			t.run()
+		} else {
+			select {
+			case taskQueue <- t:
+			default:
+				// Pool saturated (e.g. nested For): run inline rather
+				// than block, which keeps nesting deadlock-free.
+				t.run()
+			}
+		}
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// Run executes the given functions, possibly concurrently, returning when
+// all have finished. It is For over the function list; ordering of side
+// effects between functions is unspecified, so they must be independent.
+func Run(fns ...func()) {
+	For(len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}

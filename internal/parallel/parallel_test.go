@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRange checks every element is visited exactly once for a
+// spread of range sizes, grains and widths.
+func TestForCoversRange(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	for _, w := range []int{1, 2, 3, 8, 13} {
+		SetWorkers(w)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 8, 1000} {
+				hits := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("w=%d n=%d grain=%d: bad chunk [%d,%d)", w, n, grain, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("w=%d n=%d grain=%d: element %d visited %d times", w, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForChunkBoundariesDeterministic checks that the chunk decomposition
+// depends only on (n, grain, width) — the contract the deterministic
+// kernels rely on.
+func TestForChunkBoundariesDeterministic(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	collect := func() []int {
+		var mu atomic.Int64
+		bounds := make([]int, 101)
+		For(100, 10, func(lo, hi int) {
+			mu.Add(1)
+			bounds[lo] = hi
+		})
+		return bounds
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunking not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestNestedForDoesNotDeadlock exercises For inside For at a width larger
+// than the physical core count, the shape TrainBatch → MatMul produces.
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	var total atomic.Int64
+	For(16, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(64, 4, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if total.Load() != 16*64 {
+		t.Fatalf("nested For total = %d, want %d", total.Load(), 16*64)
+	}
+}
+
+// TestSetWorkersClamp checks the floor of 1 and the restore idiom.
+func TestSetWorkersClamp(t *testing.T) {
+	prev := SetWorkers(-3)
+	if Workers() != 1 {
+		t.Errorf("SetWorkers(-3) left width %d", Workers())
+	}
+	SetWorkers(prev)
+	if Workers() != prev {
+		t.Errorf("restore failed: %d vs %d", Workers(), prev)
+	}
+}
+
+// TestRun checks the convenience wrapper executes every function.
+func TestRun(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	var a, b, c atomic.Int64
+	Run(func() { a.Store(1) }, func() { b.Store(2) }, func() { c.Store(3) })
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Error("Run skipped a function")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/autonomizer/autonomizer/internal/nn"
+	"github.com/autonomizer/autonomizer/internal/parallel"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
@@ -94,6 +95,14 @@ type Agent struct {
 	// opt is created lazily so an agent constructed for TS (production)
 	// mode never allocates optimizer state.
 	opt nn.Optimizer
+
+	// Data-parallel scratch for the replay update, reused across Observe
+	// calls: per-worker replicas of both networks plus per-transition
+	// gradient/loss buffers (reduced in transition order, so updates are
+	// bit-identical to the sequential loop at any worker count).
+	onlineReps, targetReps []*nn.Network
+	itemGrads              [][]*tensor.Tensor
+	itemLoss               []float64
 }
 
 // NewAgent wraps online (and a structurally identical targetNet, which
@@ -171,30 +180,25 @@ func (a *Agent) Observe(t Transition) float64 {
 	}
 	a.ensureOptimizer()
 
-	a.online.ZeroGrads()
 	totalLoss := 0.0
-	huber := nn.Huber{Delta: 1}
-	for _, tr := range batch {
-		// Bootstrap from the target network; under DoubleDQN the online
-		// network picks the action and the target network scores it.
-		y := tr.Reward
-		if !tr.Terminal {
-			q := a.target.Forward(a.stateTensor(tr.NextState))
-			var best float64
-			if a.cfg.DoubleDQN {
-				online := a.online.Forward(a.stateTensor(tr.NextState))
-				best = q.Data()[stats.ArgMax(online.Data())]
-			} else {
-				best = q.Data()[stats.ArgMax(q.Data())]
+	if w := a.online.DataParallelWidth(len(batch)); w > 1 && a.observeParallel(batch, w) {
+		// Ordered reduction over transitions: bit-identical to the
+		// sequential accumulation below at any worker count.
+		a.online.ZeroGrads()
+		grads := a.online.Grads()
+		for i := range batch {
+			totalLoss += a.itemLoss[i]
+			for j, g := range grads {
+				g.AddInPlace(a.itemGrads[i][j])
 			}
-			y += a.cfg.Gamma * best
 		}
-		pred := a.online.Forward(a.stateTensor(tr.State))
-		// Only the taken action's Q-value receives gradient.
-		targetVec := pred.Clone()
-		targetVec.Data()[tr.Action] = y
-		totalLoss += huber.Loss(pred, targetVec)
-		a.online.Backward(huber.Grad(pred, targetVec))
+	} else {
+		a.online.ZeroGrads()
+		for _, tr := range batch {
+			pred, targetVec := a.tdPair(a.online, a.target, tr)
+			totalLoss += dqnLoss.Loss(pred, targetVec)
+			a.online.Backward(dqnLoss.Grad(pred, targetVec))
+		}
 	}
 	grads := a.online.Grads()
 	for _, g := range grads {
@@ -213,4 +217,82 @@ func (a *Agent) ensureOptimizer() {
 	if a.opt == nil {
 		a.opt = nn.NewAdam(a.online.Params(), a.cfg.LR)
 	}
+}
+
+// dqnLoss is the TD-error loss shared by the sequential and parallel
+// update paths.
+var dqnLoss = nn.Huber{Delta: 1}
+
+// tdPair computes one transition's (prediction, bootstrap target) pair on
+// the given online/target networks. Bootstraps come from the target
+// network; under DoubleDQN the online network picks the action and the
+// target network scores it. Only the taken action's Q-value receives
+// gradient.
+func (a *Agent) tdPair(online, target *nn.Network, tr Transition) (pred, targetVec *tensor.Tensor) {
+	y := tr.Reward
+	if !tr.Terminal {
+		q := target.Forward(a.stateTensor(tr.NextState))
+		var best float64
+		if a.cfg.DoubleDQN {
+			next := online.Forward(a.stateTensor(tr.NextState))
+			best = q.Data()[stats.ArgMax(next.Data())]
+		} else {
+			best = q.Data()[stats.ArgMax(q.Data())]
+		}
+		y += a.cfg.Gamma * best
+	}
+	pred = online.Forward(a.stateTensor(tr.State))
+	targetVec = pred.Clone()
+	targetVec.Data()[tr.Action] = y
+	return pred, targetVec
+}
+
+// observeParallel computes per-transition losses and gradients on worker
+// replicas, filling a.itemLoss / a.itemGrads. It reports false when the
+// networks cannot be replicated (the caller then runs sequentially).
+// Transitions are assigned to replicas round-robin; since every
+// transition's gradient lands in its own slot, scheduling never affects
+// the reduced result.
+func (a *Agent) observeParallel(batch []Transition, w int) bool {
+	for len(a.onlineReps) < w {
+		oRep, ok := a.online.Replica()
+		if !ok {
+			return false
+		}
+		tRep, ok := a.target.Replica()
+		if !ok {
+			return false
+		}
+		a.onlineReps = append(a.onlineReps, oRep)
+		a.targetReps = append(a.targetReps, tRep)
+	}
+	if cap(a.itemLoss) < len(batch) {
+		a.itemLoss = make([]float64, len(batch))
+	}
+	a.itemLoss = a.itemLoss[:len(batch)]
+	for len(a.itemGrads) < len(batch) {
+		var gs []*tensor.Tensor
+		for _, g := range a.online.Grads() {
+			gs = append(gs, tensor.New(g.Shape()...))
+		}
+		a.itemGrads = append(a.itemGrads, gs)
+	}
+	fns := make([]func(), w)
+	for wk := 0; wk < w; wk++ {
+		wk := wk
+		oRep, tRep := a.onlineReps[wk], a.targetReps[wk]
+		fns[wk] = func() {
+			for i := wk; i < len(batch); i += w {
+				oRep.ZeroGrads()
+				pred, targetVec := a.tdPair(oRep, tRep, batch[i])
+				a.itemLoss[i] = dqnLoss.Loss(pred, targetVec)
+				oRep.Backward(dqnLoss.Grad(pred, targetVec))
+				for j, g := range oRep.Grads() {
+					copy(a.itemGrads[i][j].Data(), g.Data())
+				}
+			}
+		}
+	}
+	parallel.Run(fns...)
+	return true
 }

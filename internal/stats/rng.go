@@ -29,6 +29,18 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(s)
 }
 
+// SplitN derives n independent child generators in one draw sequence —
+// the per-episode stream fan-out for parallel rollouts. Stream i is the
+// i-th Split of r regardless of how many goroutines later consume them,
+// so results reduced in stream order are independent of scheduling.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

@@ -1,6 +1,14 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/autonomizer/autonomizer/internal/parallel"
+)
+
+// convCutoff is the minimum total element count at which the im2col /
+// col2im lowerings shard over the worker pool.
+const convCutoff = 16 * 1024
 
 // Im2Col lowers a convolution over an input of shape (channels, height,
 // width) into a matrix multiplication. It returns a matrix of shape
@@ -12,6 +20,10 @@ import "fmt"
 // output = weights(outC, inC*kh*kw) × Im2Col(input). This mirrors the
 // lowering used by mainstream frameworks, making the CNN substitute for
 // the paper's TensorFlow raw-pixel models faithful in structure.
+//
+// Large inputs shard the (channel, ky, kx) rows over the worker pool;
+// each row fills a disjoint slice of the output, so results are
+// bit-identical at any worker count.
 func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
 	if len(in.shape) != 3 {
 		panic(fmt.Sprintf("tensor: Im2Col wants (C,H,W) input, got %v", in.shape))
@@ -26,25 +38,32 @@ func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col kernel %dx%d too large for %dx%d input (pad %d)", kh, kw, h, w, pad))
 	}
 	out := New(c*kh*kw, outH*outW)
-	for ch := 0; ch < c; ch++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := (ch*kh+ky)*kw + kx
-				dst := out.data[row*outH*outW:]
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride + ky - pad
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*stride + kx - pad
-						var v float64
-						if iy >= 0 && iy < h && ix >= 0 && ix < w {
-							v = in.data[(ch*h+iy)*w+ix]
-						}
-						dst[oy*outW+ox] = v
+	rows, rowLen := c*kh*kw, outH*outW
+	grain := rows
+	if rows*rowLen >= convCutoff {
+		if grain = convCutoff / rowLen; grain < 1 {
+			grain = 1
+		}
+	}
+	parallel.For(rows, grain, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			ch := row / (kh * kw)
+			ky := (row / kw) % kh
+			kx := row % kw
+			dst := out.data[row*rowLen:]
+			for oy := 0; oy < outH; oy++ {
+				iy := oy*stride + ky - pad
+				for ox := 0; ox < outW; ox++ {
+					ix := ox*stride + kx - pad
+					var v float64
+					if iy >= 0 && iy < h && ix >= 0 && ix < w {
+						v = in.data[(ch*h+iy)*w+ix]
 					}
+					dst[oy*outW+ox] = v
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -52,6 +71,10 @@ func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
 // outH*outW) gradient matrix back onto an input-shaped (channels, height,
 // width) tensor, accumulating where receptive fields overlap. It is used
 // for the convolution backward pass.
+//
+// Sharding is by input channel: receptive fields overlap within a
+// channel but never across channels, so each worker accumulates into a
+// disjoint (h×w) plane with the sequential accumulation order preserved.
 func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
@@ -59,27 +82,36 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with params", cols.shape))
 	}
 	out := New(c, h, w)
-	for ch := 0; ch < c; ch++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := (ch*kh+ky)*kw + kx
-				src := cols.data[row*outH*outW:]
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
+	perChannel := kh * kw * outH * outW
+	grain := c
+	if perChannel > 0 && c*perChannel >= convCutoff {
+		if grain = convCutoff / perChannel; grain < 1 {
+			grain = 1
+		}
+	}
+	parallel.For(c, grain, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					row := (ch*kh+ky)*kw + kx
+					src := cols.data[row*outH*outW:]
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
 							continue
 						}
-						out.data[(ch*h+iy)*w+ix] += src[oy*outW+ox]
+						for ox := 0; ox < outW; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							out.data[(ch*h+iy)*w+ix] += src[oy*outW+ox]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/parallel"
+)
+
+// fillPseudo fills t with a deterministic pseudo-random pattern.
+func fillPseudo(t *Tensor, seed uint64) {
+	s := seed | 1
+	for i := range t.Data() {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		t.Data()[i] = float64(int64(s*0x2545F4914F6CDD1D)) / (1 << 62)
+	}
+}
+
+func bitsEqual(t *testing.T, name string, a, b *Tensor) {
+	t.Helper()
+	if a.Size() != b.Size() {
+		t.Fatalf("%s: size %d vs %d", name, a.Size(), b.Size())
+	}
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, a.Data()[i], b.Data()[i])
+		}
+	}
+}
+
+// TestMatMulParallelEquivalence checks the row-sharded MatMul is
+// bit-identical to the sequential kernel across worker counts and shapes,
+// including shapes straddling the cutoff.
+func TestMatMulParallelEquivalence(t *testing.T) {
+	shapes := [][3]int{{3, 4, 5}, {17, 31, 13}, {64, 64, 64}, {128, 50, 96}, {1, 200, 300}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := New(m, k), New(k, n)
+		fillPseudo(a, 1)
+		fillPseudo(b, 2)
+		a.Data()[0] = 0 // exercise the zero-skip branch
+		prev := parallel.SetWorkers(1)
+		want := MatMul(a, b)
+		for _, w := range []int{2, 3, 8} {
+			parallel.SetWorkers(w)
+			bitsEqual(t, "MatMul", want, MatMul(a, b))
+		}
+		parallel.SetWorkers(prev)
+	}
+}
+
+// TestTransposeParallelEquivalence checks the sharded transpose.
+func TestTransposeParallelEquivalence(t *testing.T) {
+	a := New(257, 193)
+	fillPseudo(a, 3)
+	prev := parallel.SetWorkers(1)
+	want := Transpose(a)
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		bitsEqual(t, "Transpose", want, Transpose(a))
+	}
+	parallel.SetWorkers(prev)
+}
+
+// TestConvLoweringParallelEquivalence checks Im2Col and Col2Im are
+// bit-identical to sequential across worker counts, on a shape large
+// enough to cross the cutoff (4×64×64, 5×5 kernel).
+func TestConvLoweringParallelEquivalence(t *testing.T) {
+	c, h, w := 4, 64, 64
+	kh, kw, stride, pad := 5, 5, 2, 2
+	in := New(c, h, w)
+	fillPseudo(in, 4)
+
+	prev := parallel.SetWorkers(1)
+	wantCols := Im2Col(in, kh, kw, stride, pad)
+	grad := wantCols.Clone()
+	fillPseudo(grad, 5)
+	wantIm := Col2Im(grad, c, h, w, kh, kw, stride, pad)
+	for _, workers := range []int{2, 8} {
+		parallel.SetWorkers(workers)
+		bitsEqual(t, "Im2Col", wantCols, Im2Col(in, kh, kw, stride, pad))
+		bitsEqual(t, "Col2Im", wantIm, Col2Im(grad, c, h, w, kh, kw, stride, pad))
+	}
+	parallel.SetWorkers(prev)
+}

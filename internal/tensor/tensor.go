@@ -7,11 +7,19 @@
 // Design notes: tensors carry an explicit shape and a flat backing slice.
 // Operations either return fresh tensors or write into caller-supplied
 // destinations; nothing here is goroutine-safe by itself.
+//
+// The heavy kernels (MatMul here, Im2Col/Col2Im in conv.go) shard their
+// work over the internal/parallel pool above a size cutoff. Shards write
+// disjoint output regions with unchanged per-element operation order, so
+// every result is bit-identical to the sequential computation at any
+// worker count.
 package tensor
 
 import (
 	"fmt"
 	"math"
+
+	"github.com/autonomizer/autonomizer/internal/parallel"
 )
 
 // Tensor is a dense, row-major array of float64 with an arbitrary shape.
@@ -160,8 +168,19 @@ func (t *Tensor) assertSameShape(o *Tensor) {
 	}
 }
 
+// matMulCutoff is the minimum m·k·n flop count at which MatMul shards its
+// rows over the worker pool; below it the scheduling overhead outweighs
+// the win. Exported knobs are unnecessary: correctness is identical on
+// both sides of the cutoff.
+const matMulCutoff = 32 * 1024
+
 // MatMul computes the matrix product a×b for 2-D tensors, returning a new
 // (a.rows × b.cols) tensor. It panics on rank or inner-dimension mismatch.
+//
+// Above a size cutoff the output rows are sharded over the shared worker
+// pool. Each output row is produced entirely by one worker with the same
+// loop order as the sequential code, so the result is bit-identical at
+// any worker count.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
@@ -172,36 +191,60 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d vs %d", k, k2))
 	}
 	out := New(m, n)
-	// ikj loop order: stream through b's rows for cache friendliness.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	if k == 0 || n == 0 {
+		return out
+	}
+	// Grain: enough rows per chunk that each chunk is at least one cutoff
+	// worth of flops.
+	grain := matMulCutoff / (k * n)
+	if grain < 1 {
+		grain = 1
+	}
+	if m*k*n < matMulCutoff {
+		grain = m // force the inline path
+	}
+	parallel.For(m, grain, func(lo, hi int) {
+		// ikj loop order: stream through b's rows for cache friendliness.
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[kk*n : (kk+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// Transpose returns the transpose of a rank-2 tensor.
+// Transpose returns the transpose of a rank-2 tensor. Large inputs shard
+// source rows over the worker pool; each source row writes a disjoint
+// stride-m comb of the output, so the result is unaffected by sharding.
 func Transpose(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
 		panic("tensor: Transpose requires a rank-2 tensor")
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = a.data[i*n+j]
+	grain := m
+	if n > 0 && m*n >= matMulCutoff {
+		if grain = matMulCutoff / n; grain < 1 {
+			grain = 1
 		}
 	}
+	parallel.For(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				out.data[j*m+i] = a.data[i*n+j]
+			}
+		}
+	})
 	return out
 }
 
