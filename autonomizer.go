@@ -49,6 +49,7 @@
 package autonomizer
 
 import (
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/core"
 	"github.com/autonomizer/autonomizer/internal/dep"
 	"github.com/autonomizer/autonomizer/internal/extract"
@@ -95,12 +96,59 @@ type ModelSpec = core.ModelSpec
 // Runtime is one autonomized execution: the primitives au_config,
 // au_extract, au_serialize, au_NN, au_write_back, au_checkpoint and
 // au_restore are its methods (Config, Extract, Serialize, NN/NNRL,
-// WriteBack, Checkpoint, Restore).
+// WriteBack, Checkpoint, Restore). Every primitive also has a
+// context-aware ...Ctx form (ConfigCtx, ExtractCtx, SerializeCtx,
+// NNCtx, NNRLCtx, WriteBackCtx, WriteBackActionCtx, CheckpointCtx,
+// RestoreCtx, FitCtx, PredictCtx) that observes cancellation and
+// deadlines and returns the typed errors below; the plain forms are
+// thin wrappers over them with context.Background().
 type Runtime = core.Runtime
 
 // AgentStats surfaces Q-learning statistics (exploration rate, replay
 // occupancy, trace bytes).
 type AgentStats = core.AgentStats
+
+// FitStats reports offline-training progress from Runtime.FitCtx,
+// including the partial progress of a canceled run: completed epochs,
+// completed minibatch steps and the latest epoch's mean loss.
+type FitStats = core.FitStats
+
+// Structured runtime errors. Every failure a Runtime method returns
+// wraps one of these sentinels, so hosts dispatch with errors.Is
+// instead of string matching:
+//
+//	if errors.Is(err, autonomizer.ErrCanceled) { flushPartial() }
+//
+// Cancellation errors additionally wrap the context's own error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) also hold.
+var (
+	// ErrSpecInvalid marks a malformed ModelSpec (or annotation shape),
+	// rejected at Config time with a field-level message.
+	ErrSpecInvalid = auerr.ErrSpecInvalid
+	// ErrUnknownModel marks a primitive invoked on an unconfigured (or,
+	// in Test mode, never-saved) model name.
+	ErrUnknownModel = auerr.ErrUnknownModel
+	// ErrModeViolation marks a primitive applied to the wrong model kind
+	// (NN on a QLearn model, Fit on a non-AdamOpt model).
+	ErrModeViolation = auerr.ErrModeViolation
+	// ErrNotMaterialized marks an operation needing a built network on a
+	// model whose input/output sizes are not yet known.
+	ErrNotMaterialized = auerr.ErrNotMaterialized
+	// ErrMissingInput marks a primitive reading an absent or empty π
+	// binding (au_NN without au_extract, write-back of an unbound name).
+	ErrMissingInput = auerr.ErrMissingInput
+	// ErrCorruptModel marks undecodable serialized model bytes.
+	ErrCorruptModel = auerr.ErrCorruptModel
+	// ErrCorruptStore marks an undecodable database-store image.
+	ErrCorruptStore = auerr.ErrCorruptStore
+	// ErrCanceled marks work stopped by context cancellation/deadline.
+	ErrCanceled = auerr.ErrCanceled
+	// ErrInvariant marks a recovered internal invariant violation — a
+	// runtime bug (or panicking user Builder), surfaced as an error
+	// instead of a crash.
+	ErrInvariant = auerr.ErrInvariant
+)
 
 // New creates a runtime in the given mode with a deterministic seed.
 func New(mode Mode, seed uint64) *Runtime {

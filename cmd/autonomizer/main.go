@@ -21,11 +21,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/bench"
 )
 
@@ -39,23 +44,31 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	// First SIGINT/SIGTERM cancels the context: suites stop at the next
+	// minibatch/step boundary and flush whatever tables they completed.
+	// A second signal kills the process the usual way (stop() restores
+	// default signal handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	var err error
 	switch cmd {
 	case "table1":
 		err = runTable1(*seed)
 	case "table2":
-		err = runTable2(*quick, *seed)
+		err = runTable2(ctx, *quick, *seed)
 	case "table3":
-		err = runTable3(*quick, *seed)
+		err = runTable3(ctx, *quick, *seed)
 	case "fig12", "fig13":
-		err = runCannyFigs(cmd, *quick, *seed)
+		err = runCannyFigs(ctx, cmd, *quick, *seed)
 	case "fig17":
-		err = runFig17(*quick, *seed)
+		err = runFig17(ctx, *quick, *seed)
 	case "coverage":
 		err = runCoverage(*quick, *seed)
 	case "ablation":
-		err = runAblation(*quick, *seed)
+		err = runAblation(ctx, *quick, *seed)
 	case "depgraph":
 		if flag.NArg() < 2 {
 			fmt.Fprintln(os.Stderr, "usage: autonomizer depgraph <subject>")
@@ -63,14 +76,14 @@ func main() {
 		}
 		err = runDepGraph(flag.Arg(1), *seed)
 	case "demo":
-		err = runDemo(*seed)
+		err = runDemo(ctx, *seed)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return runTable1(*seed) },
-			func() error { return runTable3(*quick, *seed) },
-			func() error { return runTable2(*quick, *seed) },
-			func() error { return runCannyFigs("fig12+fig13", *quick, *seed) },
-			func() error { return runFig17(*quick, *seed) },
+			func() error { return runTable3(ctx, *quick, *seed) },
+			func() error { return runTable2(ctx, *quick, *seed) },
+			func() error { return runCannyFigs(ctx, "fig12+fig13", *quick, *seed) },
+			func() error { return runFig17(ctx, *quick, *seed) },
 			func() error { return runCoverage(*quick, *seed) },
 		} {
 			if err = c(); err != nil {
@@ -82,6 +95,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 		usage()
 		os.Exit(2)
+	}
+	if errors.Is(err, auerr.ErrCanceled) {
+		fmt.Fprintf(os.Stderr, "\n[%s interrupted after %v — partial results above]\n",
+			cmd, time.Since(start).Round(time.Millisecond*100))
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -112,49 +130,51 @@ func runTable1(seed uint64) error {
 	return nil
 }
 
-func slSuite(quick bool, seed uint64) ([]*bench.SLResult, error) {
-	return bench.RunSLSuite(bench.SLSuiteConfig{Quick: quick, Seed: seed})
+func slSuite(ctx context.Context, quick bool, seed uint64) ([]*bench.SLResult, error) {
+	return bench.RunSLSuiteCtx(ctx, bench.SLSuiteConfig{Quick: quick, Seed: seed})
 }
 
-func rlSuite(quick bool, seed uint64) ([]bench.Table3RLRow, error) {
-	return bench.RunRLSuite(bench.RLSuiteConfig{Quick: quick, Seed: seed})
+func rlSuite(ctx context.Context, quick bool, seed uint64) ([]bench.Table3RLRow, error) {
+	return bench.RunRLSuiteCtx(ctx, bench.RLSuiteConfig{Quick: quick, Seed: seed})
 }
 
-func runTable2(quick bool, seed uint64) error {
-	sl, err := slSuite(quick, seed)
+func runTable2(ctx context.Context, quick bool, seed uint64) error {
+	sl, err := slSuite(ctx, quick, seed)
 	if err != nil {
 		return err
 	}
-	rl, err := rlSuite(quick, seed)
-	if err != nil {
+	rl, err := rlSuite(ctx, quick, seed)
+	if err != nil && !errors.Is(err, auerr.ErrCanceled) {
 		return err
 	}
+	// On interrupt, build the table from whatever completed.
 	bench.RenderTable2(os.Stdout, bench.BuildTable2(sl, rl))
-	return nil
+	return err
 }
 
-func runTable3(quick bool, seed uint64) error {
-	sl, err := slSuite(quick, seed)
+func runTable3(ctx context.Context, quick bool, seed uint64) error {
+	sl, err := slSuite(ctx, quick, seed)
+	if len(sl) > 0 {
+		bench.RenderTable3SL(os.Stdout, sl)
+	}
 	if err != nil {
 		return err
 	}
-	bench.RenderTable3SL(os.Stdout, sl)
 	fmt.Println()
-	rl, err := rlSuite(quick, seed)
-	if err != nil {
-		return err
+	rl, err := rlSuite(ctx, quick, seed)
+	if len(rl) > 0 {
+		bench.RenderTable3RL(os.Stdout, rl)
 	}
-	bench.RenderTable3RL(os.Stdout, rl)
-	return nil
+	return err
 }
 
-func runCannyFigs(which string, quick bool, seed uint64) error {
+func runCannyFigs(ctx context.Context, which string, quick bool, seed uint64) error {
 	cfg := bench.SLConfig{Seed: seed, TrainN: 60, TestN: 10, Epochs: 60, Hidden: []int{64, 32}}
 	if quick {
 		cfg.TrainN, cfg.TestN, cfg.Epochs = 24, 10, 15
 		cfg.Hidden = []int{32, 16}
 	}
-	res, err := bench.RunSL(bench.CannySubject{}, cfg)
+	res, err := bench.RunSLCtx(ctx, bench.CannySubject{}, cfg)
 	if err != nil {
 		return err
 	}
@@ -168,7 +188,7 @@ func runCannyFigs(which string, quick bool, seed uint64) error {
 	return nil
 }
 
-func runFig17(quick bool, seed uint64) error {
+func runFig17(ctx context.Context, quick bool, seed uint64) error {
 	subject := bench.TORCSSubject()
 	run := func(mode bench.InputMode, wall time.Duration) (*bench.RLResult, error) {
 		cfg := bench.TunedRLConfig(subject, mode, wall)
@@ -183,7 +203,7 @@ func runFig17(quick bool, seed uint64) error {
 			cfg.EpsilonDecaySteps = 3000
 			cfg.EvalEvery = 500
 		}
-		return bench.RunRL(subject, cfg)
+		return bench.RunRLCtx(ctx, subject, cfg)
 	}
 	all, err := run(bench.InputAll, 0)
 	if err != nil {
@@ -218,7 +238,7 @@ func runCoverage(quick bool, seed uint64) error {
 	return nil
 }
 
-func runAblation(quick bool, seed uint64) error {
+func runAblation(ctx context.Context, quick bool, seed uint64) error {
 	// Ablation 1: Algorithm 1's distance ranking. Min vs Raw on the
 	// same Canny corpus isolates the ranking's contribution.
 	cfg := bench.SLConfig{Seed: seed, TrainN: 60, TestN: 10, Epochs: 60, Hidden: []int{64, 32}}
@@ -226,7 +246,7 @@ func runAblation(quick bool, seed uint64) error {
 		cfg.TrainN, cfg.TestN, cfg.Epochs = 24, 8, 15
 		cfg.Hidden = []int{32, 16}
 	}
-	res, err := bench.RunSL(bench.CannySubject{}, cfg)
+	res, err := bench.RunSLCtx(ctx, bench.CannySubject{}, cfg)
 	if err != nil {
 		return err
 	}
@@ -257,9 +277,9 @@ func runDepGraph(subject string, seed uint64) error {
 	return nil
 }
 
-func runDemo(seed uint64) error {
+func runDemo(ctx context.Context, seed uint64) error {
 	fmt.Println("== Autonomizer demo: Flappybird with internal-state features ==")
-	res, err := bench.RunRL(bench.FlappySubject(), bench.RLConfig{
+	res, err := bench.RunRLCtx(ctx, bench.FlappySubject(), bench.RLConfig{
 		Mode: bench.InputAll, TrainSteps: 30000, EvalEpisodes: 5,
 		EpsilonDecaySteps: 8000, Seed: seed,
 	})

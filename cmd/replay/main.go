@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"github.com/autonomizer/autonomizer/internal/bench"
 	"github.com/autonomizer/autonomizer/internal/games/env"
@@ -76,9 +79,19 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM stops the playback at the next frame boundary and
+	// still prints the closing summary; a second signal kills outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	e.Reset()
 	total := 0.0
 	for step := 0; step < *steps; step++ {
+		if ctx.Err() != nil {
+			fmt.Printf("--- interrupted at step %d: score %.3f, total reward %.1f ---\n",
+				step, e.Score(), total)
+			break
+		}
 		if step%*every == 0 {
 			fmt.Printf("--- %s step %d  score %.3f  reward %.1f ---\n", subject.Name, step, e.Score(), total)
 			fmt.Print(imaging.ASCII(e.Screen(), 2, 2))

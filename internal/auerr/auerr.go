@@ -1,0 +1,116 @@
+// Package auerr defines the structured error vocabulary of the
+// Autonomizer runtime: a small set of sentinel errors that every layer
+// (core primitives, nn kernels, rl training, the parallel pool, the
+// serialization formats) wraps its failures in, so host programs can
+// dispatch on error class with errors.Is/As instead of string matching
+// — and so that no malformed spec, corrupt model file or canceled
+// training run ever has to crash the host process.
+//
+// The contract has three parts:
+//
+//   - Expected failures (bad spec, unknown model, corrupt bytes, missing
+//     input, cancellation) are returned as errors wrapping one of the
+//     sentinels below.
+//   - Cancellation errors additionally wrap ctx.Err(), so
+//     errors.Is(err, context.Canceled) and
+//     errors.Is(err, context.DeadlineExceeded) work as hosts expect.
+//   - Broken internal invariants ("can't happen" states in the kernels)
+//     panic with an *InvariantError via Failf; the runtime's exported
+//     entry points recover those panics with FromPanic and return them
+//     as errors wrapping ErrInvariant, keeping the host alive.
+package auerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrSpecInvalid marks a malformed ModelSpec rejected at au_config
+	// time (non-positive layer widths, missing action count, unknown
+	// algorithm, ...).
+	ErrSpecInvalid = errors.New("autonomizer: invalid model spec")
+	// ErrUnknownModel marks a primitive invoked on a model name that was
+	// never configured (or, in TS mode, never saved).
+	ErrUnknownModel = errors.New("autonomizer: unknown model")
+	// ErrModeViolation marks a primitive applied to the wrong kind of
+	// model (NN on a QLearn model, Fit on a non-AdamOpt model, ...).
+	ErrModeViolation = errors.New("autonomizer: mode violation")
+	// ErrNotMaterialized marks an operation that needs a built network on
+	// a model whose input/output sizes are not yet known.
+	ErrNotMaterialized = errors.New("autonomizer: model not materialized")
+	// ErrMissingInput marks a primitive reading an absent or empty π
+	// binding (au_NN without a preceding au_extract, au_write_back of an
+	// unbound name, Fit with no recorded examples).
+	ErrMissingInput = errors.New("autonomizer: missing input")
+	// ErrCorruptModel marks undecodable serialized model bytes.
+	ErrCorruptModel = errors.New("autonomizer: corrupt model data")
+	// ErrCorruptStore marks an undecodable database-store image.
+	ErrCorruptStore = errors.New("autonomizer: corrupt store data")
+	// ErrCanceled marks work stopped by context cancellation or deadline.
+	// Errors carrying it also wrap the context's own error, so
+	// errors.Is(err, context.Canceled) holds as well.
+	ErrCanceled = errors.New("autonomizer: canceled")
+	// ErrInvariant marks a recovered internal invariant violation — a bug
+	// in the runtime (or a panicking user callback), surfaced as an error
+	// instead of a crash.
+	ErrInvariant = errors.New("autonomizer: internal invariant violated")
+)
+
+// E wraps a sentinel with a formatted message:
+// errors.Is(E(s, ...), s) is always true.
+func E(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{sentinel}, args...)...)
+}
+
+// Canceled builds the cancellation error for a done context. The result
+// wraps both ErrCanceled and the context's cause, satisfying
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded) simultaneously.
+func Canceled(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = ctx.Err()
+	}
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// InvariantError is the panic payload of Failf: a broken internal
+// invariant. It matches ErrInvariant under errors.Is.
+type InvariantError struct {
+	msg string
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string { return e.msg }
+
+// Is reports sentinel identity so errors.Is(err, ErrInvariant) holds.
+func (e *InvariantError) Is(target error) bool { return target == ErrInvariant }
+
+// Failf reports a broken internal invariant by panicking with an
+// *InvariantError. The runtime's exported entry points recover it (see
+// FromPanic) and return it as an error, so a kernel-level "can't happen"
+// never takes down a host process that went through the public API.
+func Failf(format string, args ...any) {
+	panic(&InvariantError{msg: fmt.Sprintf(format, args...)})
+}
+
+// FromPanic converts a recovered panic value into an error wrapping
+// ErrInvariant. Invariant panics raised by Failf pass through unchanged;
+// foreign panics (runtime errors, user callbacks) are wrapped with their
+// message preserved.
+func FromPanic(r any) error {
+	switch v := r.(type) {
+	case *InvariantError:
+		return v
+	case error:
+		return fmt.Errorf("%w: %w", ErrInvariant, v)
+	default:
+		return fmt.Errorf("%w: %v", ErrInvariant, v)
+	}
+}

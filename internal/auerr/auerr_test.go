@@ -1,0 +1,80 @@
+package auerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestEWrapsSentinel(t *testing.T) {
+	err := E(ErrSpecInvalid, "model %q: bad width %d", "M", -1)
+	if !errors.Is(err, ErrSpecInvalid) {
+		t.Fatalf("errors.Is(E(...), ErrSpecInvalid) = false for %v", err)
+	}
+	want := `autonomizer: invalid model spec: model "M": bad width -1`
+	if err.Error() != want {
+		t.Errorf("message %q, want %q", err.Error(), want)
+	}
+}
+
+func TestCanceledWrapsBothSentinels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("not ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("not context.Canceled: %v", err)
+	}
+}
+
+func TestCanceledWrapsDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	<-ctx.Done()
+	err := Canceled(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline error %v should match ErrCanceled and context.DeadlineExceeded", err)
+	}
+}
+
+func TestCanceledOnLiveContext(t *testing.T) {
+	// Defensive path: a live context still yields a usable error.
+	if err := Canceled(context.Background()); !errors.Is(err, ErrCanceled) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestFailfPanicsWithInvariant(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic")
+		}
+		err := FromPanic(r)
+		if !errors.Is(err, ErrInvariant) {
+			t.Errorf("recovered %v does not match ErrInvariant", err)
+		}
+		if want := "nn: boom 7"; err.Error() != want {
+			t.Errorf("message %q, want %q", err.Error(), want)
+		}
+	}()
+	Failf("nn: boom %d", 7)
+}
+
+func TestFromPanicForeignValues(t *testing.T) {
+	for _, r := range []any{fmt.Errorf("plain"), "string panic", 42} {
+		err := FromPanic(r)
+		if !errors.Is(err, ErrInvariant) {
+			t.Errorf("FromPanic(%v) = %v, not ErrInvariant", r, err)
+		}
+	}
+	// Foreign errors stay matchable through the wrap.
+	inner := errors.New("inner")
+	if !errors.Is(FromPanic(inner), inner) {
+		t.Error("wrapped foreign error lost identity")
+	}
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+)
+
+// countdownCtx cancels after a fixed number of Err() checks, letting the
+// harness tests cut training at a deterministic step boundary.
+type countdownCtx struct {
+	context.Context
+	allow int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.allow <= 0 {
+		return context.Canceled
+	}
+	c.allow--
+	return nil
+}
+
+func TestRunRLCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunRLCtx(ctx, FlappySubject(), RLConfig{TrainSteps: 1000, EvalEpisodes: 1})
+	if res != nil {
+		t.Errorf("result = %+v, want nil for a pre-canceled run", res)
+	}
+	if !errors.Is(err, auerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestRunRLCtxCanceledMidTrainingReturnsPartial(t *testing.T) {
+	ctx := &countdownCtx{Context: context.Background(), allow: 25}
+	res, err := RunRLCtx(ctx, FlappySubject(), RLConfig{
+		TrainSteps: 100000, EvalEpisodes: 1, EvalEvery: 100000,
+	})
+	if !errors.Is(err, auerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res == nil {
+		t.Fatal("want a partial result alongside the cancellation error")
+	}
+	if res.TraceBytes == 0 {
+		t.Error("partial result has no trace accounting; training never ran")
+	}
+}
+
+func TestRunSLSuiteCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RunSLSuiteCtx(ctx, SLSuiteConfig{Quick: true})
+	if len(out) != 0 {
+		t.Errorf("results = %d, want none for a pre-canceled suite", len(out))
+	}
+	if !errors.Is(err, auerr.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunSLCtxCanceledMidTrainingFlushesCompletedVersions(t *testing.T) {
+	// Each version checks cancellation once per minibatch: 12 examples
+	// at batch 16 is one batch per epoch, 8 checks per version, plus two
+	// entry checks. 15 lets Raw finish and cancels Med mid-training.
+	ctx := &countdownCtx{Context: context.Background(), allow: 15}
+	res, err := RunSLCtx(ctx, CannySubject{}, SLConfig{
+		TrainN: 12, TestN: 4, Epochs: 8, Hidden: []int{8},
+	})
+	if !errors.Is(err, auerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res == nil {
+		t.Fatal("want a partial result alongside the cancellation error")
+	}
+	if len(res.Versions) == 0 {
+		t.Error("partial result has no completed versions; allow budget too small")
+	}
+}

@@ -141,16 +141,24 @@ func RenderTable3SL(w io.Writer, rows []*SLResult) {
 			dir = "↓"
 		}
 		raw, med, min := r.Versions[PickRaw], r.Versions[PickMed], r.Versions[PickMin]
+		// A version may be missing when an interrupted run flushed a
+		// partial result; render "-" instead of crashing the flush.
+		cell := func(v *SLVersionResult) (score, train string) {
+			if v == nil {
+				return "-", "-"
+			}
+			return fmt.Sprintf("%.3f", v.Score), v.TrainTime.Round(time.Millisecond).String()
+		}
+		rawS, rawT := cell(raw)
+		medS, medT := cell(med)
+		minS, minT := cell(min)
 		ratio := "-"
-		if min.TrainTime > 0 {
+		if raw != nil && min != nil && min.TrainTime > 0 {
 			ratio = fmt.Sprintf("%.2f", float64(raw.TrainTime)/float64(min.TrainTime))
 		}
-		fmt.Fprintf(w, "%-10s %3s %9.3f | %9.3f %8s | %9.3f %8s | %9.3f %8s | %11s\n",
+		fmt.Fprintf(w, "%-10s %3s %9.3f | %9s %8s | %9s %8s | %9s %8s | %11s\n",
 			r.Subject, dir, r.BaselineScore,
-			raw.Score, raw.TrainTime.Round(time.Millisecond).String(),
-			med.Score, med.TrainTime.Round(time.Millisecond).String(),
-			min.Score, min.TrainTime.Round(time.Millisecond).String(),
-			ratio)
+			rawS, rawT, medS, medT, minS, minT, ratio)
 	}
 	fmt.Fprintln(w, "Improvement over baseline (Min):")
 	for _, r := range rows {

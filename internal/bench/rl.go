@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"time"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/core"
 	"github.com/autonomizer/autonomizer/internal/games/arkanoid"
 	"github.com/autonomizer/autonomizer/internal/games/breakout"
@@ -247,11 +250,26 @@ func noisyPolicyStream(p env.Policy, actions int, rng *stats.RNG, rate float64) 
 	}
 }
 
-// RunRL trains one agent with the full Fig. 2 annotation protocol —
+// RunRL trains with context.Background(); see RunRLCtx.
+func RunRL(subject *RLSubject, cfg RLConfig) (*RLResult, error) {
+	return RunRLCtx(context.Background(), subject, cfg)
+}
+
+// RunRLCtx trains one agent with the full Fig. 2 annotation protocol —
 // checkpoint at loop entry, extract/serialize/NN/write-back each
 // iteration, restore at end states — and evaluates it greedily.
-func RunRL(subject *RLSubject, cfg RLConfig) (*RLResult, error) {
+//
+// Cancellation is observed at environment-step boundaries (the DQN's
+// atomic training unit): a canceled context stops the loop, restores the
+// best snapshot seen so far, fills the result with the progress made
+// (learning curve, trace/model sizes, best evaluation score) and returns
+// it alongside an error wrapping auerr.ErrCanceled — so an interrupted
+// suite can still render partial tables.
+func RunRLCtx(ctx context.Context, subject *RLSubject, cfg RLConfig) (*RLResult, error) {
 	cfg.fillDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, auerr.Canceled(ctx)
+	}
 	encode, inSize, inputShape := stateFunc(subject, &cfg)
 
 	game := subject.NewEnv(cfg.Seed)
@@ -321,13 +339,22 @@ func RunRL(subject *RLSubject, cfg RLConfig) (*RLResult, error) {
 	bestScore := -1.0
 	var bestParams []byte
 	start := time.Now()
+	canceled := false
 	for step := 0; step < cfg.TrainSteps; step++ {
+		if ctx.Err() != nil {
+			canceled = true
+			break // step boundary: the DQN's atomic training unit
+		}
 		if cfg.TrainWallClock > 0 && time.Since(start) > cfg.TrainWallClock {
 			break // the 24-hour-timeout analog
 		}
 		state := encode(game)
 		rt.Extract("STATE", state...)
-		if err := rt.NNRL(subject.Name, "STATE", pendReward, false, "output"); err != nil {
+		if err := rt.NNRLCtx(ctx, subject.Name, "STATE", pendReward, false, "output"); err != nil {
+			if errors.Is(err, auerr.ErrCanceled) {
+				canceled = true
+				break
+			}
 			return nil, err
 		}
 		action, err := rt.WriteBackAction("output")
@@ -343,7 +370,11 @@ func RunRL(subject *RLSubject, cfg RLConfig) (*RLResult, error) {
 			// terminal reward, then roll back (au_restore).
 			state = encode(game)
 			rt.Extract("STATE", state...)
-			if err := rt.NNRL(subject.Name, "STATE", reward, true, "output"); err != nil {
+			if err := rt.NNRLCtx(ctx, subject.Name, "STATE", reward, true, "output"); err != nil {
+				if errors.Is(err, auerr.ErrCanceled) {
+					canceled = true
+					break
+				}
 				return nil, err
 			}
 			if err := rt.Restore(game); err != nil {
@@ -390,6 +421,18 @@ func RunRL(subject *RLSubject, cfg RLConfig) (*RLResult, error) {
 	}
 	ck := rt.Checkpoints().Stats()
 	res.Checkpoints, res.Restores = ck.Checkpoints, ck.Restores
+
+	if canceled {
+		// Skip the final greedy evaluation; report the best mid-training
+		// evaluation so an interrupted suite still renders a partial
+		// table row for this run.
+		for i, p := range res.Curve {
+			if i == 0 || p.Score > res.Score {
+				res.Score, res.SuccessRate = p.Score, p.Success
+			}
+		}
+		return res, auerr.Canceled(ctx)
+	}
 
 	// Final greedy evaluation + per-step exec cost.
 	evalStart := time.Now()

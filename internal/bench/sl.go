@@ -12,11 +12,14 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/core"
 	"github.com/autonomizer/autonomizer/internal/stats"
 )
@@ -149,11 +152,24 @@ func (r *SLResult) Improvement(p FeaturePick) float64 {
 	return 100 * (r.BaselineScore - v.Score) / r.BaselineScore
 }
 
-// RunSL executes the full supervised comparison for one subject:
-// baseline vs Raw vs Med vs Min, each trained to the same budget on the
-// same corpus, evaluated on the same held-out inputs.
+// RunSL executes the full supervised comparison with
+// context.Background(); see RunSLCtx.
 func RunSL(subject SLSubject, cfg SLConfig) (*SLResult, error) {
+	return RunSLCtx(context.Background(), subject, cfg)
+}
+
+// RunSLCtx executes the full supervised comparison for one subject:
+// baseline vs Raw vs Med vs Min, each trained to the same budget on the
+// same corpus, evaluated on the same held-out inputs. Cancellation is
+// observed at minibatch boundaries inside training and between
+// versions; a canceled run returns the partially filled result (the
+// versions completed so far) alongside an error wrapping
+// auerr.ErrCanceled.
+func RunSLCtx(ctx context.Context, subject SLSubject, cfg SLConfig) (*SLResult, error) {
 	cfg.fillDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, auerr.Canceled(ctx)
+	}
 	train := subject.Workloads(cfg.Seed, cfg.TrainN)
 	test := subject.Workloads(cfg.Seed+1000, cfg.TestN)
 
@@ -182,6 +198,9 @@ func RunSL(subject SLSubject, cfg SLConfig) (*SLResult, error) {
 		}(i, w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, auerr.Canceled(ctx)
+	}
 	oracleTestSum := 0.0
 	for _, s := range oracleTest {
 		oracleTestSum += s
@@ -205,8 +224,13 @@ func RunSL(subject SLSubject, cfg SLConfig) (*SLResult, error) {
 	result.BaselineExec = time.Since(baseStart) / time.Duration(len(test))
 
 	for _, pick := range []FeaturePick{PickRaw, PickMed, PickMin} {
-		vr, err := runSLVersion(subject, cfg, pick, train, labels, test)
+		vr, err := runSLVersion(ctx, subject, cfg, pick, train, labels, test)
 		if err != nil {
+			if errors.Is(err, auerr.ErrCanceled) {
+				// Flush what finished: completed versions stay in the
+				// result so the caller can render a partial table.
+				return result, fmt.Errorf("bench: %s/%v: %w", subject.Name(), pick, err)
+			}
 			return nil, fmt.Errorf("bench: %s/%v: %w", subject.Name(), pick, err)
 		}
 		result.Versions[pick] = vr
@@ -215,7 +239,7 @@ func RunSL(subject SLSubject, cfg SLConfig) (*SLResult, error) {
 }
 
 // runSLVersion trains and evaluates one feature-band version.
-func runSLVersion(subject SLSubject, cfg SLConfig, pick FeaturePick,
+func runSLVersion(ctx context.Context, subject SLSubject, cfg SLConfig, pick FeaturePick,
 	train []SLWorkload, labels [][]float64, test []SLWorkload) (*SLVersionResult, error) {
 
 	model := fmt.Sprintf("%s-%v", subject.Name(), pick)
@@ -254,11 +278,11 @@ func runSLVersion(subject SLSubject, cfg SLConfig, pick FeaturePick,
 
 	start := time.Now()
 	for e := 0; e < cfg.Epochs; e++ {
-		loss, err := rt.Fit(model, 1, 16)
+		st, err := rt.FitCtx(ctx, model, 1, 16)
 		if err != nil {
 			return nil, err
 		}
-		vr.FinalLoss = loss
+		vr.FinalLoss = st.LastLoss
 		// Sample the learning curve every few epochs (Fig. 13).
 		if e%3 == 0 || e == cfg.Epochs-1 {
 			vr.Curve = append(vr.Curve, evalMean())

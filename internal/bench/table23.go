@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"time"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/ckpt"
 )
 
@@ -35,15 +38,32 @@ func slConfigFor(subject SLSubject, suite SLSuiteConfig) SLConfig {
 	return cfg
 }
 
-// RunSLSuite runs the supervised comparison across all four subjects.
+// RunSLSuite runs the supervised comparison with context.Background();
+// see RunSLSuiteCtx.
 func RunSLSuite(suite SLSuiteConfig) ([]*SLResult, error) {
+	return RunSLSuiteCtx(context.Background(), suite)
+}
+
+// RunSLSuiteCtx runs the supervised comparison across all four
+// subjects. A canceled context stops at the next training boundary and
+// returns every result completed so far — including the partially
+// filled result of the interrupted subject, when it has at least one
+// finished version — alongside an error wrapping auerr.ErrCanceled, so
+// the caller can flush partial tables.
+func RunSLSuiteCtx(ctx context.Context, suite SLSuiteConfig) ([]*SLResult, error) {
 	if suite.Seed == 0 {
 		suite.Seed = 1
 	}
 	var out []*SLResult
 	for _, s := range AllSLSubjects() {
-		res, err := RunSL(s, slConfigFor(s, suite))
+		res, err := RunSLCtx(ctx, s, slConfigFor(s, suite))
 		if err != nil {
+			if errors.Is(err, auerr.ErrCanceled) {
+				if res != nil && len(res.Versions) > 0 {
+					out = append(out, res)
+				}
+				return out, err
+			}
 			return nil, err
 		}
 		out = append(out, res)
@@ -59,11 +79,20 @@ type RLSuiteConfig struct {
 	Subjects []*RLSubject
 }
 
-// RunRLSuite trains All and Raw configurations for each subject. Raw
+// RunRLSuite trains with context.Background(); see RunRLSuiteCtx.
+func RunRLSuite(suite RLSuiteConfig) ([]Table3RLRow, error) {
+	return RunRLSuiteCtx(context.Background(), suite)
+}
+
+// RunRLSuiteCtx trains All and Raw configurations for each subject. Raw
 // receives the wall-clock budget All consumed (both capped at the step
 // budget), reproducing the paper's equal-time comparison in which Raw
-// times out on most benchmarks.
-func RunRLSuite(suite RLSuiteConfig) ([]Table3RLRow, error) {
+// times out on most benchmarks. A canceled context stops training at
+// the next step boundary and returns the rows completed so far
+// alongside an error wrapping auerr.ErrCanceled; a subject interrupted
+// mid-comparison contributes a row only when both of its runs produced
+// usable (possibly partial) results.
+func RunRLSuiteCtx(ctx context.Context, suite RLSuiteConfig) ([]Table3RLRow, error) {
 	if suite.Seed == 0 {
 		suite.Seed = 1
 	}
@@ -94,8 +123,13 @@ func RunRLSuite(suite RLSuiteConfig) ([]Table3RLRow, error) {
 		for a := 0; a < attempts; a++ {
 			cfg := allCfg
 			cfg.AgentSeed = suite.Seed + uint64(a)*101
-			res, err := RunRL(s, cfg)
+			res, err := RunRLCtx(ctx, s, cfg)
 			if err != nil {
+				if errors.Is(err, auerr.ErrCanceled) {
+					// The interrupted subject has no comparison row yet;
+					// flush the rows that finished.
+					return rows, err
+				}
 				return nil, err
 			}
 			cumTime += res.TrainTime
@@ -116,8 +150,18 @@ func RunRLSuite(suite RLSuiteConfig) ([]Table3RLRow, error) {
 			rawCfg.EvalEpisodes = 2
 			rawCfg.TrainWallClock = allRes.TrainTime + 2*time.Second
 		}
-		rawRes, err := RunRL(s, rawCfg)
+		rawRes, err := RunRLCtx(ctx, s, rawCfg)
 		if err != nil {
+			if errors.Is(err, auerr.ErrCanceled) {
+				if rawRes != nil {
+					// Both runs produced (possibly partial) results:
+					// keep the comparison row for the partial table.
+					rows = append(rows, Table3RLRow{
+						Program: s.Name, All: allRes, Raw: rawRes, ScoreIsCount: s.ScoreIsCount,
+					})
+				}
+				return rows, err
+			}
 			return nil, err
 		}
 		rows = append(rows, Table3RLRow{

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+
+	"github.com/autonomizer/autonomizer/internal/ckpt"
+)
+
+// This file keeps the original non-context primitive signatures as thin
+// wrappers over the ...Ctx forms with context.Background(), so the nine
+// autonomized subjects, the examples and existing harnesses keep
+// compiling and behaving exactly as before. New code should prefer the
+// Ctx forms; these wrappers never observe cancellation, and the few
+// whose legacy signatures have no error slot (Extract, Serialize,
+// Checkpoint) discard an error that a Background context cannot produce.
+
+// Config is au_config with context.Background(); see ConfigCtx.
+func (rt *Runtime) Config(spec ModelSpec) error {
+	return rt.ConfigCtx(context.Background(), spec)
+}
+
+// Extract is au_extract with context.Background(); see ExtractCtx.
+func (rt *Runtime) Extract(name string, vals ...float64) {
+	_ = rt.ExtractCtx(context.Background(), name, vals...)
+}
+
+// Serialize is au_serialize with context.Background(); see SerializeCtx.
+func (rt *Runtime) Serialize(names ...string) string {
+	key, _ := rt.SerializeCtx(context.Background(), names...)
+	return key
+}
+
+// NN is supervised au_NN with context.Background(); see NNCtx.
+func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
+	return rt.NNCtx(context.Background(), mdName, extName, wbNames...)
+}
+
+// NNRL is reinforcement-learning au_NN with context.Background(); see
+// NNRLCtx.
+func (rt *Runtime) NNRL(mdName, extName string, reward float64, terminal bool, wbName string) error {
+	return rt.NNRLCtx(context.Background(), mdName, extName, reward, terminal, wbName)
+}
+
+// WriteBack is au_write_back with context.Background(); see WriteBackCtx.
+func (rt *Runtime) WriteBack(name string, dst []float64) (int, error) {
+	return rt.WriteBackCtx(context.Background(), name, dst)
+}
+
+// WriteBackAction is the discrete-action write-back with
+// context.Background(); see WriteBackActionCtx.
+func (rt *Runtime) WriteBackAction(name string) (int, error) {
+	return rt.WriteBackActionCtx(context.Background(), name)
+}
+
+// Checkpoint is au_checkpoint with context.Background(); see
+// CheckpointCtx.
+func (rt *Runtime) Checkpoint(prog ckpt.Snapshotter, progBytes int) {
+	_ = rt.CheckpointCtx(context.Background(), prog, progBytes)
+}
+
+// Restore is au_restore with context.Background(); see RestoreCtx.
+func (rt *Runtime) Restore(prog ckpt.Snapshotter) error {
+	return rt.RestoreCtx(context.Background(), prog)
+}
+
+// Fit trains with context.Background() and reports the final epoch's
+// mean loss; see FitCtx for the context-aware form with partial-progress
+// statistics.
+func (rt *Runtime) Fit(mdName string, epochs, batchSize int) (float64, error) {
+	st, err := rt.FitCtx(context.Background(), mdName, epochs, batchSize)
+	return st.LastLoss, err
+}
+
+// Predict is direct inference with context.Background(); see PredictCtx.
+func (rt *Runtime) Predict(mdName string, in []float64) ([]float64, error) {
+	return rt.PredictCtx(context.Background(), mdName, in)
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/nn"
 	"github.com/autonomizer/autonomizer/internal/rl"
 	"github.com/autonomizer/autonomizer/internal/stats"
@@ -53,11 +55,11 @@ func newModel(spec ModelSpec, rng *stats.RNG) *model {
 func (m *model) materialize(inSize, outSize int) error {
 	if m.net != nil {
 		if inSize != m.inSize {
-			return fmt.Errorf("core: model %q input size changed from %d to %d",
+			return auerr.E(auerr.ErrSpecInvalid, "core: model %q input size changed from %d to %d",
 				m.spec.Name, m.inSize, inSize)
 		}
 		if outSize != m.outSize {
-			return fmt.Errorf("core: model %q output size changed from %d to %d",
+			return auerr.E(auerr.ErrSpecInvalid, "core: model %q output size changed from %d to %d",
 				m.spec.Name, m.outSize, outSize)
 		}
 		return nil
@@ -163,19 +165,39 @@ func (m *model) recordExample(in, target []float64) {
 	m.slTargets = append(m.slTargets, append([]float64(nil), target...))
 }
 
-// fit trains the SL model for the given number of epochs over the
-// recorded dataset with mini-batches, returning the final epoch's mean
-// loss.
-func (m *model) fit(epochs, batchSize int) (float64, error) {
+// FitStats reports offline-training progress. FitCtx fills it even when
+// a canceled context stops training early, so callers can see exactly
+// how far the run got and resume from there.
+type FitStats struct {
+	// Epochs is the number of fully completed epochs.
+	Epochs int
+	// Batches is the total number of completed minibatch optimizer
+	// steps, across all epochs including a final partial one.
+	Batches int
+	// LastLoss is the mean loss over the most recent epoch — the final
+	// full epoch, or the partial epoch in progress when training was
+	// canceled (0 if no batch completed).
+	LastLoss float64
+}
+
+// fitCtx trains the SL model over the recorded dataset with
+// mini-batches. The minibatch is the atomic unit of training:
+// cancellation is checked before every optimizer step, and a canceled
+// context returns the partial-progress FitStats alongside an error
+// wrapping auerr.ErrCanceled. Completed steps are kept — the model,
+// its dataset and its optimizer state stay consistent, so a later
+// fitCtx call resumes training.
+func (m *model) fitCtx(ctx context.Context, epochs, batchSize int) (FitStats, error) {
+	var st FitStats
 	if m.spec.Algo != AdamOpt {
-		return 0, fmt.Errorf("core: Fit only applies to AdamOpt models, %q is %v", m.spec.Name, m.spec.Algo)
+		return st, auerr.E(auerr.ErrModeViolation, "core: Fit only applies to AdamOpt models, %q is %v", m.spec.Name, m.spec.Algo)
 	}
 	if len(m.slInputs) == 0 {
-		return 0, fmt.Errorf("core: model %q has no recorded examples", m.spec.Name)
+		return st, auerr.E(auerr.ErrMissingInput, "core: model %q has no recorded examples", m.spec.Name)
 	}
 	if m.net == nil {
 		if err := m.materialize(len(m.slInputs[0]), len(m.slTargets[0])); err != nil {
-			return 0, err
+			return st, err
 		}
 	}
 	if batchSize <= 0 {
@@ -187,11 +209,16 @@ func (m *model) fit(epochs, batchSize int) (float64, error) {
 		}
 		return tensor.FromSlice(v, len(v))
 	}
-	var lastLoss float64
 	for e := 0; e < epochs; e++ {
 		perm := m.rng.Perm(len(m.slInputs))
 		total, batches := 0.0, 0
 		for start := 0; start < len(perm); start += batchSize {
+			if err := live(ctx); err != nil {
+				if batches > 0 {
+					st.LastLoss = total / float64(batches)
+				}
+				return st, err
+			}
 			end := start + batchSize
 			if end > len(perm) {
 				end = len(perm)
@@ -207,8 +234,10 @@ func (m *model) fit(epochs, batchSize int) (float64, error) {
 			}
 			total += m.net.TrainBatch(ins, outs)
 			batches++
+			st.Batches++
 		}
-		lastLoss = total / float64(batches)
+		st.LastLoss = total / float64(batches)
+		st.Epochs++
 	}
-	return lastLoss, nil
+	return st, nil
 }

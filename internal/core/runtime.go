@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/ckpt"
 	"github.com/autonomizer/autonomizer/internal/db"
 	"github.com/autonomizer/autonomizer/internal/stats"
@@ -16,6 +18,20 @@ import (
 // store θ, the checkpoint manager and the execution mode ω. A host
 // program creates one Runtime and calls the primitive methods at its
 // annotated program points.
+//
+// Error and cancellation contract: every primitive has a context-aware
+// ...Ctx form returning typed errors from internal/auerr (ErrSpecInvalid,
+// ErrUnknownModel, ErrModeViolation, ErrMissingInput, ErrCorruptModel,
+// ErrCanceled, ErrInvariant — all matchable with errors.Is). Cancellation
+// is checked at primitive entry and, inside training loops, at minibatch
+// boundaries; a canceled call returns an error wrapping both
+// auerr.ErrCanceled and the context's cause (so errors.Is(err,
+// context.Canceled) holds) and leaves the registry and stores in a
+// consistent, resumable state. Internal invariant violations in the
+// kernels are recovered at these entry points and returned as errors
+// wrapping auerr.ErrInvariant — the runtime never takes down its host.
+// The original non-context methods remain as thin wrappers over the Ctx
+// forms with context.Background().
 //
 // Concurrency contract (the sharding rule for parallel rollouts):
 //
@@ -73,6 +89,25 @@ func (rt *Runtime) DB() *db.Store { return rt.store }
 // configuration and Table 2 statistics.
 func (rt *Runtime) Checkpoints() *ckpt.Manager { return rt.ckpts }
 
+// guard is the runtime's panic-recovery boundary: deferred at every
+// exported entry point that reaches the nn/rl/tensor kernels, it
+// converts internal invariant panics (and panicking user Builder
+// callbacks) into returned errors wrapping auerr.ErrInvariant.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = auerr.FromPanic(r)
+	}
+}
+
+// live reports nil for a usable context and the typed cancellation
+// error otherwise; nil contexts are treated as context.Background().
+func live(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return auerr.Canceled(ctx)
+	}
+	return nil
+}
+
 // getModel looks a model up in θ under the registry lock.
 func (rt *Runtime) getModel(name string) (*model, bool) {
 	rt.mu.RLock()
@@ -81,11 +116,19 @@ func (rt *Runtime) getModel(name string) (*model, bool) {
 	return m, ok
 }
 
-// Config is au_config: in Train mode it registers a fresh model under
-// spec.Name unless one already exists (CONFIG-TRAIN); in Test mode it
-// loads previously saved weights for the name (CONFIG-TEST). It is safe
-// to call from concurrent goroutines configuring different models.
-func (rt *Runtime) Config(spec ModelSpec) error {
+// ConfigCtx is the context-aware au_config: in Train mode it registers a
+// fresh model under spec.Name unless one already exists (CONFIG-TRAIN);
+// in Test mode it loads previously saved weights for the name
+// (CONFIG-TEST). A malformed spec returns an error wrapping
+// auerr.ErrSpecInvalid with the offending field; a Test-mode name with
+// no saved weights wraps auerr.ErrUnknownModel; undecodable saved bytes
+// wrap auerr.ErrCorruptModel. It is safe to call from concurrent
+// goroutines configuring different models.
+func (rt *Runtime) ConfigCtx(ctx context.Context, spec ModelSpec) (err error) {
+	defer guard(&err)
+	if err := live(ctx); err != nil {
+		return err
+	}
 	if err := spec.validate(); err != nil {
 		return err
 	}
@@ -100,7 +143,7 @@ func (rt *Runtime) Config(spec ModelSpec) error {
 	if rt.mode == Test {
 		data, ok := rt.saved[spec.Name]
 		if !ok {
-			return fmt.Errorf("core: no saved model %q to load in TS mode", spec.Name)
+			return auerr.E(auerr.ErrUnknownModel, "core: no saved model %q to load in TS mode", spec.Name)
 		}
 		inSize, outSize, params, err := decodeSavedModel(data)
 		if err != nil {
@@ -115,17 +158,22 @@ func (rt *Runtime) Config(spec ModelSpec) error {
 	return nil
 }
 
-// Extract is au_extract: it appends the given values to π under name
-// (EXTRACT rule). The paper's size argument is implicit in len(vals).
-func (rt *Runtime) Extract(name string, vals ...float64) {
+// ExtractCtx is the context-aware au_extract: it appends the given
+// values to π under name (EXTRACT rule). The paper's size argument is
+// implicit in len(vals). A canceled context leaves π untouched.
+func (rt *Runtime) ExtractCtx(ctx context.Context, name string, vals ...float64) error {
+	if err := live(ctx); err != nil {
+		return err
+	}
 	rt.store.Append(name, vals...)
 	rt.extractedValues += len(vals)
+	return nil
 }
 
-// Serialize is au_serialize: it concatenates the named lists in π into a
-// single list bound to the concatenated name, returning that name
-// (SERIALIZE rule). Models only take vector inputs, so multi-variable
-// features are combined through this primitive.
+// SerializeCtx is the context-aware au_serialize: it concatenates the
+// named lists in π into a single list bound to the concatenated name,
+// returning that name (SERIALIZE rule). Models only take vector inputs,
+// so multi-variable features are combined through this primitive.
 //
 // The runtime consumes the constituent lists, so that a game loop that
 // extracts and serializes every iteration feeds the model one fresh
@@ -133,39 +181,50 @@ func (rt *Runtime) Extract(name string, vals ...float64) {
 // constituents bound; internal/semantics transcribes that literally,
 // while this production runtime adopts the consuming behaviour the
 // paper's loop structure requires.)
-func (rt *Runtime) Serialize(names ...string) string {
+func (rt *Runtime) SerializeCtx(ctx context.Context, names ...string) (string, error) {
+	if err := live(ctx); err != nil {
+		return "", err
+	}
 	key := rt.store.Concat(names...)
 	for _, n := range names {
 		rt.store.Reset(n)
 	}
-	return key
+	return key, nil
 }
 
-// NN is au_NN for supervised models: it runs model mdName on the input
-// list π(extName), binds the prediction to the write-back names, and
-// resets the input list (TRAIN/TEST rules). With multiple write-back
-// names the output vector is split evenly across them, matching the
-// Canny usage au_NN("MinNN", "HIST", "LO", "HI").
+// NNCtx is the context-aware au_NN for supervised models: it runs model
+// mdName on the input list π(extName), binds the prediction to the
+// write-back names, and resets the input list (TRAIN/TEST rules). With
+// multiple write-back names the output vector is split evenly across
+// them, matching the Canny usage au_NN("MinNN", "HIST", "LO", "HI").
 //
 // In Train mode, if π already binds every write-back name (the
 // desirable outputs recorded from the oracle — the "decisions made by
 // human users" of Section 3), one gradient step is taken against that
 // target (the literal TRAIN rule) and the example is also recorded for
 // offline fitting via Fit.
-func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
+//
+// Cancellation is checked once at entry — before any store mutation or
+// gradient step — so a canceled call leaves π and the model exactly as
+// they were.
+func (rt *Runtime) NNCtx(ctx context.Context, mdName, extName string, wbNames ...string) (err error) {
+	defer guard(&err)
+	if err := live(ctx); err != nil {
+		return err
+	}
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return fmt.Errorf("core: au_NN on unconfigured model %q", mdName)
+		return auerr.E(auerr.ErrUnknownModel, "core: au_NN on unconfigured model %q", mdName)
 	}
 	if m.spec.Algo != AdamOpt {
-		return fmt.Errorf("core: model %q is %v; use NNRL for reinforcement learning", mdName, m.spec.Algo)
+		return auerr.E(auerr.ErrModeViolation, "core: model %q is %v; use NNRL for reinforcement learning", mdName, m.spec.Algo)
 	}
 	if len(wbNames) == 0 {
-		return fmt.Errorf("core: au_NN needs at least one write-back name")
+		return auerr.E(auerr.ErrSpecInvalid, "core: au_NN needs at least one write-back name")
 	}
 	in, ok := rt.store.Get(extName)
 	if !ok || len(in) == 0 {
-		return fmt.Errorf("core: au_NN input %q is empty; call au_extract first", extName)
+		return auerr.E(auerr.ErrMissingInput, "core: au_NN input %q is empty; call au_extract first", extName)
 	}
 	rt.nnCalls++
 
@@ -185,7 +244,7 @@ func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
 
 	if m.net == nil {
 		if !haveTarget {
-			return fmt.Errorf("core: model %q has no materialized network and no targets to infer output size from", mdName)
+			return auerr.E(auerr.ErrNotMaterialized, "core: model %q has no materialized network and no targets to infer output size from", mdName)
 		}
 		if err := m.materialize(len(in), len(target)); err != nil {
 			return err
@@ -194,7 +253,7 @@ func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
 
 	if haveTarget {
 		if len(target) != m.outSize {
-			return fmt.Errorf("core: model %q targets have %d values, output size is %d",
+			return auerr.E(auerr.ErrSpecInvalid, "core: model %q targets have %d values, output size is %d",
 				mdName, len(target), m.outSize)
 		}
 		m.slTrainStep(in, target)
@@ -203,7 +262,7 @@ func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
 
 	out := m.predict(in)
 	if len(out)%len(wbNames) != 0 {
-		return fmt.Errorf("core: model %q output size %d not divisible across %d write-back names",
+		return auerr.E(auerr.ErrSpecInvalid, "core: model %q output size %d not divisible across %d write-back names",
 			mdName, len(out), len(wbNames))
 	}
 	chunk := len(out) / len(wbNames)
@@ -214,26 +273,34 @@ func (rt *Runtime) NN(mdName, extName string, wbNames ...string) error {
 	return nil
 }
 
-// NNRL is au_NN for reinforcement-learning models, matching the Mario
-// annotation au_NN("Mario", au_serialize(...), reward, term, "output").
-// The state is read from π(extName); the (reward, terminal) pair closes
-// the previous step's transition; the chosen action index is bound to
-// π(wbName); the input list is reset.
+// NNRLCtx is the context-aware au_NN for reinforcement-learning models,
+// matching the Mario annotation au_NN("Mario", au_serialize(...),
+// reward, term, "output"). The state is read from π(extName); the
+// (reward, terminal) pair closes the previous step's transition; the
+// chosen action index is bound to π(wbName); the input list is reset.
 //
 // In Train mode the action is ε-greedy and the underlying DQN performs
 // replayed Q-learning updates; in Test mode the action is greedy and the
 // model is untouched (TEST rule).
-func (rt *Runtime) NNRL(mdName, extName string, reward float64, terminal bool, wbName string) error {
+//
+// Cancellation is checked at the step boundary — at entry, before the
+// transition is observed or π is mutated — so a canceled call can be
+// retried or the episode abandoned with the stores consistent.
+func (rt *Runtime) NNRLCtx(ctx context.Context, mdName, extName string, reward float64, terminal bool, wbName string) (err error) {
+	defer guard(&err)
+	if err := live(ctx); err != nil {
+		return err
+	}
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return fmt.Errorf("core: au_NN on unconfigured model %q", mdName)
+		return auerr.E(auerr.ErrUnknownModel, "core: au_NN on unconfigured model %q", mdName)
 	}
 	if m.spec.Algo != QLearn {
-		return fmt.Errorf("core: model %q is %v; use NN for supervised learning", mdName, m.spec.Algo)
+		return auerr.E(auerr.ErrModeViolation, "core: model %q is %v; use NN for supervised learning", mdName, m.spec.Algo)
 	}
 	state, ok := rt.store.Get(extName)
 	if !ok || len(state) == 0 {
-		return fmt.Errorf("core: au_NN input %q is empty; call au_extract first", extName)
+		return auerr.E(auerr.ErrMissingInput, "core: au_NN input %q is empty; call au_extract first", extName)
 	}
 	rt.nnCalls++
 	if m.net == nil {
@@ -242,7 +309,9 @@ func (rt *Runtime) NNRL(mdName, extName string, reward float64, terminal bool, w
 		}
 	}
 	if rt.mode == Train && m.havePrev {
-		m.agent.Observe(rlTransition(m.prevState, m.prevAction, reward, state, terminal))
+		if _, err := m.agent.ObserveCtx(ctx, rlTransition(m.prevState, m.prevAction, reward, state, terminal)); err != nil {
+			return err
+		}
 	}
 	if terminal {
 		// The episode ended: do not bridge a transition across restore.
@@ -259,46 +328,59 @@ func (rt *Runtime) NNRL(mdName, extName string, reward float64, terminal bool, w
 	return nil
 }
 
-// WriteBack is au_write_back: it copies up to len(dst) values from
-// π(name) into the program variable dst (WRITE-BACK rule), returning the
-// number copied. A missing binding is an error: write-back without a
-// preceding au_NN indicates a mis-annotated program.
-func (rt *Runtime) WriteBack(name string, dst []float64) (int, error) {
+// WriteBackCtx is the context-aware au_write_back: it copies up to
+// len(dst) values from π(name) into the program variable dst
+// (WRITE-BACK rule), returning the number copied. A missing binding
+// wraps auerr.ErrMissingInput: write-back without a preceding au_NN
+// indicates a mis-annotated program.
+func (rt *Runtime) WriteBackCtx(ctx context.Context, name string, dst []float64) (int, error) {
+	if err := live(ctx); err != nil {
+		return 0, err
+	}
 	vals, ok := rt.store.Get(name)
 	if !ok {
-		return 0, fmt.Errorf("core: au_write_back of unbound name %q", name)
+		return 0, auerr.E(auerr.ErrMissingInput, "core: au_write_back of unbound name %q", name)
 	}
 	n := copy(dst, vals)
 	return n, nil
 }
 
-// WriteBackAction is the discrete-action convenience over WriteBack: it
-// returns π(name)[0] rounded to an int, for annotations like
-// au_write_back("output", 5, actionKey).
-func (rt *Runtime) WriteBackAction(name string) (int, error) {
+// WriteBackActionCtx is the discrete-action convenience over
+// WriteBackCtx: it returns π(name)[0] rounded to an int, for annotations
+// like au_write_back("output", 5, actionKey).
+func (rt *Runtime) WriteBackActionCtx(ctx context.Context, name string) (int, error) {
 	var v [1]float64
-	n, err := rt.WriteBack(name, v[:])
+	n, err := rt.WriteBackCtx(ctx, name, v[:])
 	if err != nil {
 		return 0, err
 	}
 	if n == 0 {
-		return 0, fmt.Errorf("core: au_write_back of empty binding %q", name)
+		return 0, auerr.E(auerr.ErrMissingInput, "core: au_write_back of empty binding %q", name)
 	}
 	return int(v[0] + 0.5), nil
 }
 
-// Checkpoint is au_checkpoint: it snapshots ⟨σ, π⟩ — the host's program
-// state (via its Snapshotter) and the database store — leaving model
-// state θ out, per the CHECKPOINT rule. progBytes is the host's
-// accounting of its state footprint for Table 2.
-func (rt *Runtime) Checkpoint(prog ckpt.Snapshotter, progBytes int) {
+// CheckpointCtx is the context-aware au_checkpoint: it snapshots
+// ⟨σ, π⟩ — the host's program state (via its Snapshotter) and the
+// database store — leaving model state θ out, per the CHECKPOINT rule.
+// progBytes is the host's accounting of its state footprint for Table 2.
+func (rt *Runtime) CheckpointCtx(ctx context.Context, prog ckpt.Snapshotter, progBytes int) (err error) {
+	defer guard(&err)
+	if err := live(ctx); err != nil {
+		return err
+	}
 	rt.ckpts.Checkpoint(prog, rt.store, progBytes)
+	return nil
 }
 
-// Restore is au_restore: it rolls ⟨σ, π⟩ back to the latest checkpoint
-// (RESTORE rule). Model state θ is preserved so learning accumulates
-// across rollbacks.
-func (rt *Runtime) Restore(prog ckpt.Snapshotter) error {
+// RestoreCtx is the context-aware au_restore: it rolls ⟨σ, π⟩ back to
+// the latest checkpoint (RESTORE rule). Model state θ is preserved so
+// learning accumulates across rollbacks.
+func (rt *Runtime) RestoreCtx(ctx context.Context, prog ckpt.Snapshotter) (err error) {
+	defer guard(&err)
+	if err := live(ctx); err != nil {
+		return err
+	}
 	if err := rt.ckpts.Restore(prog, rt.store); err != nil {
 		return err
 	}
@@ -312,24 +394,30 @@ func (rt *Runtime) Restore(prog ckpt.Snapshotter) error {
 	return nil
 }
 
-// Fit trains a supervised model offline on every example recorded during
-// Train-mode au_NN calls, for the given number of epochs, returning the
-// final mean loss. This is the paper's offline SL training phase.
-func (rt *Runtime) Fit(mdName string, epochs, batchSize int) (float64, error) {
+// FitCtx trains a supervised model offline on every example recorded
+// during Train-mode au_NN calls, for the given number of epochs.
+// Cancellation is checked before every minibatch: a canceled context
+// stops training at that boundary and returns the partial-progress
+// FitStats alongside an error wrapping auerr.ErrCanceled — completed
+// optimizer steps are kept (the model remains consistent and training
+// can resume with another FitCtx call), never discarded.
+func (rt *Runtime) FitCtx(ctx context.Context, mdName string, epochs, batchSize int) (st FitStats, err error) {
+	defer guard(&err)
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return 0, fmt.Errorf("core: Fit of unconfigured model %q", mdName)
+		return FitStats{}, auerr.E(auerr.ErrUnknownModel, "core: Fit of unconfigured model %q", mdName)
 	}
-	return m.fit(epochs, batchSize)
+	return m.fitCtx(ctx, epochs, batchSize)
 }
 
 // RecordExample adds a labeled training example directly (host-driven
 // dataset construction, used when the oracle labels are computed outside
 // the annotated control flow).
-func (rt *Runtime) RecordExample(mdName string, in, target []float64) error {
+func (rt *Runtime) RecordExample(mdName string, in, target []float64) (err error) {
+	defer guard(&err)
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return fmt.Errorf("core: RecordExample on unconfigured model %q", mdName)
+		return auerr.E(auerr.ErrUnknownModel, "core: RecordExample on unconfigured model %q", mdName)
 	}
 	// materialize validates sizes against an already-built network.
 	if err := m.materialize(len(in), len(target)); err != nil {
@@ -350,13 +438,14 @@ func (rt *Runtime) ExampleCount(mdName string) int {
 // SaveModel serializes a model's weights (with its inferred sizes) into
 // the runtime's registry and returns the bytes, emulating the on-disk
 // model that a TS-mode execution loads.
-func (rt *Runtime) SaveModel(mdName string) ([]byte, error) {
+func (rt *Runtime) SaveModel(mdName string) (data []byte, err error) {
+	defer guard(&err)
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return nil, fmt.Errorf("core: SaveModel of unconfigured model %q", mdName)
+		return nil, auerr.E(auerr.ErrUnknownModel, "core: SaveModel of unconfigured model %q", mdName)
 	}
 	if m.net == nil {
-		return nil, fmt.Errorf("core: model %q was never materialized", mdName)
+		return nil, auerr.E(auerr.ErrNotMaterialized, "core: model %q was never materialized", mdName)
 	}
 	params, err := m.net.MarshalParams()
 	if err != nil {
@@ -370,7 +459,7 @@ func (rt *Runtime) SaveModel(mdName string) ([]byte, error) {
 		return nil, err
 	}
 	buf.Write(params)
-	data := buf.Bytes()
+	data = buf.Bytes()
 	rt.mu.Lock()
 	rt.saved[mdName] = data
 	rt.mu.Unlock()
@@ -388,14 +477,16 @@ func (rt *Runtime) LoadModel(mdName string, data []byte) {
 // LoadModelParams restores previously saved weights into an
 // already-materialized model in place. Training harnesses use it to
 // keep the best-scoring snapshot (the counterpart of the paper's
-// stop-at-best-evaluation protocol).
-func (rt *Runtime) LoadModelParams(mdName string, data []byte) error {
+// stop-at-best-evaluation protocol). Undecodable bytes wrap
+// auerr.ErrCorruptModel.
+func (rt *Runtime) LoadModelParams(mdName string, data []byte) (err error) {
+	defer guard(&err)
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return fmt.Errorf("core: LoadModelParams on unconfigured model %q", mdName)
+		return auerr.E(auerr.ErrUnknownModel, "core: LoadModelParams on unconfigured model %q", mdName)
 	}
 	if m.net == nil {
-		return fmt.Errorf("core: model %q not materialized", mdName)
+		return auerr.E(auerr.ErrNotMaterialized, "core: model %q not materialized", mdName)
 	}
 	_, _, params, err := decodeSavedModel(data)
 	if err != nil {
@@ -406,7 +497,7 @@ func (rt *Runtime) LoadModelParams(mdName string, data []byte) error {
 
 func decodeSavedModel(data []byte) (inSize, outSize int, params []byte, err error) {
 	if len(data) < 8 {
-		return 0, 0, nil, fmt.Errorf("saved model too short (%d bytes)", len(data))
+		return 0, 0, nil, auerr.E(auerr.ErrCorruptModel, "saved model too short (%d bytes)", len(data))
 	}
 	in := binary.LittleEndian.Uint32(data[0:4])
 	out := binary.LittleEndian.Uint32(data[4:8])
@@ -418,10 +509,10 @@ func decodeSavedModel(data []byte) (inSize, outSize int, params []byte, err erro
 func (rt *Runtime) ModelSizeBytes(mdName string) (int, error) {
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return 0, fmt.Errorf("core: unknown model %q", mdName)
+		return 0, auerr.E(auerr.ErrUnknownModel, "core: unknown model %q", mdName)
 	}
 	if m.net == nil {
-		return 0, fmt.Errorf("core: model %q not materialized", mdName)
+		return 0, auerr.E(auerr.ErrNotMaterialized, "core: model %q not materialized", mdName)
 	}
 	return m.net.SizeBytes(), nil
 }
@@ -430,10 +521,10 @@ func (rt *Runtime) ModelSizeBytes(mdName string) (int, error) {
 func (rt *Runtime) ModelParamCount(mdName string) (int, error) {
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return 0, fmt.Errorf("core: unknown model %q", mdName)
+		return 0, auerr.E(auerr.ErrUnknownModel, "core: unknown model %q", mdName)
 	}
 	if m.net == nil {
-		return 0, fmt.Errorf("core: model %q not materialized", mdName)
+		return 0, auerr.E(auerr.ErrNotMaterialized, "core: model %q not materialized", mdName)
 	}
 	return m.net.ParamCount(), nil
 }
@@ -457,16 +548,24 @@ func (rt *Runtime) ModelNames() []string {
 	return out
 }
 
-// Predict runs a supervised model directly on a feature vector without
-// touching π — the fast path used by benchmark harnesses when measuring
-// pure inference cost.
-func (rt *Runtime) Predict(mdName string, in []float64) ([]float64, error) {
+// PredictCtx runs a supervised model directly on a feature vector
+// without touching π — the fast path used by benchmark harnesses when
+// measuring pure inference cost. A wrong-sized input wraps
+// auerr.ErrSpecInvalid instead of tripping a kernel invariant.
+func (rt *Runtime) PredictCtx(ctx context.Context, mdName string, in []float64) (out []float64, err error) {
+	defer guard(&err)
+	if err := live(ctx); err != nil {
+		return nil, err
+	}
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown model %q", mdName)
+		return nil, auerr.E(auerr.ErrUnknownModel, "core: unknown model %q", mdName)
 	}
 	if m.net == nil {
-		return nil, fmt.Errorf("core: model %q not materialized", mdName)
+		return nil, auerr.E(auerr.ErrNotMaterialized, "core: model %q not materialized", mdName)
+	}
+	if len(in) != m.inSize {
+		return nil, auerr.E(auerr.ErrSpecInvalid, "core: model %q expects %d inputs, got %d", mdName, m.inSize, len(in))
 	}
 	return m.predict(in), nil
 }
@@ -477,13 +576,14 @@ func (rt *Runtime) Predict(mdName string, in []float64) ([]float64, error) {
 // with each other and with Predict, as long as no training step is
 // mutating the model's weights — the fan-out primitive for parallel
 // rollouts.
-func (rt *Runtime) Predictor(mdName string) (func(in []float64) []float64, error) {
+func (rt *Runtime) Predictor(mdName string) (fn func(in []float64) []float64, err error) {
+	defer guard(&err)
 	m, ok := rt.getModel(mdName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown model %q", mdName)
+		return nil, auerr.E(auerr.ErrUnknownModel, "core: unknown model %q", mdName)
 	}
 	if m.net == nil {
-		return nil, fmt.Errorf("core: model %q not materialized", mdName)
+		return nil, auerr.E(auerr.ErrNotMaterialized, "core: model %q not materialized", mdName)
 	}
 	return m.predictor(), nil
 }

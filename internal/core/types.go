@@ -19,8 +19,10 @@ package core
 import (
 	"fmt"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/nn"
 	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
 )
 
 // Mode is the execution mode ω of the semantics: TR (training) or TS
@@ -147,24 +149,84 @@ type ModelSpec struct {
 	Builder func(inSize, outSize int, rng *stats.RNG) *nn.Network
 }
 
-// validate reports configuration errors early, at au_config time.
+// validate reports configuration errors early, at au_config time, each
+// wrapping auerr.ErrSpecInvalid and naming the offending field — the
+// annotation is the user-facing surface of the system, so a bad spec
+// must fail with a field-level message rather than a kernel invariant
+// deep inside the first au_NN call.
 func (s ModelSpec) validate() error {
-	if s.Name == "" {
-		return fmt.Errorf("core: model spec needs a name")
+	bad := func(format string, args ...any) error {
+		return auerr.E(auerr.ErrSpecInvalid, "core: "+format, args...)
 	}
-	for _, h := range s.Hidden {
+	if s.Name == "" {
+		return bad("model spec needs a name")
+	}
+	if s.Type != DNN && s.Type != CNN {
+		return bad("model %q: unknown model type %v", s.Name, s.Type)
+	}
+	if s.Algo != QLearn && s.Algo != AdamOpt {
+		return bad("model %q: unknown algorithm %v", s.Name, s.Algo)
+	}
+	for i, h := range s.Hidden {
 		if h <= 0 {
-			return fmt.Errorf("core: model %q has non-positive hidden width %d", s.Name, h)
+			return bad("model %q: Hidden[%d] = %d, widths must be positive", s.Name, i, h)
 		}
 	}
-	if s.Type == CNN && len(s.InputShape) != 3 {
-		return fmt.Errorf("core: CNN model %q needs InputShape (C,H,W), got %v", s.Name, s.InputShape)
+	if s.Type == CNN {
+		if len(s.InputShape) != 3 {
+			return bad("CNN model %q: InputShape must be (C,H,W), got %v", s.Name, s.InputShape)
+		}
+		for i, d := range s.InputShape {
+			if d <= 0 {
+				return bad("CNN model %q: InputShape[%d] = %d, dims must be positive", s.Name, i, d)
+			}
+		}
+		if s.Builder == nil {
+			// The built-in DeepMind-style CNN halves the plane three
+			// times; inputs too small collapse to an empty feature map.
+			h, w := s.InputShape[1], s.InputShape[2]
+			for _, stage := range [][3]int{{5, 2, 2}, {3, 1, 1}, {3, 1, 1}} {
+				h = tensor.ConvOutputSize(h, stage[0], stage[1], stage[2]) / 2
+				w = tensor.ConvOutputSize(w, stage[0], stage[1], stage[2]) / 2
+			}
+			if h < 1 || w < 1 {
+				return bad("CNN model %q: InputShape %v too small for the built-in CNN (needs ≥1×1 after three conv/pool stages; set Builder for a custom net)",
+					s.Name, s.InputShape)
+			}
+		}
 	}
 	if s.Algo == QLearn && s.Actions <= 0 {
-		return fmt.Errorf("core: QLearn model %q needs a positive action count", s.Name)
+		return bad("QLearn model %q: Actions = %d, need a positive action count", s.Name, s.Actions)
+	}
+	if s.Actions < 0 {
+		return bad("model %q: Actions = %d, cannot be negative", s.Name, s.Actions)
 	}
 	if s.OutputActivation != "" && s.OutputActivation != "sigmoid" {
-		return fmt.Errorf("core: model %q has unknown output activation %q", s.Name, s.OutputActivation)
+		return bad("model %q: unknown output activation %q (only \"sigmoid\" or empty)", s.Name, s.OutputActivation)
+	}
+	if s.LR < 0 {
+		return bad("model %q: LR = %g, learning rate cannot be negative", s.Name, s.LR)
+	}
+	if s.Gamma < 0 || s.Gamma > 1 {
+		return bad("model %q: Gamma = %g, discount must be in [0,1]", s.Name, s.Gamma)
+	}
+	if s.EpsilonDecaySteps < 0 {
+		return bad("model %q: EpsilonDecaySteps = %d, cannot be negative", s.Name, s.EpsilonDecaySteps)
+	}
+	if s.ReplayCapacity < 0 {
+		return bad("model %q: ReplayCapacity = %d, cannot be negative", s.Name, s.ReplayCapacity)
+	}
+	if s.BatchSize < 0 {
+		return bad("model %q: BatchSize = %d, cannot be negative", s.Name, s.BatchSize)
+	}
+	if s.TargetSyncEvery < 0 {
+		return bad("model %q: TargetSyncEvery = %d, cannot be negative", s.Name, s.TargetSyncEvery)
+	}
+	if s.LearnEvery < 0 {
+		return bad("model %q: LearnEvery = %d, cannot be negative", s.Name, s.LearnEvery)
+	}
+	if s.Workers < 0 {
+		return bad("model %q: Workers = %d, cannot be negative", s.Name, s.Workers)
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package db
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+)
+
+// TestLoadRejectsCorruptBytes feeds damaged store images into Load and
+// asserts the typed error contract: every corruption mode returns an
+// error wrapping auerr.ErrCorruptStore and leaves the store's previous
+// contents untouched.
+func TestLoadRejectsCorruptBytes(t *testing.T) {
+	src := New()
+	src.Append("alpha", 1, 2, 3)
+	src.Append("beta", 4.5)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	good := buf.Bytes()
+
+	flip := func(data []byte, i int) []byte {
+		out := append([]byte(nil), data...)
+		out[i] ^= 0xFF
+		return out
+	}
+	// An image whose value-count header claims far more floats than any
+	// plausible store holds: Load must reject the header instead of
+	// attempting a multi-GB allocation on attacker-controlled input.
+	implausible := func() []byte {
+		var b bytes.Buffer
+		b.WriteString("AUDB")
+		binary.Write(&b, binary.LittleEndian, uint32(1)) // version
+		binary.Write(&b, binary.LittleEndian, uint32(1)) // one name
+		binary.Write(&b, binary.LittleEndian, uint32(1)) // name length
+		b.WriteByte('x')
+		binary.Write(&b, binary.LittleEndian, uint32(1<<30)) // value count
+		return b.Bytes()
+	}()
+
+	cases := []struct {
+		desc string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("not a database image at all")},
+		{"bad magic", flip(good, 0)},
+		{"bad version", flip(good, 4)},
+		{"truncated header", good[:7]},
+		{"truncated values", good[:len(good)-5]},
+		{"implausible value count", implausible},
+	}
+	for _, c := range cases {
+		dst := New()
+		dst.Append("keep", 9, 9)
+		err := dst.Load(bytes.NewReader(c.data))
+		if err == nil {
+			t.Errorf("%s: Load accepted corrupt bytes", c.desc)
+			continue
+		}
+		if !errors.Is(err, auerr.ErrCorruptStore) {
+			t.Errorf("%s: error %v does not wrap auerr.ErrCorruptStore", c.desc, err)
+		}
+		if vals, ok := dst.Get("keep"); !ok || len(vals) != 2 {
+			t.Errorf("%s: failed Load clobbered the store: %v, %v", c.desc, vals, ok)
+		}
+	}
+
+	// The pristine image still round-trips.
+	dst := New()
+	if err := dst.Load(bytes.NewReader(good)); err != nil {
+		t.Fatalf("Load on good bytes: %v", err)
+	}
+	if vals, ok := dst.Get("alpha"); !ok || len(vals) != 3 {
+		t.Errorf("round-trip lost data: %v, %v", vals, ok)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
 )
 
 // Serialization format (versioned, little-endian):
@@ -57,7 +59,17 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load replaces the store's contents with a previously saved image.
+// Truncated or garbage bytes return an error wrapping
+// auerr.ErrCorruptStore, leaving the store's previous contents intact
+// (the image is fully decoded before anything is replaced).
 func (s *Store) Load(r io.Reader) error {
+	if err := s.load(r); err != nil {
+		return fmt.Errorf("%w: %w", auerr.ErrCorruptStore, err)
+	}
+	return nil
+}
+
+func (s *Store) load(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -92,6 +104,11 @@ func (s *Store) Load(r io.Reader) error {
 		var valCount uint32
 		if err := binary.Read(br, binary.LittleEndian, &valCount); err != nil {
 			return fmt.Errorf("db: read value count: %w", err)
+		}
+		// Cap the allocation before trusting the header: a corrupt count
+		// must fail cleanly instead of attempting a multi-GB make().
+		if valCount > 1<<27 {
+			return fmt.Errorf("db: implausible value count %d for %q", valCount, name)
 		}
 		vals := make([]float64, valCount)
 		for j := range vals {

@@ -3,6 +3,8 @@ package nn
 import (
 	"math"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
+
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
 
@@ -35,7 +37,7 @@ func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
 // Backward zeroes the gradient where the input was non-positive.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(r.mask) != gradOut.Size() {
-		panic("nn: ReLU Backward shape mismatch or called before Forward")
+		auerr.Failf("nn: ReLU Backward shape mismatch or called before Forward")
 	}
 	out := gradOut.Clone()
 	for i := range out.Data() {
@@ -77,7 +79,7 @@ func (s *Sigmoid) Forward(in *tensor.Tensor) *tensor.Tensor {
 // Backward multiplies by the sigmoid derivative y(1-y).
 func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if s.lastOut == nil || s.lastOut.Size() != gradOut.Size() {
-		panic("nn: Sigmoid Backward shape mismatch or called before Forward")
+		auerr.Failf("nn: Sigmoid Backward shape mismatch or called before Forward")
 	}
 	out := gradOut.Clone()
 	y := s.lastOut.Data()
@@ -117,7 +119,7 @@ func (t *Tanh) Forward(in *tensor.Tensor) *tensor.Tensor {
 // Backward multiplies by 1 - y².
 func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if t.lastOut == nil || t.lastOut.Size() != gradOut.Size() {
-		panic("nn: Tanh Backward shape mismatch or called before Forward")
+		auerr.Failf("nn: Tanh Backward shape mismatch or called before Forward")
 	}
 	out := gradOut.Clone()
 	y := t.lastOut.Data()
@@ -157,7 +159,7 @@ func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
 // Backward restores the gradient to the pre-flatten shape.
 func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if f.lastShape == nil {
-		panic("nn: Flatten Backward before Forward")
+		auerr.Failf("nn: Flatten Backward before Forward")
 	}
 	return gradOut.Reshape(f.lastShape...)
 }
@@ -198,7 +200,7 @@ func (s *Softmax) Forward(in *tensor.Tensor) *tensor.Tensor {
 		sum += e
 	}
 	if sum == 0 {
-		panic("nn: softmax sum underflowed to zero")
+		auerr.Failf("nn: softmax sum underflowed to zero")
 	}
 	out.ScaleInPlace(1 / sum)
 	return out

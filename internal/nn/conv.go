@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
@@ -27,8 +28,8 @@ type Conv2D struct {
 // NewConv2D constructs a convolution layer with He initialization.
 func NewConv2D(inC, outC, kh, kw, stride, pad int, rng *stats.RNG) *Conv2D {
 	if inC <= 0 || outC <= 0 || kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
-		panic(fmt.Sprintf("nn: invalid Conv2D params inC=%d outC=%d k=%dx%d stride=%d pad=%d",
-			inC, outC, kh, kw, stride, pad))
+		auerr.Failf("nn: invalid Conv2D params inC=%d outC=%d k=%dx%d stride=%d pad=%d",
+			inC, outC, kh, kw, stride, pad)
 	}
 	c := &Conv2D{
 		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
@@ -48,7 +49,7 @@ func NewConv2D(inC, outC, kh, kw, stride, pad int, rng *stats.RNG) *Conv2D {
 func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 	s := in.Shape()
 	if len(s) != 3 || s[0] != c.InC {
-		panic(fmt.Sprintf("nn: Conv2D expects (%d,H,W) input, got %v", c.InC, s))
+		auerr.Failf("nn: Conv2D expects (%d,H,W) input, got %v", c.InC, s)
 	}
 	c.inH, c.inW = s[1], s[2]
 	cols := tensor.Im2Col(in, c.KH, c.KW, c.Stride, c.Pad)
@@ -72,7 +73,7 @@ func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 // gradient via the col2im adjoint.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.lastCols == nil {
-		panic("nn: Conv2D Backward before Forward")
+		auerr.Failf("nn: Conv2D Backward before Forward")
 	}
 	n := c.lastOutH * c.lastOutW
 	g := gradOut.Reshape(c.OutC, n)
@@ -119,7 +120,7 @@ type MaxPool2D struct {
 // NewMaxPool2D constructs a pooling layer with a square window.
 func NewMaxPool2D(size int) *MaxPool2D {
 	if size <= 0 {
-		panic("nn: MaxPool2D size must be positive")
+		auerr.Failf("nn: MaxPool2D size must be positive")
 	}
 	return &MaxPool2D{Size: size}
 }
@@ -129,12 +130,12 @@ func NewMaxPool2D(size int) *MaxPool2D {
 func (m *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 	s := in.Shape()
 	if len(s) != 3 {
-		panic(fmt.Sprintf("nn: MaxPool2D expects (C,H,W), got %v", s))
+		auerr.Failf("nn: MaxPool2D expects (C,H,W), got %v", s)
 	}
 	c, h, w := s[0], s[1], s[2]
 	oh, ow := h/m.Size, w/m.Size
 	if oh == 0 || ow == 0 {
-		panic(fmt.Sprintf("nn: MaxPool2D window %d too large for %dx%d input", m.Size, h, w))
+		auerr.Failf("nn: MaxPool2D window %d too large for %dx%d input", m.Size, h, w)
 	}
 	m.inShape = append(m.inShape[:0], s...)
 	out := tensor.New(c, oh, ow)
@@ -170,10 +171,10 @@ func (m *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 // max.
 func (m *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if m.inShape == nil {
-		panic("nn: MaxPool2D Backward before Forward")
+		auerr.Failf("nn: MaxPool2D Backward before Forward")
 	}
 	if gradOut.Size() != len(m.argmax) {
-		panic("nn: MaxPool2D Backward shape mismatch")
+		auerr.Failf("nn: MaxPool2D Backward shape mismatch")
 	}
 	out := tensor.New(m.inShape...)
 	for i, g := range gradOut.Data() {

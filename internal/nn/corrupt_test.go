@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// TestLoadParamsRejectsCorruptBytes feeds damaged serialized-model bytes
+// into deserialization and asserts the typed error contract: every
+// corruption mode returns an error wrapping auerr.ErrCorruptModel, and
+// none of them panics or succeeds silently.
+func TestLoadParamsRejectsCorruptBytes(t *testing.T) {
+	net := NewDNN(4, []int{8}, 2, stats.NewRNG(3))
+	good, err := net.MarshalParams()
+	if err != nil {
+		t.Fatalf("MarshalParams: %v", err)
+	}
+
+	flip := func(data []byte, i int) []byte {
+		out := append([]byte(nil), data...)
+		out[i] ^= 0xFF
+		return out
+	}
+	cases := []struct {
+		desc string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6}},
+		{"bad magic", flip(good, 0)},
+		{"bad version", flip(good, 4)},
+		{"bad tensor count", flip(good, 8)},
+		{"bad rank", flip(good, 12)},
+		{"truncated header", good[:6]},
+		{"truncated data", good[:len(good)-9]},
+	}
+	for _, c := range cases {
+		victim := NewDNN(4, []int{8}, 2, stats.NewRNG(4))
+		err := victim.UnmarshalParams(c.data)
+		if err == nil {
+			t.Errorf("%s: UnmarshalParams accepted corrupt bytes", c.desc)
+			continue
+		}
+		if !errors.Is(err, auerr.ErrCorruptModel) {
+			t.Errorf("%s: error %v does not wrap auerr.ErrCorruptModel", c.desc, err)
+		}
+	}
+
+	// The pristine bytes still load, so the corruption cases above
+	// failed for the right reason.
+	victim := NewDNN(4, []int{8}, 2, stats.NewRNG(5))
+	if err := victim.UnmarshalParams(good); err != nil {
+		t.Fatalf("UnmarshalParams on good bytes: %v", err)
+	}
+}
+
+// TestLoadParamsRejectsArchitectureMismatch loads weights from a
+// structurally different network; the shape check must wrap
+// auerr.ErrCorruptModel (the bytes are not a valid image of THIS model).
+func TestLoadParamsRejectsArchitectureMismatch(t *testing.T) {
+	src := NewDNN(4, []int{8}, 2, stats.NewRNG(3))
+	data, err := src.MarshalParams()
+	if err != nil {
+		t.Fatalf("MarshalParams: %v", err)
+	}
+	dst := NewDNN(6, []int{8}, 2, stats.NewRNG(3))
+	if err := dst.UnmarshalParams(data); !errors.Is(err, auerr.ErrCorruptModel) {
+		t.Errorf("mismatched load: error %v does not wrap auerr.ErrCorruptModel", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
@@ -26,7 +27,7 @@ type Dense struct {
 // drawn from rng, appropriate for the ReLU activations used throughout.
 func NewDense(inSize, outSize int, rng *stats.RNG) *Dense {
 	if inSize <= 0 || outSize <= 0 {
-		panic(fmt.Sprintf("nn: invalid Dense dimensions %dx%d", inSize, outSize))
+		auerr.Failf("nn: invalid Dense dimensions %dx%d", inSize, outSize)
 	}
 	d := &Dense{
 		InSize:  inSize,
@@ -47,7 +48,7 @@ func NewDense(inSize, outSize int, rng *stats.RNG) *Dense {
 // (any shape with that many elements is accepted and flattened).
 func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if in.Size() != d.InSize {
-		panic(fmt.Sprintf("nn: Dense expects %d inputs, got %d", d.InSize, in.Size()))
+		auerr.Failf("nn: Dense expects %d inputs, got %d", d.InSize, in.Size())
 	}
 	d.lastIn = in.Reshape(d.InSize)
 	out := tensor.New(d.OutSize)
@@ -64,10 +65,10 @@ func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
 // returns dL/din = Wᵀ·gradOut.
 func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if gradOut.Size() != d.OutSize {
-		panic(fmt.Sprintf("nn: Dense backward expects %d grads, got %d", d.OutSize, gradOut.Size()))
+		auerr.Failf("nn: Dense backward expects %d grads, got %d", d.OutSize, gradOut.Size())
 	}
 	if d.lastIn == nil {
-		panic("nn: Dense Backward before Forward")
+		auerr.Failf("nn: Dense Backward before Forward")
 	}
 	g := gradOut.Data()
 	x := d.lastIn.Data()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
@@ -40,7 +41,7 @@ func (l *LeakyReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
 // sign.
 func (l *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if l.lastIn == nil || l.lastIn.Size() != gradOut.Size() {
-		panic("nn: LeakyReLU Backward shape mismatch or called before Forward")
+		auerr.Failf("nn: LeakyReLU Backward shape mismatch or called before Forward")
 	}
 	out := gradOut.Clone()
 	for i, x := range l.lastIn.Data() {
@@ -77,7 +78,7 @@ type Dropout struct {
 // NewDropout constructs a dropout layer in training mode.
 func NewDropout(rate float64, rng *stats.RNG) *Dropout {
 	if rate < 0 || rate >= 1 {
-		panic(fmt.Sprintf("nn: dropout rate %v out of [0, 1)", rate))
+		auerr.Failf("nn: dropout rate %v out of [0, 1)", rate)
 	}
 	return &Dropout{Rate: rate, rng: rng, training: true}
 }
@@ -116,7 +117,7 @@ func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		return gradOut
 	}
 	if len(d.mask) != gradOut.Size() {
-		panic("nn: Dropout Backward shape mismatch")
+		auerr.Failf("nn: Dropout Backward shape mismatch")
 	}
 	out := gradOut.Clone()
 	for i := range out.Data() {
@@ -158,7 +159,7 @@ func NewRMSProp(params []*tensor.Tensor, lr float64) *RMSProp {
 // Step applies one RMSProp update.
 func (r *RMSProp) Step(grads []*tensor.Tensor) {
 	if len(grads) != len(r.params) {
-		panic("nn: RMSProp gradient count mismatch")
+		auerr.Failf("nn: RMSProp gradient count mismatch")
 	}
 	for i, p := range r.params {
 		g := grads[i].Data()

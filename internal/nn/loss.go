@@ -1,9 +1,9 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
 
@@ -132,6 +132,6 @@ func (CrossEntropy) Name() string { return "cross-entropy" }
 
 func checkSameSize(a, b *tensor.Tensor) {
 	if a.Size() != b.Size() {
-		panic(fmt.Sprintf("nn: loss size mismatch %d vs %d", a.Size(), b.Size()))
+		auerr.Failf("nn: loss size mismatch %d vs %d", a.Size(), b.Size())
 	}
 }

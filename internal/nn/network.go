@@ -1,8 +1,9 @@
 package nn
 
 import (
-	"fmt"
+	"context"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/parallel"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
@@ -137,7 +138,7 @@ func (n *Network) Backward(gradOut *tensor.Tensor) {
 // single example, returning the loss. The optimizer must be bound.
 func (n *Network) TrainStep(in, target *tensor.Tensor) float64 {
 	if n.opt == nil {
-		panic("nn: TrainStep without an optimizer; call UseAdam/UseSGD first")
+		auerr.Failf("nn: TrainStep without an optimizer; call UseAdam/UseSGD first")
 	}
 	n.ZeroGrads()
 	pred := n.Forward(in)
@@ -145,6 +146,19 @@ func (n *Network) TrainStep(in, target *tensor.Tensor) float64 {
 	n.Backward(n.loss.Grad(pred, target))
 	n.opt.Step(n.Grads())
 	return lv
+}
+
+// TrainBatchCtx is the context-aware TrainBatch: a mini-batch is the
+// atomic unit of training (cancelling inside one would discard its
+// work), so cancellation is checked once, before any gradient is
+// computed. A canceled context returns an error wrapping
+// auerr.ErrCanceled and the context's cause, with the network weights
+// untouched.
+func (n *Network) TrainBatchCtx(ctx context.Context, ins, targets []*tensor.Tensor) (float64, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return 0, auerr.Canceled(ctx)
+	}
+	return n.TrainBatch(ins, targets), nil
 }
 
 // TrainBatch accumulates gradients over a mini-batch before one optimizer
@@ -156,13 +170,13 @@ func (n *Network) TrainStep(in, target *tensor.Tensor) float64 {
 // the sequential path at any worker count.
 func (n *Network) TrainBatch(ins, targets []*tensor.Tensor) float64 {
 	if len(ins) != len(targets) {
-		panic("nn: TrainBatch input/target count mismatch")
+		auerr.Failf("nn: TrainBatch input/target count mismatch")
 	}
 	if len(ins) == 0 {
 		return 0
 	}
 	if n.opt == nil {
-		panic("nn: TrainBatch without an optimizer; call UseAdam/UseSGD first")
+		auerr.Failf("nn: TrainBatch without an optimizer; call UseAdam/UseSGD first")
 	}
 	total := 0.0
 	if w := n.batchWorkers(len(ins)); w > 1 && n.forwardBackwardParallel(ins, targets, w) {
@@ -276,11 +290,11 @@ func (n *Network) CopyParamsFrom(src *Network) {
 	dst := n.Params()
 	sp := src.Params()
 	if len(dst) != len(sp) {
-		panic("nn: CopyParamsFrom architecture mismatch")
+		auerr.Failf("nn: CopyParamsFrom architecture mismatch")
 	}
 	for i := range dst {
 		if dst[i].Size() != sp[i].Size() {
-			panic(fmt.Sprintf("nn: CopyParamsFrom tensor %d size mismatch", i))
+			auerr.Failf("nn: CopyParamsFrom tensor %d size mismatch", i)
 		}
 		copy(dst[i].Data(), sp[i].Data())
 	}
@@ -332,7 +346,7 @@ func NewDeepMindCNN(frames, h, w, actions int, rng *stats.RNG) *Network {
 	w3 := tensor.ConvOutputSize(w2, 3, 1, 1) / 2
 	flat := 16 * h3 * w3
 	if flat <= 0 {
-		panic(fmt.Sprintf("nn: DeepMind CNN input %dx%d too small", h, w))
+		auerr.Failf("nn: DeepMind CNN input %dx%d too small", h, w)
 	}
 	return NewNetwork(
 		c1, NewReLU(), NewMaxPool2D(2),

@@ -3,6 +3,8 @@ package nn
 import (
 	"math"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
+
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
 
@@ -42,7 +44,7 @@ func NewSGD(params []*tensor.Tensor, lr, momentum float64) *SGD {
 // Step applies p -= lr*(g + momentum-velocity).
 func (s *SGD) Step(grads []*tensor.Tensor) {
 	if len(grads) != len(s.params) {
-		panic("nn: SGD gradient count mismatch")
+		auerr.Failf("nn: SGD gradient count mismatch")
 	}
 	for i, p := range s.params {
 		g := grads[i]
@@ -91,7 +93,7 @@ func NewAdam(params []*tensor.Tensor, lr float64) *Adam {
 // Step applies one bias-corrected Adam update.
 func (a *Adam) Step(grads []*tensor.Tensor) {
 	if len(grads) != len(a.params) {
-		panic("nn: Adam gradient count mismatch")
+		auerr.Failf("nn: Adam gradient count mismatch")
 	}
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
 )
 
 // Serialization format (versioned, little-endian):
@@ -57,8 +59,18 @@ func (n *Network) SaveParams(w io.Writer) error {
 
 // LoadParams restores parameters from r into an architecture-compatible
 // network (same tensor count and shapes, as rebuilt from the same
-// au_config annotation).
+// au_config annotation). Truncated, garbage or architecture-mismatched
+// bytes return an error wrapping auerr.ErrCorruptModel; the network's
+// parameters may be partially overwritten in that case and should not be
+// used without a successful reload.
 func (n *Network) LoadParams(r io.Reader) error {
+	if err := n.loadParams(r); err != nil {
+		return fmt.Errorf("%w: %w", auerr.ErrCorruptModel, err)
+	}
+	return nil
+}
+
+func (n *Network) loadParams(r io.Reader) error {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return fmt.Errorf("nn: read magic: %w", err)

@@ -26,20 +26,40 @@
 package parallel
 
 import (
+	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
 
+// parseWorkers validates an AUTONOMIZER_WORKERS value: a positive
+// decimal integer.
+func parseWorkers(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("parallel: AUTONOMIZER_WORKERS=%q is not an integer", s)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("parallel: AUTONOMIZER_WORKERS=%d must be positive", n)
+	}
+	return n, nil
+}
+
 // defaultWorkers resolves the initial width: AUTONOMIZER_WORKERS when set
-// to a positive integer, else GOMAXPROCS.
+// to a positive integer, else GOMAXPROCS. A malformed value is rejected
+// loudly (logged warning) rather than silently misconfiguring the pool.
 func defaultWorkers() int {
 	if s := os.Getenv("AUTONOMIZER_WORKERS"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			return n
+		n, err := parseWorkers(s)
+		if err != nil {
+			log.Printf("%v; falling back to GOMAXPROCS=%d", err, runtime.GOMAXPROCS(0))
+			return runtime.GOMAXPROCS(0)
 		}
+		return n
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -61,15 +81,46 @@ func SetWorkers(n int) int {
 	return int(width.Swap(int64(n)))
 }
 
+// panicBox collects the first panic raised by any shard of a parallel
+// call, so it can be rethrown on the calling goroutine. Without this, a
+// panic inside a pooled helper would crash the whole process with no
+// chance for the runtime's recover boundary to turn it into an error.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (b *panicBox) store(r any) {
+	b.mu.Lock()
+	if !b.set {
+		b.val, b.set = r, true
+	}
+	b.mu.Unlock()
+}
+
+// rethrow re-raises the captured panic, if any, on the caller.
+func (b *panicBox) rethrow() {
+	if b.set {
+		panic(b.val)
+	}
+}
+
 // task is one shard of a parallel-for: run fn over [lo, hi) and signal wg.
 type task struct {
 	fn     func(lo, hi int)
 	lo, hi int
 	wg     *sync.WaitGroup
+	pnc    *panicBox
 }
 
 func (t task) run() {
 	defer t.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.pnc.store(r)
+		}
+	}()
 	t.fn(t.lo, t.hi)
 }
 
@@ -128,6 +179,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 	}
 	ensurePool(chunks - 1)
 	var wg sync.WaitGroup
+	var pnc panicBox
 	wg.Add(chunks)
 	// Even split: the first (n % chunks) chunks get one extra element.
 	base, rem := n/chunks, n%chunks
@@ -137,7 +189,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 		if c < rem {
 			hi++
 		}
-		t := task{fn: fn, lo: lo, hi: hi, wg: &wg}
+		t := task{fn: fn, lo: lo, hi: hi, wg: &wg, pnc: &pnc}
 		if c == chunks-1 {
 			// Run the last chunk on the calling goroutine: the caller
 			// always contributes instead of idling at Wait.
@@ -154,6 +206,9 @@ func For(n, grain int, fn func(lo, hi int)) {
 		lo = hi
 	}
 	wg.Wait()
+	// A panic in any shard resurfaces here, on the calling goroutine,
+	// where the runtime's recover boundary can convert it to an error.
+	pnc.rethrow()
 }
 
 // Run executes the given functions, possibly concurrently, returning when

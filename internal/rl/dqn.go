@@ -1,8 +1,9 @@
 package rl
 
 import (
-	"fmt"
+	"context"
 
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/nn"
 	"github.com/autonomizer/autonomizer/internal/parallel"
 	"github.com/autonomizer/autonomizer/internal/stats"
@@ -110,7 +111,7 @@ type Agent struct {
 // `actions` discrete outputs.
 func NewAgent(online, targetNet *nn.Network, actions int, cfg Config, rng *stats.RNG) *Agent {
 	if actions <= 0 {
-		panic(fmt.Sprintf("rl: agent needs a positive action count, got %d", actions))
+		auerr.Failf("rl: agent needs a positive action count, got %d", actions)
 	}
 	cfg.fillDefaults()
 	targetNet.CopyParamsFrom(online)
@@ -163,6 +164,19 @@ func (a *Agent) Act(state []float64, greedy bool) int {
 		return a.rng.Intn(a.actions)
 	}
 	return stats.ArgMax(a.QValues(state))
+}
+
+// ObserveCtx is the context-aware Observe. Cancellation is checked at
+// the minibatch boundary — once before the transition is recorded and
+// the replay update starts — because a replay minibatch is the atomic
+// unit of DQN training. A canceled context returns an error wrapping
+// auerr.ErrCanceled with the agent's networks, replay buffer and step
+// counters untouched, so training can resume from exactly this state.
+func (a *Agent) ObserveCtx(ctx context.Context, t Transition) (float64, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return 0, auerr.Canceled(ctx)
+	}
+	return a.Observe(t), nil
 }
 
 // Observe records a transition and, past warmup, performs a replayed

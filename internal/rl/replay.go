@@ -8,8 +8,7 @@
 package rl
 
 import (
-	"fmt"
-
+	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/stats"
 )
 
@@ -36,7 +35,7 @@ type ReplayBuffer struct {
 // NewReplayBuffer creates a buffer holding at most capacity transitions.
 func NewReplayBuffer(capacity int, rng *stats.RNG) *ReplayBuffer {
 	if capacity <= 0 {
-		panic(fmt.Sprintf("rl: replay capacity must be positive, got %d", capacity))
+		auerr.Failf("rl: replay capacity must be positive, got %d", capacity)
 	}
 	return &ReplayBuffer{buf: make([]Transition, 0, capacity), rng: rng}
 }
@@ -62,7 +61,7 @@ func (b *ReplayBuffer) Cap() int { return cap(b.buf) }
 // the buffer is empty.
 func (b *ReplayBuffer) Sample(n int) []Transition {
 	if len(b.buf) == 0 {
-		panic("rl: sampling from empty replay buffer")
+		auerr.Failf("rl: sampling from empty replay buffer")
 	}
 	out := make([]Transition, n)
 	for i := range out {

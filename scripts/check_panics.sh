@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# check_panics.sh — the panic-free gate for the runtime hot path.
+#
+# DESIGN.md §5b: internal/core, internal/nn and internal/rl must not
+# call panic() outside test files. Internal invariant violations go
+# through auerr.Failf (recovered into ErrInvariant errors at the core
+# API boundary), so new literal panics in these trees are regressions.
+#
+# A small allowlist budget (MAX_PANICS, default 10) exists so a future
+# PR can consciously land a transitional panic without rewriting this
+# gate; it is currently unused (the budget in force is effectively 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MAX_PANICS="${MAX_PANICS:-10}"
+GATED_DIRS=(internal/core internal/nn internal/rl)
+
+found=0
+hits=""
+for dir in "${GATED_DIRS[@]}"; do
+    while IFS= read -r file; do
+        # Match panic as a call, not identifiers like panicBox or
+        # comments mentioning the word mid-sentence.
+        matches=$(grep -nE '(^|[^[:alnum:]_."])panic\(' "$file" | grep -v '^\s*//' || true)
+        if [ -n "$matches" ]; then
+            n=$(printf '%s\n' "$matches" | wc -l)
+            found=$((found + n))
+            hits+=$(printf '%s\n' "$matches" | sed "s|^|$file:|")$'\n'
+        fi
+    done < <(find "$dir" -name '*.go' ! -name '*_test.go')
+done
+
+echo "panic gate: $found literal panic call(s) in ${GATED_DIRS[*]} (budget $MAX_PANICS)"
+if [ -n "$hits" ]; then
+    printf '%s' "$hits"
+fi
+if [ "$found" -gt "$MAX_PANICS" ]; then
+    echo "FAIL: panic count $found exceeds budget $MAX_PANICS." >&2
+    echo "Route invariants through auerr.Failf (see DESIGN.md §5b)." >&2
+    exit 1
+fi
