@@ -49,10 +49,16 @@
 package autonomizer
 
 import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/core"
 	"github.com/autonomizer/autonomizer/internal/dep"
 	"github.com/autonomizer/autonomizer/internal/extract"
+	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/trace"
 )
 
@@ -212,3 +218,35 @@ const (
 func SelectFeature(feats []RankedFeature, p Pick) (RankedFeature, bool) {
 	return extract.Select(feats, p)
 }
+
+// TelemetryRegistry is the process-wide metrics registry (see
+// internal/obs). Telemetry is disabled by default — every instrument
+// site in the runtime short-circuits on a nil registry — and is turned
+// on explicitly with EnableTelemetry before constructing Runtimes.
+type TelemetryRegistry = obs.Registry
+
+// EnableTelemetry switches the process-wide metrics registry on (idempotent)
+// and returns it. Call it before New so runtime instruments resolve.
+func EnableTelemetry() *TelemetryRegistry { return obs.Enable() }
+
+// Telemetry returns the process-wide registry, or nil while disabled.
+func Telemetry() *TelemetryRegistry { return obs.Default() }
+
+// TelemetryHandler returns the HTTP handler serving /metrics
+// (Prometheus text format), /debug/vars (expvar), /debug/pprof and
+// /debug/spans, for hosts that mount telemetry on their own server.
+func TelemetryHandler() http.Handler { return obs.Handler() }
+
+// ServeTelemetry serves TelemetryHandler on addr until ctx is canceled.
+func ServeTelemetry(ctx context.Context, addr string) error { return obs.Serve(ctx, addr) }
+
+// Logger returns the process-wide structured logger the runtime logs
+// through (log/slog; text on stderr by default).
+func Logger() *slog.Logger { return obs.Logger() }
+
+// SetLogFormat switches diagnostic logging to "text" or "json" on w.
+func SetLogFormat(format string, w io.Writer) error { return obs.ConfigureLog(format, w) }
+
+// SetTracing toggles per-primitive span recording (exported on
+// /debug/spans and as the autonomizer_span_duration_seconds histogram).
+func SetTracing(on bool) { obs.SetTracing(on) }

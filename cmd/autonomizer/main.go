@@ -12,12 +12,17 @@
 //	autonomizer fig17             TORCS driving-score curves (All/Manual/Raw)
 //	autonomizer coverage          self-testing case study + bug hunt
 //	autonomizer demo              quick end-to-end demonstration
+//	autonomizer serve             exercise the runtime, then serve telemetry until interrupted
 //	autonomizer all               everything above
 //
 // Flags:
 //
-//	-quick    smaller budgets (seconds instead of minutes)
-//	-seed N   experiment seed (default 1)
+//	-quick              smaller budgets (seconds instead of minutes)
+//	-seed N             experiment seed (default 1)
+//	-telemetry :PORT    serve /metrics, /debug/vars and /debug/pprof on this address
+//	-log-format F       diagnostic log format: text (default) or json
+//	-log-level L        minimum log level: debug, info (default), warn, error
+//	-trace              record per-primitive spans (see /debug/spans)
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,18 +38,35 @@ import (
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/bench"
+	"github.com/autonomizer/autonomizer/internal/core"
+	"github.com/autonomizer/autonomizer/internal/obs"
+	"github.com/autonomizer/autonomizer/internal/parallel"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced budgets")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	telemetry := flag.String("telemetry", "", "address to serve /metrics, /debug/vars and /debug/pprof on (e.g. :9090)")
+	logFormat := flag.String("log-format", "text", "diagnostic log format: text|json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	traceSpans := flag.Bool("trace", false, "record per-primitive spans (exported on /debug/spans)")
 	flag.Usage = usage
 	flag.Parse()
+	if err := obs.ConfigureLog(*logFormat, os.Stderr); err != nil {
+		obs.Logger().Error("bad -log-format", "err", err)
+		os.Exit(2)
+	}
+	if err := obs.SetLogLevel(*logLevel); err != nil {
+		obs.Logger().Error("bad -log-level", "err", err)
+		os.Exit(2)
+	}
+	obs.SetTracing(*traceSpans)
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	log := obs.With("cmd", cmd)
 
 	// First SIGINT/SIGTERM cancels the context: suites stop at the next
 	// minibatch/step boundary and flush whatever tables they completed.
@@ -51,6 +74,22 @@ func main() {
 	// default signal handling once the context is done).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -telemetry enables the metrics registry BEFORE any runtime or
+	// optimizer is constructed (instruments are resolved at
+	// construction), publishes it on expvar, and serves the endpoints
+	// next to the workload.
+	if *telemetry != "" {
+		reg := obs.Enable()
+		reg.PublishExpvar()
+		go func() {
+			if err := obs.Serve(ctx, *telemetry); err != nil {
+				log.Error("telemetry server failed", "addr", *telemetry, "err", err)
+			}
+		}()
+		log.Info("telemetry listening", "addr", *telemetry,
+			"endpoints", "/metrics /debug/vars /debug/pprof /debug/spans")
+	}
 
 	start := time.Now()
 	var err error
@@ -71,12 +110,18 @@ func main() {
 		err = runAblation(ctx, *quick, *seed)
 	case "depgraph":
 		if flag.NArg() < 2 {
-			fmt.Fprintln(os.Stderr, "usage: autonomizer depgraph <subject>")
+			log.Error("usage: autonomizer depgraph <subject>")
 			os.Exit(2)
 		}
 		err = runDepGraph(flag.Arg(1), *seed)
 	case "demo":
 		err = runDemo(ctx, *seed)
+	case "serve":
+		if *telemetry == "" {
+			log.Error("serve needs -telemetry ADDR to have endpoints to serve")
+			os.Exit(2)
+		}
+		err = runServe(ctx, log, *seed)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return runTable1(*seed) },
@@ -92,20 +137,20 @@ func main() {
 			fmt.Println()
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+		log.Error("unknown command", "cmd", cmd)
 		usage()
 		os.Exit(2)
 	}
 	if errors.Is(err, auerr.ErrCanceled) {
-		fmt.Fprintf(os.Stderr, "\n[%s interrupted after %v — partial results above]\n",
-			cmd, time.Since(start).Round(time.Millisecond*100))
+		log.Warn("interrupted — partial results above",
+			"after", time.Since(start).Round(time.Millisecond*100))
 		os.Exit(130)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		log.Error("command failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond*100))
+	log.Info("completed", "in", time.Since(start).Round(time.Millisecond*100))
 }
 
 func usage() {
@@ -122,6 +167,7 @@ commands:
   ablation   design-choice ablations (feature ranking, trace pruning)
   depgraph   dump a subject's dynamic dependence graph as Graphviz DOT
   demo       quick end-to-end demonstration
+  serve      exercise every primitive once, then serve telemetry until interrupted
   all        run everything`)
 }
 
@@ -274,6 +320,92 @@ func runDepGraph(subject string, seed uint64) error {
 		return err
 	}
 	fmt.Print(g.DOT(subject))
+	return nil
+}
+
+// serveState is the toy program state σ checkpointed by the serve
+// workload.
+type serveState struct{ x float64 }
+
+func (s *serveState) Snapshot() any    { return *s }
+func (s *serveState) Restore(snap any) { *s = snap.(serveState) }
+
+// runServe exercises every primitive once — including one expected
+// failure, so the auerr-classed error counters export non-zero series —
+// then blocks until the context is canceled, leaving the telemetry
+// endpoints serving live data. CI's smoke test curls /metrics against
+// exactly this workload.
+func runServe(ctx context.Context, log *slog.Logger, seed uint64) error {
+	rt := core.NewRuntime(core.Train, seed)
+	if err := rt.ConfigCtx(ctx, core.ModelSpec{Name: "ServeNN", Algo: core.AdamOpt, Hidden: []int{8}}); err != nil {
+		return err
+	}
+	if err := rt.ConfigCtx(ctx, core.ModelSpec{Name: "ServeQ", Algo: core.QLearn, Actions: 2, Hidden: []int{8}}); err != nil {
+		return err
+	}
+	prog := &serveState{}
+	if err := rt.CheckpointCtx(ctx, prog, 8); err != nil {
+		return err
+	}
+	for i := 0; i < 32; i++ {
+		x := float64(i) / 32
+		if err := rt.ExtractCtx(ctx, "a", x); err != nil {
+			return err
+		}
+		if err := rt.ExtractCtx(ctx, "b", 1-x); err != nil {
+			return err
+		}
+		key, err := rt.SerializeCtx(ctx, "a", "b")
+		if err != nil {
+			return err
+		}
+		if err := rt.ExtractCtx(ctx, "y", 2*x); err != nil {
+			return err
+		}
+		if err := rt.NNCtx(ctx, "ServeNN", key, "y"); err != nil {
+			return err
+		}
+		var out [1]float64
+		if _, err := rt.WriteBackCtx(ctx, "y", out[:]); err != nil {
+			return err
+		}
+		rt.DB().Reset("y") // consume the prediction before the next oracle label
+		if err := rt.ExtractCtx(ctx, "state", x, 1-x); err != nil {
+			return err
+		}
+		if err := rt.NNRLCtx(ctx, "ServeQ", "state", out[0], i == 31, "act"); err != nil {
+			return err
+		}
+		prog.x = x
+	}
+	if _, err := rt.FitCtx(ctx, "ServeNN", 3, 8); err != nil {
+		return err
+	}
+	if err := rt.RestoreCtx(ctx, prog); err != nil {
+		return err
+	}
+	if _, err := rt.PredictCtx(ctx, "ServeNN", []float64{0.5, 0.5}); err != nil {
+		return err
+	}
+	// Expected failure: write-back of a name no au_NN ever bound.
+	if _, err := rt.WriteBackCtx(ctx, "unbound", nil); err == nil {
+		return fmt.Errorf("serve: write_back of unbound name unexpectedly succeeded")
+	}
+	// The toy networks above run below the parallel cutoff, so drive the
+	// worker pool directly once — its utilization gauges should export
+	// even on this miniature workload (forcing width 2 on a 1-core box).
+	if parallel.Workers() < 2 {
+		defer parallel.SetWorkers(parallel.SetWorkers(2))
+	}
+	sink := make([]float64, 1<<14)
+	parallel.For(len(sink), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[i] = float64(i) * 0.5
+		}
+	})
+	log.Info("workload complete; serving telemetry until interrupted",
+		"models", rt.ModelNames())
+	<-ctx.Done()
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/autonomizer/autonomizer/internal/bench"
 	"github.com/autonomizer/autonomizer/internal/games/env"
 	"github.com/autonomizer/autonomizer/internal/imaging"
+	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/stats"
 )
 
@@ -40,7 +41,17 @@ func main() {
 	every := flag.Int("every", 10, "render every Nth frame")
 	framesDir := flag.String("frames", "", "directory to write PGM frames into")
 	seed := flag.Uint64("seed", 1, "game seed")
+	logFormat := flag.String("log-format", "text", "diagnostic log format: text|json")
 	flag.Parse()
+
+	// All diagnostics go through the structured logger so that
+	// -log-format json leaves no stray lines on stderr; playback frames
+	// stay on stdout.
+	if err := obs.ConfigureLog(*logFormat, os.Stderr); err != nil {
+		obs.Logger().Error("bad -log-format", "err", err)
+		os.Exit(2)
+	}
+	log := obs.With("cmd", "replay")
 
 	if *hunt {
 		res := bench.RunBugHunt(*seed, 200000)
@@ -54,7 +65,7 @@ func main() {
 
 	mk, ok := subjects[*game]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown game %q\n", *game)
+		log.Error("unknown game", "game", *game)
 		os.Exit(2)
 	}
 	subject := mk()
@@ -68,13 +79,13 @@ func main() {
 		rng := stats.NewRNG(*seed + 1)
 		policy = func(env.Env) int { return rng.Intn(subject.Actions) }
 	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		log.Error("unknown policy", "policy", *policyName)
 		os.Exit(2)
 	}
 
 	if *framesDir != "" {
 		if err := os.MkdirAll(*framesDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			log.Error("cannot create frames directory", "dir", *framesDir, "err", err)
 			os.Exit(1)
 		}
 	}
@@ -99,7 +110,7 @@ func main() {
 		if *framesDir != "" {
 			path := filepath.Join(*framesDir, fmt.Sprintf("frame-%05d.pgm", step))
 			if err := writeFrame(path, e.Screen()); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+				log.Error("cannot write frame", "path", path, "err", err)
 				os.Exit(1)
 			}
 		}

@@ -80,6 +80,39 @@ func Canceled(ctx context.Context) error {
 	return fmt.Errorf("%w: %w", ErrCanceled, cause)
 }
 
+// Class maps an error to its sentinel's short machine-readable class
+// name — the closed vocabulary used as the "class" label on
+// autonomizer_core_primitive_errors_total (DESIGN.md §5c), so metric
+// cardinality is bounded by this list no matter what message text an
+// error carries. Errors wrapping none of the sentinels report "other";
+// nil reports "".
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrSpecInvalid):
+		return "spec_invalid"
+	case errors.Is(err, ErrUnknownModel):
+		return "unknown_model"
+	case errors.Is(err, ErrModeViolation):
+		return "mode_violation"
+	case errors.Is(err, ErrNotMaterialized):
+		return "not_materialized"
+	case errors.Is(err, ErrMissingInput):
+		return "missing_input"
+	case errors.Is(err, ErrCorruptModel):
+		return "corrupt_model"
+	case errors.Is(err, ErrCorruptStore):
+		return "corrupt_store"
+	case errors.Is(err, ErrInvariant):
+		return "invariant"
+	default:
+		return "other"
+	}
+}
+
 // InvariantError is the panic payload of Failf: a broken internal
 // invariant. It matches ErrInvariant under errors.Is.
 type InvariantError struct {

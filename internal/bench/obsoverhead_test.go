@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/obs"
+)
+
+// BenchmarkObsOverhead proves the telemetry layer's zero-cost-when-
+// disabled contract on the two hot paths (recorded in BENCH_obs.json):
+//
+//   - disabled: the instrumented runtime with nil telemetry — every
+//     metric site is one nil-check branch. Must be within noise of the
+//     pre-telemetry baseline in BENCH_ctx.json.
+//   - enabled: a live private registry — counters, latency histogram
+//     timers and (for Fit) per-step timings all recording, which bounds
+//     the cost a -telemetry run actually pays.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("Predict/disabled", func(b *testing.B) {
+		rt, in := ctxOverheadRuntime(b)
+		rt.Instrument(nil)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.PredictCtx(ctx, "Ctx", in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Predict/enabled", func(b *testing.B) {
+		rt, in := ctxOverheadRuntime(b)
+		rt.Instrument(obs.NewRegistry())
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.PredictCtx(ctx, "Ctx", in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Fit/disabled", func(b *testing.B) {
+		rt, _ := ctxOverheadRuntime(b)
+		rt.Instrument(nil)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.FitCtx(ctx, "Ctx", 1, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Fit/enabled", func(b *testing.B) {
+		rt, _ := ctxOverheadRuntime(b)
+		rt.Instrument(obs.NewRegistry())
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.FitCtx(ctx, "Ctx", 1, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -21,8 +21,58 @@ package ckpt
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
+
+	"github.com/autonomizer/autonomizer/internal/obs"
 )
+
+// ckptMetrics exports checkpoint/restore activity: counts, snapshot
+// bytes, and the *measured* wall-clock of the deep copies (the modeled
+// KVM-scale costs stay in Stats for Table 2). Lazily resolved after
+// telemetry is enabled; nil and branch-only while disabled.
+type ckptMetrics struct {
+	checkpoints *obs.Counter
+	restores    *obs.Counter
+	bytes       *obs.Counter
+	ckptSize    *obs.Histogram
+	ckptDur     *obs.Histogram
+	rstDur      *obs.Histogram
+}
+
+var cm atomic.Pointer[ckptMetrics]
+
+func metrics() *ckptMetrics {
+	if m := cm.Load(); m != nil {
+		return m
+	}
+	reg := obs.Default()
+	if reg == nil {
+		return nil
+	}
+	m := &ckptMetrics{
+		checkpoints: reg.Counter("autonomizer_ckpt_checkpoints_total",
+			"au_checkpoint snapshots taken.", nil),
+		restores: reg.Counter("autonomizer_ckpt_restores_total",
+			"au_restore rollbacks applied.", nil),
+		bytes: reg.Counter("autonomizer_ckpt_checkpoint_bytes_total",
+			"Cumulative bytes captured by checkpoints.", nil),
+		ckptSize: reg.Histogram("autonomizer_ckpt_checkpoint_size_bytes",
+			"Size of individual checkpoint snapshots.", obs.DefSizeBuckets, nil),
+		ckptDur: reg.Histogram("autonomizer_ckpt_checkpoint_duration_seconds",
+			"Measured wall clock of the checkpoint deep copy.", nil, nil),
+		rstDur: reg.Histogram("autonomizer_ckpt_restore_duration_seconds",
+			"Measured wall clock of the restore copy-back.", nil, nil),
+	}
+	if !cm.CompareAndSwap(nil, m) {
+		return cm.Load()
+	}
+	return m
+}
+
+// resetMetricsForTest drops the cached instruments so tests can attach
+// a fresh registry.
+func resetMetricsForTest() { cm.Store(nil) }
 
 // Snapshotter is implemented by program state that can be checkpointed.
 // Snapshot must return a deep copy; Restore must replace the live state
@@ -96,6 +146,12 @@ func (m *Manager) Checkpoint(prog Snapshotter, store StoreSnapshotter, progBytes
 	m.stats.BytesSnapshot = total
 	m.stats.MeasuredCkpt = time.Since(start)
 	m.stats.ModeledCkptDur = m.meter.CheckpointDuration(total)
+	if om := metrics(); om != nil {
+		om.checkpoints.Inc()
+		om.bytes.Add(uint64(total))
+		om.ckptSize.Observe(float64(total))
+		om.ckptDur.Observe(m.stats.MeasuredCkpt.Seconds())
+	}
 }
 
 // Restore rolls ⟨σ, π⟩ back to the most recent checkpoint, which stays
@@ -114,6 +170,10 @@ func (m *Manager) Restore(prog Snapshotter, store StoreSnapshotter) error {
 	m.stats.Restores++
 	m.stats.MeasuredRst = time.Since(start)
 	m.stats.ModeledRstDur = m.meter.RestoreDuration(m.gauges.lastSnapshotBytes)
+	if om := metrics(); om != nil {
+		om.restores.Inc()
+		om.rstDur.Observe(m.stats.MeasuredRst.Seconds())
+	}
 	return nil
 }
 

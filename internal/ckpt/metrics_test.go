@@ -1,0 +1,81 @@
+package ckpt
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/obs"
+)
+
+type metricsProg struct{ v float64 }
+
+func (p *metricsProg) Snapshot() any    { return *p }
+func (p *metricsProg) Restore(snap any) { *p = snap.(metricsProg) }
+
+// TestCheckpointMetrics checks the checkpoint/restore counters, byte
+// accounting and measured-duration histograms.
+func TestCheckpointMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	prev := obs.SetDefault(reg)
+	resetMetricsForTest()
+	defer func() {
+		obs.SetDefault(prev)
+		resetMetricsForTest()
+	}()
+
+	m := NewManager()
+	m.SetCostModel(ZeroCostModel())
+	store := db.New()
+	store.Append("x", 1, 2, 3)
+	prog := &metricsProg{v: 1}
+
+	m.Checkpoint(prog, store, 16)
+	prog.v = 2
+	if err := m.Restore(prog, store); err != nil {
+		t.Fatal(err)
+	}
+	if prog.v != 1 {
+		t.Fatalf("restore did not roll back program state: %v", prog.v)
+	}
+
+	if got := reg.Counter("autonomizer_ckpt_checkpoints_total", "", nil).Value(); got != 1 {
+		t.Errorf("checkpoints = %d, want 1", got)
+	}
+	if got := reg.Counter("autonomizer_ckpt_restores_total", "", nil).Value(); got != 1 {
+		t.Errorf("restores = %d, want 1", got)
+	}
+	wantBytes := uint64(16 + 1 + 8*3) // progBytes + len("x") + 3 float64s
+	if got := reg.Counter("autonomizer_ckpt_checkpoint_bytes_total", "", nil).Value(); got != wantBytes {
+		t.Errorf("checkpoint bytes = %d, want %d", got, wantBytes)
+	}
+	if n := reg.Histogram("autonomizer_ckpt_checkpoint_size_bytes", "", obs.DefSizeBuckets, nil).Count(); n != 1 {
+		t.Errorf("size observations = %d, want 1", n)
+	}
+	if n := reg.Histogram("autonomizer_ckpt_checkpoint_duration_seconds", "", nil, nil).Count(); n != 1 {
+		t.Errorf("checkpoint duration observations = %d, want 1", n)
+	}
+	if n := reg.Histogram("autonomizer_ckpt_restore_duration_seconds", "", nil, nil).Count(); n != 1 {
+		t.Errorf("restore duration observations = %d, want 1", n)
+	}
+}
+
+// TestCheckpointMetricsDisabled pins the nil fast path.
+func TestCheckpointMetricsDisabled(t *testing.T) {
+	prev := obs.SetDefault(nil)
+	resetMetricsForTest()
+	defer func() {
+		obs.SetDefault(prev)
+		resetMetricsForTest()
+	}()
+	if m := metrics(); m != nil {
+		t.Fatal("metrics() non-nil while telemetry disabled")
+	}
+	m := NewManager()
+	m.SetCostModel(ZeroCostModel())
+	store := db.New()
+	prog := &metricsProg{}
+	m.Checkpoint(prog, store, 0)
+	if err := m.Restore(prog, store); err != nil {
+		t.Fatal(err)
+	}
+}

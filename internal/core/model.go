@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/nn"
+	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/rl"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
@@ -178,6 +180,13 @@ type FitStats struct {
 	// full epoch, or the partial epoch in progress when training was
 	// canceled (0 if no batch completed).
 	LastLoss float64
+	// Duration is the wall-clock time the fit ran, filled on every
+	// return path so canceled and completed fits report comparable
+	// throughput.
+	Duration time.Duration
+	// StepsPerSec is Batches/Duration — minibatch optimizer steps per
+	// second of wall clock (0 if the fit finished too fast to time).
+	StepsPerSec float64
 }
 
 // fitCtx trains the SL model over the recorded dataset with
@@ -187,8 +196,17 @@ type FitStats struct {
 // wrapping auerr.ErrCanceled. Completed steps are kept — the model,
 // its dataset and its optimizer state stay consistent, so a later
 // fitCtx call resumes training.
-func (m *model) fitCtx(ctx context.Context, epochs, batchSize int) (FitStats, error) {
-	var st FitStats
+//
+// tel, when non-nil, receives per-step latency observations, per-epoch
+// loss, and the epoch counter; a nil tel costs one branch per batch.
+func (m *model) fitCtx(ctx context.Context, epochs, batchSize int, tel *telemetry) (st FitStats, err error) {
+	begun := time.Now()
+	defer func() {
+		st.Duration = time.Since(begun)
+		if secs := st.Duration.Seconds(); secs > 0 && st.Batches > 0 {
+			st.StepsPerSec = float64(st.Batches) / secs
+		}
+	}()
 	if m.spec.Algo != AdamOpt {
 		return st, auerr.E(auerr.ErrModeViolation, "core: Fit only applies to AdamOpt models, %q is %v", m.spec.Name, m.spec.Algo)
 	}
@@ -216,6 +234,7 @@ func (m *model) fitCtx(ctx context.Context, epochs, batchSize int) (FitStats, er
 			if err := live(ctx); err != nil {
 				if batches > 0 {
 					st.LastLoss = total / float64(batches)
+					tel.fitLoss(m.spec.Name, st.LastLoss)
 				}
 				return st, err
 			}
@@ -232,12 +251,21 @@ func (m *model) fitCtx(ctx context.Context, epochs, batchSize int) (FitStats, er
 				ins = append(ins, toTensor(m.slInputs[idx], shape))
 				outs = append(outs, toTensor(m.slTargets[idx], nil))
 			}
+			var stepTm obs.Timer
+			if tel != nil {
+				stepTm = tel.fitStep.Timer()
+			}
 			total += m.net.TrainBatch(ins, outs)
+			stepTm.Stop()
 			batches++
 			st.Batches++
 		}
 		st.LastLoss = total / float64(batches)
 		st.Epochs++
+		if tel != nil {
+			tel.fitEpochs.Inc()
+			tel.fitLoss(m.spec.Name, st.LastLoss)
+		}
 	}
 	return st, nil
 }

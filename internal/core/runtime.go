@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/ckpt"
 	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/stats"
 )
 
@@ -56,6 +58,12 @@ type Runtime struct {
 	rng    *stats.RNG
 	ckpts  *ckpt.Manager
 
+	// tel carries this runtime's metric instruments (nil while
+	// telemetry is disabled — the zero-cost default; see Instrument).
+	// log is the per-runtime structured logger carrying the mode.
+	tel *telemetry
+	log *slog.Logger
+
 	// saved is the model registry standing in for on-disk model files:
 	// Test-mode au_config loads weights from here by name (the
 	// CONFIG-TEST rule's loadModel).
@@ -66,16 +74,21 @@ type Runtime struct {
 }
 
 // NewRuntime creates a runtime in the given mode. The seed makes every
-// stochastic choice (weight init, exploration) reproducible.
+// stochastic choice (weight init, exploration) reproducible. When
+// process-wide telemetry is on (obs.Enable / the -telemetry flag), the
+// runtime is instrumented automatically; otherwise every metric site
+// short-circuits on a nil instrument.
 func NewRuntime(mode Mode, seed uint64) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		mode:   mode,
 		store:  db.New(),
 		models: make(map[string]*model),
 		rng:    stats.NewRNG(seed),
 		ckpts:  ckpt.NewManager(),
 		saved:  make(map[string][]byte),
+		log:    obs.With("mode", mode.String()),
 	}
+	return rt.Instrument(obs.Default())
 }
 
 // Mode reports the execution mode ω.
@@ -125,6 +138,8 @@ func (rt *Runtime) getModel(name string) (*model, bool) {
 // wrap auerr.ErrCorruptModel. It is safe to call from concurrent
 // goroutines configuring different models.
 func (rt *Runtime) ConfigCtx(ctx context.Context, spec ModelSpec) (err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pConfig)
+	defer rt.tel.end(pConfig, tm, sp, &err)
 	defer guard(&err)
 	if err := live(ctx); err != nil {
 		return err
@@ -132,6 +147,7 @@ func (rt *Runtime) ConfigCtx(ctx context.Context, spec ModelSpec) (err error) {
 	if err := spec.validate(); err != nil {
 		return err
 	}
+	rt.log.Debug("au_config", "model", spec.Name, "type", spec.Type.String(), "algo", spec.Algo.String())
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if _, exists := rt.models[spec.Name]; exists {
@@ -161,7 +177,9 @@ func (rt *Runtime) ConfigCtx(ctx context.Context, spec ModelSpec) (err error) {
 // ExtractCtx is the context-aware au_extract: it appends the given
 // values to π under name (EXTRACT rule). The paper's size argument is
 // implicit in len(vals). A canceled context leaves π untouched.
-func (rt *Runtime) ExtractCtx(ctx context.Context, name string, vals ...float64) error {
+func (rt *Runtime) ExtractCtx(ctx context.Context, name string, vals ...float64) (err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pExtract)
+	defer rt.tel.end(pExtract, tm, sp, &err)
 	if err := live(ctx); err != nil {
 		return err
 	}
@@ -181,7 +199,9 @@ func (rt *Runtime) ExtractCtx(ctx context.Context, name string, vals ...float64)
 // constituents bound; internal/semantics transcribes that literally,
 // while this production runtime adopts the consuming behaviour the
 // paper's loop structure requires.)
-func (rt *Runtime) SerializeCtx(ctx context.Context, names ...string) (string, error) {
+func (rt *Runtime) SerializeCtx(ctx context.Context, names ...string) (_ string, err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pSerialize)
+	defer rt.tel.end(pSerialize, tm, sp, &err)
 	if err := live(ctx); err != nil {
 		return "", err
 	}
@@ -208,6 +228,8 @@ func (rt *Runtime) SerializeCtx(ctx context.Context, names ...string) (string, e
 // gradient step — so a canceled call leaves π and the model exactly as
 // they were.
 func (rt *Runtime) NNCtx(ctx context.Context, mdName, extName string, wbNames ...string) (err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pNN)
+	defer rt.tel.end(pNN, tm, sp, &err)
 	defer guard(&err)
 	if err := live(ctx); err != nil {
 		return err
@@ -287,6 +309,8 @@ func (rt *Runtime) NNCtx(ctx context.Context, mdName, extName string, wbNames ..
 // transition is observed or π is mutated — so a canceled call can be
 // retried or the episode abandoned with the stores consistent.
 func (rt *Runtime) NNRLCtx(ctx context.Context, mdName, extName string, reward float64, terminal bool, wbName string) (err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pNNRL)
+	defer rt.tel.end(pNNRL, tm, sp, &err)
 	defer guard(&err)
 	if err := live(ctx); err != nil {
 		return err
@@ -333,7 +357,9 @@ func (rt *Runtime) NNRLCtx(ctx context.Context, mdName, extName string, reward f
 // (WRITE-BACK rule), returning the number copied. A missing binding
 // wraps auerr.ErrMissingInput: write-back without a preceding au_NN
 // indicates a mis-annotated program.
-func (rt *Runtime) WriteBackCtx(ctx context.Context, name string, dst []float64) (int, error) {
+func (rt *Runtime) WriteBackCtx(ctx context.Context, name string, dst []float64) (_ int, err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pWriteBack)
+	defer rt.tel.end(pWriteBack, tm, sp, &err)
 	if err := live(ctx); err != nil {
 		return 0, err
 	}
@@ -365,6 +391,8 @@ func (rt *Runtime) WriteBackActionCtx(ctx context.Context, name string) (int, er
 // database store — leaving model state θ out, per the CHECKPOINT rule.
 // progBytes is the host's accounting of its state footprint for Table 2.
 func (rt *Runtime) CheckpointCtx(ctx context.Context, prog ckpt.Snapshotter, progBytes int) (err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pCheckpoint)
+	defer rt.tel.end(pCheckpoint, tm, sp, &err)
 	defer guard(&err)
 	if err := live(ctx); err != nil {
 		return err
@@ -377,6 +405,8 @@ func (rt *Runtime) CheckpointCtx(ctx context.Context, prog ckpt.Snapshotter, pro
 // the latest checkpoint (RESTORE rule). Model state θ is preserved so
 // learning accumulates across rollbacks.
 func (rt *Runtime) RestoreCtx(ctx context.Context, prog ckpt.Snapshotter) (err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pRestore)
+	defer rt.tel.end(pRestore, tm, sp, &err)
 	defer guard(&err)
 	if err := live(ctx); err != nil {
 		return err
@@ -402,12 +432,17 @@ func (rt *Runtime) RestoreCtx(ctx context.Context, prog ckpt.Snapshotter) (err e
 // optimizer steps are kept (the model remains consistent and training
 // can resume with another FitCtx call), never discarded.
 func (rt *Runtime) FitCtx(ctx context.Context, mdName string, epochs, batchSize int) (st FitStats, err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pFit)
+	defer rt.tel.end(pFit, tm, sp, &err)
 	defer guard(&err)
 	m, ok := rt.getModel(mdName)
 	if !ok {
 		return FitStats{}, auerr.E(auerr.ErrUnknownModel, "core: Fit of unconfigured model %q", mdName)
 	}
-	return m.fitCtx(ctx, epochs, batchSize)
+	st, err = m.fitCtx(ctx, epochs, batchSize, rt.tel)
+	rt.log.Debug("fit", "model", mdName, "epochs", st.Epochs, "batches", st.Batches,
+		"loss", st.LastLoss, "steps_per_sec", st.StepsPerSec, "dur", st.Duration, "err", err)
+	return st, err
 }
 
 // RecordExample adds a labeled training example directly (host-driven
@@ -553,6 +588,8 @@ func (rt *Runtime) ModelNames() []string {
 // measuring pure inference cost. A wrong-sized input wraps
 // auerr.ErrSpecInvalid instead of tripping a kernel invariant.
 func (rt *Runtime) PredictCtx(ctx context.Context, mdName string, in []float64) (out []float64, err error) {
+	ctx, tm, sp := rt.tel.begin(ctx, pPredict)
+	defer rt.tel.end(pPredict, tm, sp, &err)
 	defer guard(&err)
 	if err := live(ctx); err != nil {
 		return nil, err

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/obs"
+)
+
+// TestRuntimeTelemetry drives every instrumented primitive against a
+// private registry and checks the per-primitive call counters, latency
+// histograms, auerr-classed error counters and store gauges all export.
+func TestRuntimeTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt := NewRuntime(Train, 1).Instrument(reg)
+	ctx := context.Background()
+
+	if err := rt.ConfigCtx(ctx, ModelSpec{Name: "m", Algo: AdamOpt, Hidden: []int{4}, LR: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := rt.ExtractCtx(ctx, "x", float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.ExtractCtx(ctx, "y", float64(2*i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.NNCtx(ctx, "m", "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+		var out [1]float64
+		if _, err := rt.WriteBackCtx(ctx, "y", out[:]); err != nil {
+			t.Fatal(err)
+		}
+		rt.DB().Reset("y")
+	}
+	if _, err := rt.FitCtx(ctx, "m", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PredictCtx(ctx, "m", []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two classified failures: a write-back of an unbound name
+	// (missing_input) and a predict on an unknown model (unknown_model).
+	if _, err := rt.WriteBackCtx(ctx, "unbound", nil); err == nil {
+		t.Fatal("write_back of unbound name succeeded")
+	}
+	if _, err := rt.PredictCtx(ctx, "ghost", []float64{1}); err == nil {
+		t.Fatal("predict on unknown model succeeded")
+	}
+
+	calls := func(p string) uint64 {
+		return reg.Counter("autonomizer_core_primitive_calls_total", "",
+			obs.Labels{"primitive": p}).Value()
+	}
+	latCount := func(p string) uint64 {
+		return reg.Histogram("autonomizer_core_primitive_duration_seconds", "", nil,
+			obs.Labels{"primitive": p}).Count()
+	}
+	for p, want := range map[string]uint64{
+		"config": 1, "extract": 8, "nn": 4, "write_back": 5,
+		"fit": 1, "predict": 2,
+	} {
+		if got := calls(p); got != want {
+			t.Errorf("calls[%s] = %d, want %d", p, got, want)
+		}
+		if got := latCount(p); got != want {
+			t.Errorf("latency count[%s] = %d, want %d", p, got, want)
+		}
+	}
+	errs := func(p, class string) uint64 {
+		return reg.Counter("autonomizer_core_primitive_errors_total", "",
+			obs.Labels{"primitive": p, "class": class}).Value()
+	}
+	if got := errs("write_back", "missing_input"); got != 1 {
+		t.Errorf("errors[write_back, missing_input] = %d, want 1", got)
+	}
+	if got := errs("predict", "unknown_model"); got != 1 {
+		t.Errorf("errors[predict, unknown_model] = %d, want 1", got)
+	}
+	if n := reg.Counter("autonomizer_nn_fit_epochs_total", "", nil).Value(); n != 2 {
+		t.Errorf("fit epochs = %d, want 2", n)
+	}
+	if n := reg.Histogram("autonomizer_nn_fit_step_duration_seconds", "", nil, nil).Count(); n == 0 {
+		t.Error("no fit step timings recorded")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"autonomizer_db_store_bytes",
+		"autonomizer_db_store_names",
+		"autonomizer_core_models 1",
+		`autonomizer_nn_fit_last_loss{model="m"}`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTelemetryErrorClassOnCancel checks the canceled class reaches the
+// error counter (the label vocabulary's most common runtime class).
+func TestTelemetryErrorClassOnCancel(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt := NewRuntime(Train, 1).Instrument(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := rt.ExtractCtx(ctx, "x", 1); err == nil {
+		t.Fatal("extract on canceled context succeeded")
+	}
+	got := reg.Counter("autonomizer_core_primitive_errors_total", "",
+		obs.Labels{"primitive": "extract", "class": "canceled"}).Value()
+	if got != 1 {
+		t.Fatalf("errors[extract, canceled] = %d, want 1", got)
+	}
+}
+
+// TestUninstrumentedRuntimeWorks pins the zero-cost default: with no
+// registry every primitive runs with nil telemetry.
+func TestUninstrumentedRuntimeWorks(t *testing.T) {
+	rt := NewRuntime(Train, 1) // obs.Default() is nil in tests
+	if rt.tel != nil && obs.Default() == nil {
+		t.Fatal("runtime picked up telemetry with no default registry")
+	}
+	ctx := context.Background()
+	if err := rt.ExtractCtx(ctx, "x", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SerializeCtx(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFitStatsTiming checks the new FitStats wall-clock fields.
+func TestFitStatsTiming(t *testing.T) {
+	rt := NewRuntime(Train, 1)
+	if err := rt.Config(ModelSpec{Name: "m", Algo: AdamOpt, Hidden: []int{8}, LR: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		x := float64(i) / 16
+		if err := rt.RecordExample("m", []float64{x, 1 - x}, []float64{2 * x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := rt.FitCtx(context.Background(), "m", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duration <= 0 {
+		t.Fatalf("FitStats.Duration = %v, want > 0", st.Duration)
+	}
+	if st.StepsPerSec <= 0 {
+		t.Fatalf("FitStats.StepsPerSec = %v, want > 0", st.StepsPerSec)
+	}
+	if st.Batches == 0 || st.Epochs != 3 {
+		t.Fatalf("unexpected FitStats: %+v", st)
+	}
+}

@@ -14,7 +14,49 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"github.com/autonomizer/autonomizer/internal/obs"
 )
+
+// storeMetrics counts extraction traffic across all stores; live store
+// footprints are exported per-runtime as gauges
+// (autonomizer_db_store_bytes / _names, registered by core.Instrument).
+// Instruments resolve lazily after telemetry is enabled; disabled, each
+// mutation pays one atomic load and a nil check.
+type storeMetrics struct {
+	appends *obs.Counter
+	values  *obs.Counter
+	puts    *obs.Counter
+}
+
+var sm atomic.Pointer[storeMetrics]
+
+func metrics() *storeMetrics {
+	if m := sm.Load(); m != nil {
+		return m
+	}
+	reg := obs.Default()
+	if reg == nil {
+		return nil
+	}
+	m := &storeMetrics{
+		appends: reg.Counter("autonomizer_db_appends_total",
+			"au_extract appends into the database store pi.", nil),
+		values: reg.Counter("autonomizer_db_values_appended_total",
+			"Scalar values appended into the database store pi.", nil),
+		puts: reg.Counter("autonomizer_db_puts_total",
+			"Model-output bindings written into the database store pi.", nil),
+	}
+	if !sm.CompareAndSwap(nil, m) {
+		return sm.Load()
+	}
+	return m
+}
+
+// resetMetricsForTest drops the cached instruments so tests can attach
+// a fresh registry.
+func resetMetricsForTest() { sm.Store(nil) }
 
 // Store is the database store π: Name → list of float64 values.
 // All methods are safe for concurrent use; the Autonomizer runtime may
@@ -32,16 +74,23 @@ func New() *Store {
 // Append implements the EXTRACT rule: π' = π[name ↦ concat(π(name), vals…)].
 func (s *Store) Append(name string, vals ...float64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.data[name] = append(s.data[name], vals...)
+	s.mu.Unlock()
+	if m := metrics(); m != nil {
+		m.appends.Inc()
+		m.values.Add(uint64(len(vals)))
+	}
 }
 
 // Put replaces the list bound to name (used by the TRAIN/TEST rules to
 // publish model outputs under the write-back name).
 func (s *Store) Put(name string, vals []float64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.data[name] = append([]float64(nil), vals...)
+	s.mu.Unlock()
+	if m := metrics(); m != nil {
+		m.puts.Inc()
+	}
 }
 
 // Get returns a copy of the list bound to name and whether it exists.

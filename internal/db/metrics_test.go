@@ -1,0 +1,51 @@
+package db
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/obs"
+)
+
+// TestStoreMetrics checks the extraction-traffic counters.
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	prev := obs.SetDefault(reg)
+	resetMetricsForTest()
+	defer func() {
+		obs.SetDefault(prev)
+		resetMetricsForTest()
+	}()
+
+	s := New()
+	s.Append("a", 1, 2, 3)
+	s.Append("b", 4)
+	s.Put("out", []float64{9})
+
+	if got := reg.Counter("autonomizer_db_appends_total", "", nil).Value(); got != 2 {
+		t.Errorf("appends = %d, want 2", got)
+	}
+	if got := reg.Counter("autonomizer_db_values_appended_total", "", nil).Value(); got != 4 {
+		t.Errorf("values = %d, want 4", got)
+	}
+	if got := reg.Counter("autonomizer_db_puts_total", "", nil).Value(); got != 1 {
+		t.Errorf("puts = %d, want 1", got)
+	}
+}
+
+// TestStoreMetricsDisabled pins the nil fast path.
+func TestStoreMetricsDisabled(t *testing.T) {
+	prev := obs.SetDefault(nil)
+	resetMetricsForTest()
+	defer func() {
+		obs.SetDefault(prev)
+		resetMetricsForTest()
+	}()
+	if m := metrics(); m != nil {
+		t.Fatal("metrics() non-nil while telemetry disabled")
+	}
+	s := New()
+	s.Append("a", 1)
+	if v, ok := s.Get("a"); !ok || len(v) != 1 {
+		t.Fatal("store mutation lost on disabled-telemetry path")
+	}
+}

@@ -4,9 +4,19 @@ import (
 	"math"
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/obs"
 
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
+
+// stepCounter resolves the optimizer-step counter at construction time
+// (optimizers are built once per model, off the hot path); with
+// telemetry disabled it returns nil and Step pays one branch.
+func stepCounter(optimizer string) *obs.Counter {
+	return obs.Default().Counter("autonomizer_nn_optimizer_steps_total",
+		"Parameter updates applied, per optimizer kind.",
+		obs.Labels{"optimizer": optimizer})
+}
 
 // Optimizer updates a set of parameter tensors in place using their
 // accumulated gradients. Implementations are bound to a specific
@@ -27,11 +37,12 @@ type SGD struct {
 	Momentum float64
 	params   []*tensor.Tensor
 	velocity []*tensor.Tensor
+	steps    *obs.Counter
 }
 
 // NewSGD constructs an SGD optimizer over params.
 func NewSGD(params []*tensor.Tensor, lr, momentum float64) *SGD {
-	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	s := &SGD{LR: lr, Momentum: momentum, params: params, steps: stepCounter("sgd")}
 	if momentum != 0 {
 		s.velocity = make([]*tensor.Tensor, len(params))
 		for i, p := range params {
@@ -46,6 +57,7 @@ func (s *SGD) Step(grads []*tensor.Tensor) {
 	if len(grads) != len(s.params) {
 		auerr.Failf("nn: SGD gradient count mismatch")
 	}
+	s.steps.Inc()
 	for i, p := range s.params {
 		g := grads[i]
 		if s.velocity != nil {
@@ -72,6 +84,7 @@ type Adam struct {
 	params []*tensor.Tensor
 	m, v   []*tensor.Tensor
 	t      int
+	steps  *obs.Counter
 }
 
 // NewAdam constructs an Adam optimizer with the canonical defaults
@@ -82,6 +95,7 @@ func NewAdam(params []*tensor.Tensor, lr float64) *Adam {
 		params: params,
 		m:      make([]*tensor.Tensor, len(params)),
 		v:      make([]*tensor.Tensor, len(params)),
+		steps:  stepCounter("adam"),
 	}
 	for i, p := range params {
 		a.m[i] = tensor.New(p.Shape()...)
@@ -95,6 +109,7 @@ func (a *Adam) Step(grads []*tensor.Tensor) {
 	if len(grads) != len(a.params) {
 		auerr.Failf("nn: Adam gradient count mismatch")
 	}
+	a.steps.Inc()
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the telemetry endpoint mux:
+//
+//	/metrics              Prometheus text exposition of the default registry
+//	/debug/vars           expvar JSON (includes autonomizer_metrics once published)
+//	/debug/pprof/...      the standard net/http/pprof profiling endpoints
+//	/debug/spans          recent traced spans as JSON (see SetTracing)
+//
+// The handler reads Default() per request, so it can be mounted before
+// Enable is called (it serves 503 until then).
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		reg := Default()
+		if reg == nil {
+			http.Error(w, "telemetry disabled; call obs.Enable or pass -telemetry", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			Logger().Error("metrics write failed", "err", err)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(RecentSpans()); err != nil {
+			Logger().Error("span dump failed", "err", err)
+		}
+	})
+	return mux
+}
+
+// Serve runs the telemetry endpoints on addr until ctx is done, then
+// shuts the server down gracefully. It blocks; callers run it in a
+// goroutine next to the workload being observed.
+func Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		return nil
+	case err := <-errc:
+		return err
+	}
+}

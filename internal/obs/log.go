@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// logger holds the process-wide structured logger. The default is a
+// text handler on stderr at Info level, so a program that never touches
+// telemetry sees ordinary human-readable diagnostics.
+var logger atomic.Pointer[slog.Logger]
+
+// level is the dynamic log level shared by every handler ConfigureLog
+// installs, so verbosity can change without rebuilding child loggers.
+var level slog.LevelVar
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &level})))
+}
+
+// Logger returns the process-wide structured logger. Subsystems derive
+// children with With; the CLIs route every incidental diagnostic
+// through it so -log-format json yields machine-parseable output with
+// no stray lines.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process-wide logger and returns the previous
+// one, for tests.
+func SetLogger(l *slog.Logger) *slog.Logger {
+	old := logger.Load()
+	if l != nil {
+		logger.Store(l)
+	}
+	return old
+}
+
+// With returns a child of the process-wide logger carrying the given
+// attributes (the per-Runtime loggers are built this way).
+func With(args ...any) *slog.Logger { return Logger().With(args...) }
+
+// ConfigureLog installs a handler writing to w in the given format
+// ("text" or "json"). An unknown format is an error and leaves the
+// current logger untouched.
+func ConfigureLog(format string, w io.Writer) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	opts := &slog.HandlerOptions{Level: &level}
+	switch strings.ToLower(format) {
+	case "", "text":
+		logger.Store(slog.New(slog.NewTextHandler(w, opts)))
+	case "json":
+		logger.Store(slog.New(slog.NewJSONHandler(w, opts)))
+	default:
+		return fmt.Errorf(`obs: unknown log format %q (want "text" or "json")`, format)
+	}
+	return nil
+}
+
+// SetLogLevel sets the minimum level for handlers installed by this
+// package ("debug", "info", "warn", "error").
+func SetLogLevel(name string) error {
+	switch strings.ToLower(name) {
+	case "debug":
+		level.Set(slog.LevelDebug)
+	case "", "info":
+		level.Set(slog.LevelInfo)
+	case "warn", "warning":
+		level.Set(slog.LevelWarn)
+	case "error":
+		level.Set(slog.LevelError)
+	default:
+		return fmt.Errorf("obs: unknown log level %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryZeroCost pins the disabled-by-default contract: a nil
+// registry hands out nil instruments and every instrument method is a
+// no-op on its nil (or zero) receiver.
+func TestNilRegistryZeroCost(t *testing.T) {
+	var r *Registry
+	c := r.Counter("autonomizer_x_total", "h", nil)
+	g := r.Gauge("autonomizer_x", "h", nil)
+	h := r.Histogram("autonomizer_x_seconds", "h", nil, nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil instruments: %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(3)
+	tm := h.Timer()
+	tm.Stop()
+	r.GaugeFunc("autonomizer_x_fn", "h", nil, func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported non-zero values")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	if r.Mismatches() != 0 {
+		t.Fatal("nil registry reported mismatches")
+	}
+}
+
+// TestInstrumentIdentity checks the registry caches instruments by
+// (name, labels) with label order canonicalized.
+func TestInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("autonomizer_t_total", "h", Labels{"a": "1", "b": "2"})
+	b := r.Counter("autonomizer_t_total", "h", Labels{"b": "2", "a": "1"})
+	if a != b {
+		t.Fatal("same (name, labels) resolved to distinct counters")
+	}
+	c := r.Counter("autonomizer_t_total", "h", Labels{"a": "1", "b": "3"})
+	if a == c {
+		t.Fatal("distinct label values resolved to the same counter")
+	}
+}
+
+// TestKindMismatch checks that reusing a name with a different kind
+// yields a no-op instrument and a mismatch count instead of a panic or a
+// corrupt exposition.
+func TestKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	if c := r.Counter("autonomizer_dup", "h", nil); c == nil {
+		t.Fatal("first registration failed")
+	}
+	if h := r.Histogram("autonomizer_dup", "h", nil, nil); h != nil {
+		t.Fatal("kind conflict handed out a live histogram")
+	}
+	if g := r.Gauge("autonomizer_dup", "h", nil); g != nil {
+		t.Fatal("kind conflict handed out a live gauge")
+	}
+	if n := r.Mismatches(); n != 2 {
+		t.Fatalf("Mismatches = %d, want 2", n)
+	}
+}
+
+// TestGaugeFuncReplace checks the last-writer-wins callback semantics
+// runtimes rely on to export "the live store" across re-instrumentation.
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("autonomizer_live", "h", nil, func() float64 { return 1 })
+	r.GaugeFunc("autonomizer_live", "h", nil, func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "autonomizer_live 2\n") {
+		t.Fatalf("replaced GaugeFunc not exported; got:\n%s", b.String())
+	}
+}
+
+// TestHistogramBuckets checks bucket assignment against the fixed
+// layout, including the implicit +Inf overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("autonomizer_hb_seconds", "h", []float64{1, 10}, nil)
+	for _, v := range []float64{0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 103.5 {
+		t.Fatalf("Sum = %v, want 103.5", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`autonomizer_hb_seconds_bucket{le="1"} 2`,  // 0.5 and the boundary value 1
+		`autonomizer_hb_seconds_bucket{le="10"} 3`, // cumulative
+		`autonomizer_hb_seconds_bucket{le="+Inf"} 4`,
+		`autonomizer_hb_seconds_count 4`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestWritePrometheusGolden locks the full exposition format — sorted
+// families and series, HELP/TYPE lines, label escaping, cumulative
+// histogram buckets — against a golden file.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("autonomizer_test_requests_total", "Requests by primitive.",
+		Labels{"primitive": "nn"}).Add(3)
+	r.Counter("autonomizer_test_requests_total", "Requests by primitive.",
+		Labels{"primitive": "extract"}).Inc()
+	r.Gauge("autonomizer_test_temp", "A settable gauge.", nil).Set(1.5)
+	r.GaugeFunc("autonomizer_test_func", "A computed gauge.", nil,
+		func() float64 { return 42 })
+	h := r.Histogram("autonomizer_test_latency_seconds",
+		"Latency with an escaped label.\nSecond help line.",
+		[]float64{0.1, 1, 2.5}, Labels{"span": "a\\b\"c\nd"})
+	for _, v := range []float64{0.25, 0.5, 2, 7} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from GOMAXPROCS
+// goroutines — concurrent lookups, updates and renders — and checks the
+// totals are exact. Run under -race this is the data-race proof for the
+// lock-free instrument paths.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lbl := Labels{"worker": strconv.Itoa(id % 4)}
+			for i := 0; i < iters; i++ {
+				r.Counter("autonomizer_cc_ops_total", "h", lbl).Inc()
+				r.Gauge("autonomizer_cc_level", "h", nil).Add(1)
+				r.Histogram("autonomizer_cc_seconds", "h", nil, nil).Observe(float64(i % 7))
+				if i%256 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := uint64(workers * iters)
+	var total uint64
+	for k := 0; k < 4; k++ {
+		total += r.Counter("autonomizer_cc_ops_total", "h",
+			Labels{"worker": strconv.Itoa(k)}).Value()
+	}
+	if total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if g := r.Gauge("autonomizer_cc_level", "h", nil).Value(); g != float64(want) {
+		t.Fatalf("gauge = %v, want %d", g, want)
+	}
+	if n := r.Histogram("autonomizer_cc_seconds", "h", nil, nil).Count(); n != want {
+		t.Fatalf("histogram count = %d, want %d", n, want)
+	}
+}
+
+// TestDefaultRegistryLifecycle checks Default/Enable/SetDefault: nil
+// until enabled, idempotent Enable, restorable for tests.
+func TestDefaultRegistryLifecycle(t *testing.T) {
+	prev := SetDefault(nil)
+	defer SetDefault(prev)
+	if Default() != nil {
+		t.Fatal("Default non-nil after SetDefault(nil)")
+	}
+	a := Enable()
+	if a == nil || Default() != a {
+		t.Fatal("Enable did not install a registry")
+	}
+	if b := Enable(); b != a {
+		t.Fatal("Enable is not idempotent")
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestSpanDisabled checks that StartSpan with tracing off returns the
+// context untouched and a nil span whose End is a no-op.
+func TestSpanDisabled(t *testing.T) {
+	old := SetTracing(false)
+	defer SetTracing(old)
+	ctx := context.Background()
+	got, sp := StartSpan(ctx, "x")
+	if got != ctx {
+		t.Fatal("disabled StartSpan replaced the context")
+	}
+	if sp != nil {
+		t.Fatal("disabled StartSpan returned a live span")
+	}
+	sp.End(nil) // must not panic
+}
+
+// TestSpanRecording checks parent attribution through the context, the
+// ring buffer, and the span-duration histogram.
+func TestSpanRecording(t *testing.T) {
+	oldT := SetTracing(true)
+	defer SetTracing(oldT)
+	prev := SetDefault(NewRegistry())
+	defer SetDefault(prev)
+
+	ctx, parent := StartSpan(context.Background(), "au_fit")
+	_, child := StartSpan(ctx, "au_nn")
+	child.End(errors.New("boom"))
+	parent.End(nil)
+
+	recs := RecentSpans()
+	if len(recs) < 2 {
+		t.Fatalf("RecentSpans returned %d records, want >= 2", len(recs))
+	}
+	var sawChild, sawParent bool
+	for _, r := range recs {
+		if r.Name == "au_nn" && r.Parent == "au_fit" && r.Err == "boom" {
+			sawChild = true
+		}
+		if r.Name == "au_fit" && r.Parent == "" && r.Err == "" {
+			sawParent = true
+		}
+	}
+	if !sawChild || !sawParent {
+		t.Fatalf("missing span records (child %v, parent %v): %+v", sawChild, sawParent, recs)
+	}
+	h := Default().Histogram("autonomizer_span_duration_seconds", "", nil, Labels{"span": "au_nn"})
+	if h.Count() == 0 {
+		t.Fatal("span duration histogram recorded nothing")
+	}
+}
+
+// TestConfigureLog checks text/json switching, the error on unknown
+// formats, and the shared dynamic level.
+func TestConfigureLog(t *testing.T) {
+	old := Logger()
+	defer SetLogger(old)
+
+	var buf bytes.Buffer
+	if err := ConfigureLog("json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	Logger().Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("unexpected json record: %v", rec)
+	}
+
+	if err := ConfigureLog("yaml", &buf); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := SetLogLevel("nope"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+
+	buf.Reset()
+	if err := ConfigureLog("text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetLogLevel("warn"); err != nil {
+		t.Fatal(err)
+	}
+	Logger().Info("dropped")
+	Logger().Warn("kept")
+	if got := buf.String(); strings.Contains(got, "dropped") || !strings.Contains(got, "kept") {
+		t.Fatalf("level filter failed:\n%s", got)
+	}
+	if err := SetLogLevel("info"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithChild checks attribute inheritance on derived loggers.
+func TestWithChild(t *testing.T) {
+	old := Logger()
+	defer SetLogger(old)
+	var buf bytes.Buffer
+	if err := ConfigureLog("json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	With("mode", "TR").Info("x")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["mode"] != "TR" {
+		t.Fatalf("child attribute lost: %v", rec)
+	}
+}
+
+// TestHandlerEndpoints checks /metrics (503 disabled, 200 enabled with
+// the exposition content type), /debug/vars and /debug/spans.
+func TestHandlerEndpoints(t *testing.T) {
+	prev := SetDefault(nil)
+	defer SetDefault(prev)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := get("/metrics")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/metrics while disabled: %d, want 503", resp.StatusCode)
+	}
+
+	SetDefault(NewRegistry())
+	Default().Counter("autonomizer_http_test_total", "h", nil).Inc()
+	resp = get("/metrics")
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	if !strings.Contains(body.String(), "autonomizer_http_test_total 1") {
+		t.Fatalf("metric missing from exposition:\n%s", body.String())
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/spans"} {
+		resp = get(path)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeShutdown checks Serve stops cleanly on context cancellation.
+func TestServeShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, "127.0.0.1:0") }()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v on cancellation, want nil", err)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing is the third leg of the telemetry layer: each primitive
+// Ctx form opens a span, so a trace of one au_NN call shows its parent
+// (the fit, the suite runner) and its duration without a profiler
+// attached. Tracing is opt-in separately from metrics (SetTracing /
+// the -trace flag) because span records cost a context allocation per
+// call; when off, StartSpan returns the context untouched and a nil
+// *Span whose End is a no-op.
+
+// tracing gates span recording; off by default.
+var tracing atomic.Bool
+
+// SetTracing switches span recording on or off, returning the previous
+// setting.
+func SetTracing(on bool) bool { return tracing.Swap(on) }
+
+// TracingEnabled reports whether spans are being recorded.
+func TracingEnabled() bool { return tracing.Load() }
+
+// Span is one timed operation. A nil *Span (tracing disabled) is safe
+// to End.
+type Span struct {
+	name   string
+	parent string
+	start  time.Time
+}
+
+// spanKey carries the current span name through the context for parent
+// attribution.
+type spanKey struct{}
+
+// StartSpan opens a span and returns a context carrying it for child
+// attribution. With tracing disabled it returns ctx unchanged and a nil
+// span, allocating nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !tracing.Load() {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent, _ := ctx.Value(spanKey{}).(string)
+	sp := &Span{name: name, parent: parent, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, name), sp
+}
+
+// SpanRecord is one finished span in the in-memory ring.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Parent   string        `json:"parent,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// spanRing keeps the most recent spans for /debug/spans and tests.
+const spanRingSize = 256
+
+var spanRing struct {
+	mu   sync.Mutex
+	buf  [spanRingSize]SpanRecord
+	next int
+	n    int
+}
+
+// End closes the span: its duration lands in the
+// autonomizer_span_duration_seconds histogram (when metrics are
+// enabled), the recent-span ring, and the debug log. err may be nil.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if r := Default(); r != nil {
+		r.Histogram("autonomizer_span_duration_seconds",
+			"Duration of traced runtime spans.", nil, Labels{"span": s.name}).Observe(d.Seconds())
+	}
+	rec := SpanRecord{Name: s.name, Parent: s.parent, Start: s.start, Duration: d}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	spanRing.mu.Lock()
+	spanRing.buf[spanRing.next] = rec
+	spanRing.next = (spanRing.next + 1) % spanRingSize
+	if spanRing.n < spanRingSize {
+		spanRing.n++
+	}
+	spanRing.mu.Unlock()
+	Logger().Debug("span", "name", s.name, "parent", s.parent, "dur", d, "err", err)
+}
+
+// RecentSpans returns the most recent finished spans, oldest first.
+func RecentSpans() []SpanRecord {
+	spanRing.mu.Lock()
+	defer spanRing.mu.Unlock()
+	out := make([]SpanRecord, 0, spanRing.n)
+	start := spanRing.next - spanRing.n
+	for i := 0; i < spanRing.n; i++ {
+		out = append(out, spanRing.buf[(start+i+spanRingSize)%spanRingSize])
+	}
+	return out
+}

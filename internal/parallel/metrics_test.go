@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/obs"
+)
+
+// TestPoolMetrics checks the worker-pool instruments: chunk counts,
+// queue-wait observations and the running gauge settling back to zero.
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	prev := obs.SetDefault(reg)
+	resetMetricsForTest()
+	defer func() {
+		obs.SetDefault(prev)
+		resetMetricsForTest()
+	}()
+	oldW := SetWorkers(4)
+	defer SetWorkers(oldW)
+
+	var n atomic.Int64
+	For(1000, 10, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	if n.Load() != 1000 {
+		t.Fatalf("For covered %d elements, want 1000", n.Load())
+	}
+
+	chunks := reg.Counter("autonomizer_parallel_chunks_total", "", nil).Value()
+	if chunks != 4 {
+		t.Fatalf("chunks = %d, want 4 (width 4)", chunks)
+	}
+	if g := reg.Gauge("autonomizer_parallel_tasks_running", "", nil).Value(); g != 0 {
+		t.Fatalf("running gauge = %v after For returned, want 0", g)
+	}
+	// Queue-wait observations only cover chunks that actually queued; a
+	// saturated pool runs inline, so count <= chunks - 1 (the caller's
+	// chunk never queues).
+	wait := reg.Histogram("autonomizer_parallel_chunk_wait_seconds", "", nil, nil)
+	if wait.Count() > chunks-1 {
+		t.Fatalf("wait observations = %d, want <= %d", wait.Count(), chunks-1)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"autonomizer_parallel_workers 4",
+		"autonomizer_parallel_pool_size",
+		"autonomizer_parallel_tasks_queued",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestPoolMetricsDisabled pins the disabled fast path: no registry, no
+// instruments, identical results.
+func TestPoolMetricsDisabled(t *testing.T) {
+	prev := obs.SetDefault(nil)
+	resetMetricsForTest()
+	defer func() {
+		obs.SetDefault(prev)
+		resetMetricsForTest()
+	}()
+	if m := metrics(); m != nil {
+		t.Fatal("metrics() non-nil while telemetry disabled")
+	}
+	var n atomic.Int64
+	For(100, 10, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	if n.Load() != 100 {
+		t.Fatalf("For covered %d elements, want 100", n.Load())
+	}
+}

@@ -27,13 +27,15 @@ package parallel
 
 import (
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/obs"
 )
 
 // parseWorkers validates an AUTONOMIZER_WORKERS value: a positive
@@ -56,7 +58,8 @@ func defaultWorkers() int {
 	if s := os.Getenv("AUTONOMIZER_WORKERS"); s != "" {
 		n, err := parseWorkers(s)
 		if err != nil {
-			log.Printf("%v; falling back to GOMAXPROCS=%d", err, runtime.GOMAXPROCS(0))
+			obs.Logger().Warn("bad AUTONOMIZER_WORKERS; falling back to GOMAXPROCS",
+				"err", err, "gomaxprocs", runtime.GOMAXPROCS(0))
 			return runtime.GOMAXPROCS(0)
 		}
 		return n
@@ -106,16 +109,73 @@ func (b *panicBox) rethrow() {
 	}
 }
 
+// poolMetrics holds the worker-pool instruments (tasks queued/running,
+// chunk counts, queue wait). They are resolved lazily on the first
+// multi-chunk For call after telemetry is enabled; while disabled,
+// metrics() returns nil and every use below short-circuits, keeping the
+// kernel hot path free of clock reads and allocations.
+type poolMetrics struct {
+	chunks  *obs.Counter
+	running *obs.Gauge
+	wait    *obs.Histogram
+}
+
+var pm atomic.Pointer[poolMetrics]
+
+func metrics() *poolMetrics {
+	if m := pm.Load(); m != nil {
+		return m
+	}
+	reg := obs.Default()
+	if reg == nil {
+		return nil
+	}
+	m := &poolMetrics{
+		chunks: reg.Counter("autonomizer_parallel_chunks_total",
+			"Chunks dispatched by parallel For/Run calls.", nil),
+		running: reg.Gauge("autonomizer_parallel_tasks_running",
+			"Pool tasks currently executing (including inline-run chunks).", nil),
+		wait: reg.Histogram("autonomizer_parallel_chunk_wait_seconds",
+			"Time a queued chunk waited before a helper picked it up.", nil, nil),
+	}
+	reg.GaugeFunc("autonomizer_parallel_workers",
+		"Configured parallel width (the sharding factor).", nil,
+		func() float64 { return float64(Workers()) })
+	reg.GaugeFunc("autonomizer_parallel_pool_size",
+		"Helper goroutines in the process-wide pool.", nil,
+		func() float64 { poolMu.Lock(); defer poolMu.Unlock(); return float64(poolSize) })
+	reg.GaugeFunc("autonomizer_parallel_tasks_queued",
+		"Chunks sitting in the task queue awaiting a helper.", nil,
+		func() float64 { return float64(len(taskQueue)) })
+	if !pm.CompareAndSwap(nil, m) {
+		return pm.Load()
+	}
+	return m
+}
+
+// resetMetricsForTest drops the cached instruments so tests can attach
+// a fresh registry.
+func resetMetricsForTest() { pm.Store(nil) }
+
 // task is one shard of a parallel-for: run fn over [lo, hi) and signal wg.
 type task struct {
 	fn     func(lo, hi int)
 	lo, hi int
 	wg     *sync.WaitGroup
 	pnc    *panicBox
+	m      *poolMetrics // nil while telemetry is disabled
+	queued time.Time    // set when the task went through the queue
 }
 
 func (t task) run() {
 	defer t.wg.Done()
+	if t.m != nil {
+		if !t.queued.IsZero() {
+			t.m.wait.Observe(time.Since(t.queued).Seconds())
+		}
+		t.m.running.Add(1)
+		defer t.m.running.Add(-1)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			t.pnc.store(r)
@@ -178,6 +238,10 @@ func For(n, grain int, fn func(lo, hi int)) {
 		return
 	}
 	ensurePool(chunks - 1)
+	m := metrics()
+	if m != nil {
+		m.chunks.Add(uint64(chunks))
+	}
 	var wg sync.WaitGroup
 	var pnc panicBox
 	wg.Add(chunks)
@@ -189,17 +253,21 @@ func For(n, grain int, fn func(lo, hi int)) {
 		if c < rem {
 			hi++
 		}
-		t := task{fn: fn, lo: lo, hi: hi, wg: &wg, pnc: &pnc}
+		t := task{fn: fn, lo: lo, hi: hi, wg: &wg, pnc: &pnc, m: m}
 		if c == chunks-1 {
 			// Run the last chunk on the calling goroutine: the caller
 			// always contributes instead of idling at Wait.
 			t.run()
 		} else {
+			if m != nil {
+				t.queued = time.Now()
+			}
 			select {
 			case taskQueue <- t:
 			default:
 				// Pool saturated (e.g. nested For): run inline rather
 				// than block, which keeps nesting deadlock-free.
+				t.queued = time.Time{}
 				t.run()
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/nn"
+	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/parallel"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
@@ -104,6 +105,12 @@ type Agent struct {
 	onlineReps, targetReps []*nn.Network
 	itemGrads              [][]*tensor.Tensor
 	itemLoss               []float64
+
+	// Telemetry instruments, resolved at construction (nil while
+	// telemetry is disabled; every use is a nil-checked no-op).
+	obsSteps *obs.Counter
+	obsLoss  *obs.Gauge
+	obsEps   *obs.Gauge
 }
 
 // NewAgent wraps online (and a structurally identical targetNet, which
@@ -115,6 +122,7 @@ func NewAgent(online, targetNet *nn.Network, actions int, cfg Config, rng *stats
 	}
 	cfg.fillDefaults()
 	targetNet.CopyParamsFrom(online)
+	reg := obs.Default()
 	return &Agent{
 		cfg:     cfg,
 		online:  online,
@@ -122,6 +130,12 @@ func NewAgent(online, targetNet *nn.Network, actions int, cfg Config, rng *stats
 		buffer:  NewReplayBuffer(cfg.ReplayCapacity, rng.Split()),
 		rng:     rng,
 		actions: actions,
+		obsSteps: reg.Counter("autonomizer_rl_train_steps_total",
+			"Replayed Q-learning updates applied across all agents.", nil),
+		obsLoss: reg.Gauge("autonomizer_rl_last_loss",
+			"Mean TD loss of the most recent replay minibatch.", nil),
+		obsEps: reg.Gauge("autonomizer_rl_epsilon",
+			"Current epsilon-greedy exploration rate.", nil),
 	}
 }
 
@@ -224,7 +238,11 @@ func (a *Agent) Observe(t Transition) float64 {
 	if a.trained%a.cfg.TargetSyncEvery == 0 {
 		a.target.CopyParamsFrom(a.online)
 	}
-	return totalLoss / float64(len(batch))
+	loss := totalLoss / float64(len(batch))
+	a.obsSteps.Inc()
+	a.obsLoss.Set(loss)
+	a.obsEps.Set(a.Epsilon())
+	return loss
 }
 
 func (a *Agent) ensureOptimizer() {

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# check_metrics.sh — the telemetry smoke gate.
+#
+# Polls a running telemetry endpoint (default http://127.0.0.1:9090)
+# until /metrics answers, then asserts the exposition carries the metric
+# families the runtime contract promises (DESIGN.md §5c): per-primitive
+# call counters and latency histograms, auerr-classed error counters,
+# worker-pool gauges, db/ckpt activity, and the expvar mirror on
+# /debug/vars. Run it against `autonomizer -telemetry :9090 serve`,
+# whose workload exercises every primitive once (including one expected
+# failure, so the error family is non-empty).
+set -euo pipefail
+
+BASE="${1:-http://127.0.0.1:9090}"
+TRIES="${TRIES:-30}"
+
+for i in $(seq 1 "$TRIES"); do
+    if metrics=$(curl -fsS "$BASE/metrics" 2>/dev/null); then
+        break
+    fi
+    if [ "$i" -eq "$TRIES" ]; then
+        echo "FAIL: $BASE/metrics did not answer after $TRIES attempts" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+fail=0
+require() {
+    if ! grep -qE "$1" <<<"$metrics"; then
+        echo "FAIL: /metrics missing: $2 ($1)" >&2
+        fail=1
+    fi
+}
+
+# Per-primitive call counters and latency histograms (closed vocabulary).
+for p in config extract serialize nn nnrl write_back checkpoint restore fit predict; do
+    require "^autonomizer_core_primitive_calls_total\{primitive=\"$p\"\} [1-9]" "calls counter for $p"
+    require "^autonomizer_core_primitive_duration_seconds_count\{primitive=\"$p\"\} [1-9]" "latency histogram for $p"
+done
+require '^autonomizer_core_primitive_duration_seconds_bucket\{.*le="\+Inf"\}' "cumulative +Inf bucket"
+
+# auerr-classed error counters (the serve workload provokes one failure).
+require '^autonomizer_core_primitive_errors_total\{class="[a-z_]+",primitive="[a-z_]+"\} [1-9]' "classed error counter"
+
+# Training metrics.
+require '^autonomizer_nn_fit_epochs_total [1-9]' "fit epoch counter"
+require '^autonomizer_nn_fit_last_loss\{model=' "per-model fit loss gauge"
+require '^autonomizer_nn_optimizer_steps_total\{optimizer=' "optimizer step counter"
+require '^autonomizer_rl_train_steps_total' "rl train step counter"
+
+# Worker-pool gauges.
+require '^autonomizer_parallel_workers [0-9]' "parallel width gauge"
+require '^autonomizer_parallel_pool_size [0-9]' "pool size gauge"
+require '^autonomizer_parallel_tasks_queued [0-9]' "queued tasks gauge"
+require '^autonomizer_parallel_tasks_running [0-9]' "running tasks gauge"
+
+# Store and checkpoint activity.
+require '^autonomizer_db_store_bytes [0-9]' "db store footprint gauge"
+require '^autonomizer_db_appends_total [1-9]' "db append counter"
+require '^autonomizer_ckpt_checkpoints_total [1-9]' "checkpoint counter"
+require '^autonomizer_ckpt_restores_total [1-9]' "restore counter"
+
+# The expvar mirror serves the same registry as JSON.
+if ! curl -fsS "$BASE/debug/vars" | grep -q autonomizer_metrics; then
+    echo "FAIL: /debug/vars missing the autonomizer_metrics key" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "--- /metrics dump ---" >&2
+    printf '%s\n' "$metrics" >&2
+    exit 1
+fi
+echo "metrics gate: all required families present on $BASE"
