@@ -156,7 +156,40 @@ var (
 	ErrInvariant = auerr.ErrInvariant
 )
 
+// Option configures an embedded Runtime at construction time (see
+// WithSeed, WithLogger, WithMetrics). Options replace direct struct
+// pokes on Runtime internals: everything a host used to reach in and
+// set is now declared up front in NewRuntime, so a constructed runtime
+// is never observed half-configured.
+type Option = core.Option
+
+// WithSeed fixes the runtime's deterministic RNG seed (default 0).
+func WithSeed(seed uint64) Option { return core.WithSeed(seed) }
+
+// WithLogger routes the runtime's diagnostics through l instead of the
+// process-wide Logger.
+func WithLogger(l *slog.Logger) Option { return core.WithLogger(l) }
+
+// WithMetrics attaches the runtime's instruments to reg instead of the
+// process-wide registry; WithMetrics(nil) detaches this runtime from
+// telemetry entirely, even when EnableTelemetry was called.
+func WithMetrics(reg *TelemetryRegistry) Option { return core.WithMetrics(reg) }
+
+// NewRuntime creates an embedded runtime in the given mode:
+//
+//	rt := autonomizer.NewRuntime(autonomizer.Train,
+//		autonomizer.WithSeed(42),
+//		autonomizer.WithLogger(l),
+//		autonomizer.WithMetrics(reg))
+//
+// Omitted options take the defaults (seed 0, process-wide logger and
+// registry).
+func NewRuntime(mode Mode, opts ...Option) *Runtime {
+	return core.NewRuntimeWith(mode, opts...)
+}
+
 // New creates a runtime in the given mode with a deterministic seed.
+// It is shorthand for NewRuntime(mode, WithSeed(seed)).
 func New(mode Mode, seed uint64) *Runtime {
 	return core.NewRuntime(mode, seed)
 }

@@ -168,7 +168,10 @@ commands:
   depgraph   dump a subject's dynamic dependence graph as Graphviz DOT
   demo       quick end-to-end demonstration
   serve      exercise every primitive once, then serve telemetry until interrupted
-  all        run everything`)
+  all        run everything
+
+network model serving (batched inference over HTTP) is the separate
+auserve command; see cmd/auserve.`)
 }
 
 func runTable1(seed uint64) error {

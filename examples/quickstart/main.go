@@ -83,6 +83,24 @@ func features(signal []float64) []float64 {
 	return []float64{sum / float64(len(signal)-1)}
 }
 
+// pickWindow is the deployed decision step, written against the
+// Querier interface: extract → NN → write back → use. Because it only
+// needs Querier, the same code runs against the embedded TS runtime
+// below or against a remote model server
+// (autonomizer.NewClient("http://host:8080") after `auserve -snapshot
+// models.ausn`) — one constructor change, zero changes here.
+func pickWindow(q autonomizer.Querier, signal []float64) (int, error) {
+	q.Extract("NOISE", features(signal)...)                     // au_extract
+	if err := q.NN("WindowNN", "NOISE", "WINDOW"); err != nil { // au_NN
+		return 0, err
+	}
+	var wv [1]float64
+	if _, err := q.WriteBack("WINDOW", wv[:]); err != nil { // au_write_back
+		return 0, err
+	}
+	return int(wv[0]*12 + 0.5), nil
+}
+
 func main() {
 	// ---- Training run (the TR executable) ----
 	rt := autonomizer.New(autonomizer.Train, 42)
@@ -132,16 +150,11 @@ func main() {
 	for seed := 1000; seed < 1020; seed++ {
 		signal, clean, _ := makeInput(seed)
 
-		// The annotated program: extract → NN → write back → use.
-		prod.Extract("NOISE", features(signal)...)                     // au_extract
-		if err := prod.NN("WindowNN", "NOISE", "WINDOW"); err != nil { // au_NN
+		// The annotated program, through the Querier surface.
+		window, err := pickWindow(prod, signal)
+		if err != nil {
 			log.Fatal(err)
 		}
-		var wv [1]float64
-		if _, err := prod.WriteBack("WINDOW", wv[:]); err != nil { // au_write_back
-			log.Fatal(err)
-		}
-		window := int(wv[0]*12 + 0.5)
 
 		defQ += quality(smooth(signal, 3), clean) // fixed default window
 		autoQ += quality(smooth(signal, window), clean)

@@ -53,6 +53,11 @@ var (
 	// Errors carrying it also wrap the context's own error, so
 	// errors.Is(err, context.Canceled) holds as well.
 	ErrCanceled = errors.New("autonomizer: canceled")
+	// ErrOverloaded marks work rejected by backpressure: a bounded queue
+	// (the serving layer's per-model request queue) was full, so the
+	// caller should shed load or retry later. The HTTP surface maps it to
+	// 429 Too Many Requests.
+	ErrOverloaded = errors.New("autonomizer: overloaded")
 	// ErrInvariant marks a recovered internal invariant violation — a bug
 	// in the runtime (or a panicking user callback), surfaced as an error
 	// instead of a crash.
@@ -106,12 +111,35 @@ func Class(err error) string {
 		return "corrupt_model"
 	case errors.Is(err, ErrCorruptStore):
 		return "corrupt_store"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
 	case errors.Is(err, ErrInvariant):
 		return "invariant"
 	default:
 		return "other"
 	}
 }
+
+// classSentinel is the inverse of Class for the closed class vocabulary.
+var classSentinel = map[string]error{
+	"canceled":         ErrCanceled,
+	"spec_invalid":     ErrSpecInvalid,
+	"unknown_model":    ErrUnknownModel,
+	"mode_violation":   ErrModeViolation,
+	"not_materialized": ErrNotMaterialized,
+	"missing_input":    ErrMissingInput,
+	"corrupt_model":    ErrCorruptModel,
+	"corrupt_store":    ErrCorruptStore,
+	"overloaded":       ErrOverloaded,
+	"invariant":        ErrInvariant,
+}
+
+// FromClass maps a class name produced by Class back to its sentinel, or
+// nil for "", "other" and anything outside the vocabulary. The serving
+// layer ships error classes over the wire so that remote callers can
+// dispatch with errors.Is exactly like in-process ones; FromClass is the
+// receiving end of that round trip.
+func FromClass(class string) error { return classSentinel[class] }
 
 // InvariantError is the panic payload of Failf: a broken internal
 // invariant. It matches ErrInvariant under errors.Is.

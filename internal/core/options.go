@@ -1,0 +1,74 @@
+package core
+
+import (
+	"log/slog"
+
+	"github.com/autonomizer/autonomizer/internal/ckpt"
+	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/obs"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// runtimeOptions collects the configurable pieces of Runtime
+// construction. The zero value reproduces NewRuntime's historical
+// behaviour: seed 0, the process-wide obs logger, and the process-wide
+// telemetry registry (nil while disabled).
+type runtimeOptions struct {
+	seed   uint64
+	logger *slog.Logger
+	reg    *obs.Registry
+	regSet bool
+}
+
+// Option configures Runtime construction (see NewRuntimeWith). Options
+// replace the former pattern of poking runtime internals after New —
+// construction is the only supported configuration point.
+type Option func(*runtimeOptions)
+
+// WithSeed sets the deterministic seed for every stochastic choice
+// (weight initialization, exploration, minibatch shuffling).
+func WithSeed(seed uint64) Option {
+	return func(o *runtimeOptions) { o.seed = seed }
+}
+
+// WithLogger routes the runtime's structured diagnostics through l
+// instead of the process-wide obs logger. The runtime still attaches
+// its mode attribute to the child it logs through.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *runtimeOptions) { o.logger = l }
+}
+
+// WithMetrics instruments the runtime against reg instead of the
+// process-wide obs.Default() registry. Passing nil explicitly disables
+// telemetry for this runtime even when the process-wide registry is on.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(o *runtimeOptions) { o.reg = reg; o.regSet = true }
+}
+
+// NewRuntimeWith creates a runtime in the given mode, configured by
+// functional options. It is the canonical constructor; NewRuntime(mode,
+// seed) remains as a thin compatible wrapper equivalent to
+// NewRuntimeWith(mode, WithSeed(seed)).
+func NewRuntimeWith(mode Mode, opts ...Option) *Runtime {
+	var o runtimeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.regSet {
+		o.reg = obs.Default()
+	}
+	log := o.logger
+	if log == nil {
+		log = obs.Logger()
+	}
+	rt := &Runtime{
+		mode:   mode,
+		store:  db.New(),
+		models: make(map[string]*model),
+		rng:    stats.NewRNG(o.seed),
+		ckpts:  ckpt.NewManager(),
+		saved:  make(map[string][]byte),
+		log:    log.With("mode", mode.String()),
+	}
+	return rt.Instrument(o.reg)
+}

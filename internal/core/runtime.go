@@ -12,7 +12,6 @@ import (
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/ckpt"
 	"github.com/autonomizer/autonomizer/internal/db"
-	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/stats"
 )
 
@@ -79,16 +78,7 @@ type Runtime struct {
 // runtime is instrumented automatically; otherwise every metric site
 // short-circuits on a nil instrument.
 func NewRuntime(mode Mode, seed uint64) *Runtime {
-	rt := &Runtime{
-		mode:   mode,
-		store:  db.New(),
-		models: make(map[string]*model),
-		rng:    stats.NewRNG(seed),
-		ckpts:  ckpt.NewManager(),
-		saved:  make(map[string][]byte),
-		log:    obs.With("mode", mode.String()),
-	}
-	return rt.Instrument(obs.Default())
+	return NewRuntimeWith(mode, WithSeed(seed))
 }
 
 // Mode reports the execution mode ω.
@@ -528,6 +518,14 @@ func (rt *Runtime) LoadModelParams(mdName string, data []byte) (err error) {
 		return err
 	}
 	return m.net.UnmarshalParams(params)
+}
+
+// SavedModelSizes decodes the input/output sizes from a SaveModel image
+// without building a network — the serving layer validates request
+// shapes against these before a bad input ever reaches a batch.
+func SavedModelSizes(data []byte) (inSize, outSize int, err error) {
+	in, out, _, err := decodeSavedModel(data)
+	return in, out, err
 }
 
 func decodeSavedModel(data []byte) (inSize, outSize int, params []byte, err error) {

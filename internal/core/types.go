@@ -149,36 +149,42 @@ type ModelSpec struct {
 	Builder func(inSize, outSize int, rng *stats.RNG) *nn.Network
 }
 
-// validate reports configuration errors early, at au_config time, each
-// wrapping auerr.ErrSpecInvalid and naming the offending field — the
-// annotation is the user-facing surface of the system, so a bad spec
-// must fail with a field-level message rather than a kernel invariant
-// deep inside the first au_NN call.
+// validate reports configuration errors early, at au_config time. Every
+// failure wraps auerr.ErrSpecInvalid in one uniform shape —
+//
+//	core: model "<name>": <Field>: <problem>
+//
+// naming both the model and the offending field, so Config and
+// ConfigCtx (and any other path that validates a spec) surface
+// identical, grep-able messages. The annotation is the user-facing
+// surface of the system, so a bad spec must fail with a field-level
+// message rather than a kernel invariant deep inside the first au_NN
+// call.
 func (s ModelSpec) validate() error {
-	bad := func(format string, args ...any) error {
-		return auerr.E(auerr.ErrSpecInvalid, "core: "+format, args...)
+	bad := func(field, format string, args ...any) error {
+		return auerr.E(auerr.ErrSpecInvalid, "core: model %q: %s: %s", s.Name, field, fmt.Sprintf(format, args...))
 	}
 	if s.Name == "" {
-		return bad("model spec needs a name")
+		return bad("Name", "must be non-empty")
 	}
 	if s.Type != DNN && s.Type != CNN {
-		return bad("model %q: unknown model type %v", s.Name, s.Type)
+		return bad("Type", "unknown model type %v", s.Type)
 	}
 	if s.Algo != QLearn && s.Algo != AdamOpt {
-		return bad("model %q: unknown algorithm %v", s.Name, s.Algo)
+		return bad("Algo", "unknown algorithm %v", s.Algo)
 	}
 	for i, h := range s.Hidden {
 		if h <= 0 {
-			return bad("model %q: Hidden[%d] = %d, widths must be positive", s.Name, i, h)
+			return bad(fmt.Sprintf("Hidden[%d]", i), "width %d, widths must be positive", h)
 		}
 	}
 	if s.Type == CNN {
 		if len(s.InputShape) != 3 {
-			return bad("CNN model %q: InputShape must be (C,H,W), got %v", s.Name, s.InputShape)
+			return bad("InputShape", "must be (C,H,W) for CNN models, got %v", s.InputShape)
 		}
 		for i, d := range s.InputShape {
 			if d <= 0 {
-				return bad("CNN model %q: InputShape[%d] = %d, dims must be positive", s.Name, i, d)
+				return bad(fmt.Sprintf("InputShape[%d]", i), "dim %d, dims must be positive", d)
 			}
 		}
 		if s.Builder == nil {
@@ -190,43 +196,42 @@ func (s ModelSpec) validate() error {
 				w = tensor.ConvOutputSize(w, stage[0], stage[1], stage[2]) / 2
 			}
 			if h < 1 || w < 1 {
-				return bad("CNN model %q: InputShape %v too small for the built-in CNN (needs ≥1×1 after three conv/pool stages; set Builder for a custom net)",
-					s.Name, s.InputShape)
+				return bad("InputShape", "%v too small for the built-in CNN (needs ≥1×1 after three conv/pool stages; set Builder for a custom net)", s.InputShape)
 			}
 		}
 	}
 	if s.Algo == QLearn && s.Actions <= 0 {
-		return bad("QLearn model %q: Actions = %d, need a positive action count", s.Name, s.Actions)
+		return bad("Actions", "%d, QLearn models need a positive action count", s.Actions)
 	}
 	if s.Actions < 0 {
-		return bad("model %q: Actions = %d, cannot be negative", s.Name, s.Actions)
+		return bad("Actions", "%d, cannot be negative", s.Actions)
 	}
 	if s.OutputActivation != "" && s.OutputActivation != "sigmoid" {
-		return bad("model %q: unknown output activation %q (only \"sigmoid\" or empty)", s.Name, s.OutputActivation)
+		return bad("OutputActivation", "unknown activation %q (only \"sigmoid\" or empty)", s.OutputActivation)
 	}
 	if s.LR < 0 {
-		return bad("model %q: LR = %g, learning rate cannot be negative", s.Name, s.LR)
+		return bad("LR", "%g, learning rate cannot be negative", s.LR)
 	}
 	if s.Gamma < 0 || s.Gamma > 1 {
-		return bad("model %q: Gamma = %g, discount must be in [0,1]", s.Name, s.Gamma)
+		return bad("Gamma", "%g, discount must be in [0,1]", s.Gamma)
 	}
 	if s.EpsilonDecaySteps < 0 {
-		return bad("model %q: EpsilonDecaySteps = %d, cannot be negative", s.Name, s.EpsilonDecaySteps)
+		return bad("EpsilonDecaySteps", "%d, cannot be negative", s.EpsilonDecaySteps)
 	}
 	if s.ReplayCapacity < 0 {
-		return bad("model %q: ReplayCapacity = %d, cannot be negative", s.Name, s.ReplayCapacity)
+		return bad("ReplayCapacity", "%d, cannot be negative", s.ReplayCapacity)
 	}
 	if s.BatchSize < 0 {
-		return bad("model %q: BatchSize = %d, cannot be negative", s.Name, s.BatchSize)
+		return bad("BatchSize", "%d, cannot be negative", s.BatchSize)
 	}
 	if s.TargetSyncEvery < 0 {
-		return bad("model %q: TargetSyncEvery = %d, cannot be negative", s.Name, s.TargetSyncEvery)
+		return bad("TargetSyncEvery", "%d, cannot be negative", s.TargetSyncEvery)
 	}
 	if s.LearnEvery < 0 {
-		return bad("model %q: LearnEvery = %d, cannot be negative", s.Name, s.LearnEvery)
+		return bad("LearnEvery", "%d, cannot be negative", s.LearnEvery)
 	}
 	if s.Workers < 0 {
-		return bad("model %q: Workers = %d, cannot be negative", s.Name, s.Workers)
+		return bad("Workers", "%d, cannot be negative", s.Workers)
 	}
 	return nil
 }

@@ -38,6 +38,26 @@ var DefSizeBuckets = []float64{
 	256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
 }
 
+// ExpBuckets builds n exponential histogram bounds: start, start*factor,
+// start*factor², … — the layout for count-shaped distributions with a
+// known geometric range (e.g. the serving layer's batch sizes, 1…2^k).
+// n < 1 returns nil (the default layout); factor ≤ 1 is clamped to 2.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 {
+		return nil
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 // Counter is a monotonically increasing uint64 metric. The zero method
 // set on a nil *Counter is a no-op, which is the disabled fast path.
 type Counter struct {

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+)
+
+// batchCall is one request's slot in the batching queue. The submitter
+// blocks on done; the collector fills out/err and closes it.
+type batchCall struct {
+	ctx  context.Context
+	in   []float64
+	out  []float64
+	err  error
+	enq  time.Time
+	done chan struct{}
+}
+
+// batcher is the dynamic micro-batcher for one served model. Window
+// semantics (DESIGN.md §5d): the first request to arrive at an idle
+// batcher opens a batching window of maxDelay; the batch dispatches
+// when the window closes or the batch reaches maxBatch, whichever comes
+// first. A lone request therefore waits up to maxDelay — the price of
+// coalescing — while a saturated queue dispatches full batches back to
+// back with no added latency. Backpressure is a bounded queue: submit
+// on a full queue fails immediately with auerr.ErrOverloaded rather
+// than queuing unboundedly.
+type batcher struct {
+	model    *servedModel
+	queue    chan *batchCall
+	maxBatch int
+	maxDelay time.Duration
+	met      *metricsSet
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	closed  atomic.Bool
+}
+
+func newBatcher(m *servedModel, maxBatch int, maxDelay time.Duration, depth int, met *metricsSet) *batcher {
+	b := &batcher{
+		model:    m,
+		queue:    make(chan *batchCall, depth),
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		met:      met,
+		stop:     make(chan struct{}),
+	}
+	b.stopped.Add(1)
+	go b.loop()
+	return b
+}
+
+// depth reports the live queue occupancy (the queue-depth gauge).
+func (b *batcher) depth() int { return len(b.queue) }
+
+// submit enqueues one request and blocks until its batch executes or
+// ctx is done. A full queue rejects immediately with ErrOverloaded (the
+// HTTP surface turns that into 429); a canceled caller stops waiting —
+// the collector may still compute the batch, but the result is
+// discarded.
+func (b *batcher) submit(ctx context.Context, in []float64) ([]float64, error) {
+	if b.closed.Load() {
+		return nil, auerr.E(auerr.ErrUnknownModel, "serve: model %q is shutting down", b.model.name)
+	}
+	c := &batchCall{ctx: ctx, in: in, enq: time.Now(), done: make(chan struct{})}
+	select {
+	case b.queue <- c:
+	default:
+		b.met.overloaded()
+		return nil, auerr.E(auerr.ErrOverloaded, "serve: model %q queue full (%d waiting)",
+			b.model.name, cap(b.queue))
+	}
+	select {
+	case <-c.done:
+		return c.out, c.err
+	case <-ctx.Done():
+		return nil, auerr.Canceled(ctx)
+	}
+}
+
+// close stops the collector and fails whatever was still queued. Safe
+// to call once; submit refuses new work afterwards.
+func (b *batcher) close() {
+	if b.closed.Swap(true) {
+		return
+	}
+	close(b.stop)
+	b.stopped.Wait()
+	for {
+		select {
+		case c := <-b.queue:
+			c.err = auerr.E(auerr.ErrUnknownModel, "serve: model %q is shutting down", b.model.name)
+			close(c.done)
+		default:
+			return
+		}
+	}
+}
+
+// loop is the collector goroutine: block for the window-opening
+// request, fill the batch until maxBatch or the window deadline, then
+// execute and fan the results back out.
+func (b *batcher) loop() {
+	defer b.stopped.Done()
+	for {
+		var first *batchCall
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			return
+		}
+		batch := append(make([]*batchCall, 0, b.maxBatch), first)
+		timer := time.NewTimer(b.maxDelay)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case c := <-b.queue:
+				batch = append(batch, c)
+			case <-timer.C:
+				break fill
+			case <-b.stop:
+				timer.Stop()
+				b.execute(batch)
+				return
+			}
+		}
+		timer.Stop()
+		b.execute(batch)
+	}
+}
+
+// execute runs one coalesced batch on the engine current at dispatch
+// time. Requests whose context died in the queue, or whose input does
+// not match the engine's snapshot, fail individually; the survivors run
+// as one minibatch on the replica pool. A panic escaping the kernels is
+// recovered here and surfaced as ErrInvariant on every member — one
+// poisoned batch must not take down the collector.
+func (b *batcher) execute(batch []*batchCall) {
+	eng := b.model.eng.Load()
+	now := time.Now()
+	waits := make([]float64, len(batch))
+	for i, c := range batch {
+		waits[i] = now.Sub(c.enq).Seconds()
+	}
+	b.met.observeBatch(len(batch), waits)
+
+	live := batch[:0]
+	for _, c := range batch {
+		switch {
+		case c.ctx != nil && c.ctx.Err() != nil:
+			c.err = auerr.Canceled(c.ctx)
+			close(c.done)
+		case eng.checkInput(c.in) != nil:
+			c.err = eng.checkInput(c.in)
+			close(c.done)
+		default:
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	ins := make([][]float64, len(live))
+	for i, c := range live {
+		ins[i] = c.in
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err := auerr.FromPanic(r)
+				for _, c := range live {
+					c.err = err
+				}
+			}
+		}()
+		outs := eng.predictBatch(ins)
+		for i, c := range live {
+			c.out = outs[i]
+		}
+	}()
+	for _, c := range live {
+		close(c.done)
+	}
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/db"
+)
+
+// Client is the remote counterpart of the in-process Runtime's query
+// path: it implements the root package's Querier interface, so a host
+// program written against Querier switches between embedded and remote
+// inference with one constructor change.
+//
+// The database store π lives client-side: Extract, Serialize and
+// WriteBack are local, exactly as cheap as in-process, and only the
+// model queries (NN, NNRL, Predict — the calls that dominate end-to-end
+// cost) cross the network, where the server's micro-batcher coalesces
+// them with other clients' traffic. The served models are TS-mode
+// snapshots, so the training-side behaviours of the primitives (online
+// gradient steps in Train-mode NN, DQN updates in NNRL) do not apply:
+// NNRL's reward/terminal arguments are accepted for signature parity
+// and ignored, matching the TEST rule.
+//
+// Server-reported failures preserve the typed-error contract: the
+// error class travels in the response body and is rebuilt into the
+// same auerr sentinel, so errors.Is dispatch works identically against
+// a Runtime or a Client.
+type Client struct {
+	base   string
+	hc     *http.Client
+	store  *db.Store
+	binary bool
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, test
+// doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithJSONPredict disables the length-prefixed binary fast path and
+// sends Predict traffic as JSON (useful through proxies that insist on
+// inspecting bodies).
+func WithJSONPredict() ClientOption {
+	return func(c *Client) { c.binary = false }
+}
+
+// NewClient returns a Client talking to an auserve (or embedded
+// serve.Server) at baseURL, e.g. "http://127.0.0.1:8080".
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	c := &Client{base: baseURL, hc: http.DefaultClient, store: db.New(), binary: true}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// DB exposes the client-side database store π (read access for
+// harnesses and tests, mirroring Runtime.DB).
+func (c *Client) DB() *db.Store { return c.store }
+
+// live mirrors the runtime's entry-point cancellation check.
+func live(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return auerr.Canceled(ctx)
+	}
+	return nil
+}
+
+// ---- local primitives (the π side) ----
+
+// ExtractCtx is au_extract against the client-side store.
+func (c *Client) ExtractCtx(ctx context.Context, name string, vals ...float64) error {
+	if err := live(ctx); err != nil {
+		return err
+	}
+	c.store.Append(name, vals...)
+	return nil
+}
+
+// Extract is ExtractCtx with context.Background().
+func (c *Client) Extract(name string, vals ...float64) {
+	_ = c.ExtractCtx(context.Background(), name, vals...)
+}
+
+// SerializeCtx is au_serialize against the client-side store, with the
+// runtime's consuming semantics (constituent lists are reset).
+func (c *Client) SerializeCtx(ctx context.Context, names ...string) (string, error) {
+	if err := live(ctx); err != nil {
+		return "", err
+	}
+	key := c.store.Concat(names...)
+	for _, n := range names {
+		c.store.Reset(n)
+	}
+	return key, nil
+}
+
+// Serialize is SerializeCtx with context.Background().
+func (c *Client) Serialize(names ...string) string {
+	key, _ := c.SerializeCtx(context.Background(), names...)
+	return key
+}
+
+// WriteBackCtx is au_write_back from the client-side store.
+func (c *Client) WriteBackCtx(ctx context.Context, name string, dst []float64) (int, error) {
+	if err := live(ctx); err != nil {
+		return 0, err
+	}
+	vals, ok := c.store.Get(name)
+	if !ok {
+		return 0, auerr.E(auerr.ErrMissingInput, "serve: au_write_back of unbound name %q", name)
+	}
+	return copy(dst, vals), nil
+}
+
+// WriteBack is WriteBackCtx with context.Background().
+func (c *Client) WriteBack(name string, dst []float64) (int, error) {
+	return c.WriteBackCtx(context.Background(), name, dst)
+}
+
+// WriteBackActionCtx is the discrete-action write-back.
+func (c *Client) WriteBackActionCtx(ctx context.Context, name string) (int, error) {
+	var v [1]float64
+	n, err := c.WriteBackCtx(ctx, name, v[:])
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, auerr.E(auerr.ErrMissingInput, "serve: au_write_back of empty binding %q", name)
+	}
+	return int(v[0] + 0.5), nil
+}
+
+// WriteBackAction is WriteBackActionCtx with context.Background().
+func (c *Client) WriteBackAction(name string) (int, error) {
+	return c.WriteBackActionCtx(context.Background(), name)
+}
+
+// ---- remote primitives (the θ side) ----
+
+// PredictCtx runs one forward pass on the server; concurrent callers
+// across all clients coalesce into server-side minibatches. Results are
+// bit-identical to the embedded Runtime.PredictCtx on the same
+// snapshot.
+func (c *Client) PredictCtx(ctx context.Context, mdName string, in []float64) ([]float64, error) {
+	if err := live(ctx); err != nil {
+		return nil, err
+	}
+	if c.binary {
+		return c.predictBinary(ctx, mdName, in)
+	}
+	var resp PredictResponse
+	if err := c.postJSON(ctx, "/v1/predict", PredictRequest{Model: mdName, Input: in}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Output, nil
+}
+
+// Predict is PredictCtx with context.Background().
+func (c *Client) Predict(mdName string, in []float64) ([]float64, error) {
+	return c.PredictCtx(context.Background(), mdName, in)
+}
+
+// NNCtx is the supervised au_NN against a remote model: read the input
+// list from the local store, predict remotely, bind the output chunks
+// to the write-back names, reset the input (the TEST rule; serving is
+// TS-mode, so no gradient step).
+func (c *Client) NNCtx(ctx context.Context, mdName, extName string, wbNames ...string) error {
+	if err := live(ctx); err != nil {
+		return err
+	}
+	if len(wbNames) == 0 {
+		return auerr.E(auerr.ErrSpecInvalid, "serve: au_NN needs at least one write-back name")
+	}
+	in, ok := c.store.Get(extName)
+	if !ok || len(in) == 0 {
+		return auerr.E(auerr.ErrMissingInput, "serve: au_NN input %q is empty; call au_extract first", extName)
+	}
+	out, err := c.PredictCtx(ctx, mdName, in)
+	if err != nil {
+		return err
+	}
+	if len(out)%len(wbNames) != 0 {
+		return auerr.E(auerr.ErrSpecInvalid, "serve: model %q output size %d not divisible across %d write-back names",
+			mdName, len(out), len(wbNames))
+	}
+	chunk := len(out) / len(wbNames)
+	for i, wb := range wbNames {
+		c.store.Put(wb, out[i*chunk:(i+1)*chunk])
+	}
+	c.store.Reset(extName)
+	return nil
+}
+
+// NN is NNCtx with context.Background().
+func (c *Client) NN(mdName, extName string, wbNames ...string) error {
+	return c.NNCtx(context.Background(), mdName, extName, wbNames...)
+}
+
+// NNRLCtx is the RL au_NN against a remote model: the greedy (TS-mode)
+// action for the state in the local store. reward and terminal are
+// accepted for Querier parity and ignored — served snapshots do not
+// learn online.
+func (c *Client) NNRLCtx(ctx context.Context, mdName, extName string, reward float64, terminal bool, wbName string) error {
+	_ = reward
+	_ = terminal
+	if err := live(ctx); err != nil {
+		return err
+	}
+	state, ok := c.store.Get(extName)
+	if !ok || len(state) == 0 {
+		return auerr.E(auerr.ErrMissingInput, "serve: au_NN input %q is empty; call au_extract first", extName)
+	}
+	var resp ActResponse
+	if err := c.postJSON(ctx, "/v1/act", ActRequest{Model: mdName, State: state}, &resp); err != nil {
+		return err
+	}
+	c.store.Put(wbName, []float64{float64(resp.Action)})
+	c.store.Reset(extName)
+	return nil
+}
+
+// NNRL is NNRLCtx with context.Background().
+func (c *Client) NNRL(mdName, extName string, reward float64, terminal bool, wbName string) error {
+	return c.NNRLCtx(context.Background(), mdName, extName, reward, terminal, wbName)
+}
+
+// Models lists the models the server is currently serving.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, c.transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp)
+	}
+	var out []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decode models response: %w", err)
+	}
+	return out, nil
+}
+
+// Reload asks the server to hot-reload one model from its snapshot
+// source (data nil) or from the given SaveModel image. It returns the
+// new version.
+func (c *Client) Reload(ctx context.Context, mdName string, data []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/models/"+mdName+"/reload", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, c.transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, errorFromResponse(resp)
+	}
+	var ack ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return 0, fmt.Errorf("serve: decode reload response: %w", err)
+	}
+	return ack.Version, nil
+}
+
+// ---- transport plumbing ----
+
+func (c *Client) predictBinary(ctx context.Context, mdName string, in []float64) ([]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/predict", bytes.NewReader(encodePredictFrame(mdName, in)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", BinaryContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, c.transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp)
+	}
+	out, err := readVector(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return c.transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errorFromResponse(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// transportError keeps the cancellation contract across the network: a
+// request that died because the caller's context did reports the same
+// typed ErrCanceled an in-process primitive would.
+func (c *Client) transportError(ctx context.Context, err error) error {
+	if ctx != nil && ctx.Err() != nil {
+		return auerr.Canceled(ctx)
+	}
+	return fmt.Errorf("serve: request failed: %w", err)
+}
+
+// errorFromResponse rebuilds the typed error from the uniform error
+// body: the class field round-trips to its auerr sentinel, so
+// errors.Is works on remote failures exactly as on local ones.
+func errorFromResponse(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er errorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		if sentinel := auerr.FromClass(er.Class); sentinel != nil {
+			return fmt.Errorf("%w: %s", sentinel, er.Error)
+		}
+		return fmt.Errorf("serve: server error (HTTP %d): %s", resp.StatusCode, er.Error)
+	}
+	return fmt.Errorf("serve: server error (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(body))
+}

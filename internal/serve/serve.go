@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/core"
+	"github.com/autonomizer/autonomizer/internal/obs"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// Config tunes a Server. The zero value selects the documented
+// defaults, so NewServer(Config{}) is a working batching server.
+type Config struct {
+	// MaxBatch caps how many requests one batch coalesces (default 32).
+	MaxBatch int
+	// MaxDelay is the batching window: how long the first request of a
+	// batch waits for company before dispatch (default 2ms). Lower it
+	// for latency-sensitive single-stream callers; raise it to fatten
+	// batches under bursty load.
+	MaxDelay time.Duration
+	// QueueDepth bounds each model's request queue; a full queue sheds
+	// load with ErrOverloaded/429 (default 256).
+	QueueDepth int
+	// Replicas sets each model's predictor-replica pool size — the
+	// intra-batch parallelism (default: the parallel engine's width).
+	Replicas int
+	// Source, when set, serves empty-body POST /models/{name}/reload by
+	// pulling the fresh snapshot from here (e.g. a FileSource).
+	Source Source
+	// Registry overrides the metrics registry (default obs.Default();
+	// nil default means telemetry off, the usual zero-cost posture).
+	Registry *obs.Registry
+	// Logger overrides the structured logger (default obs.Logger()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Logger()
+	}
+	return c
+}
+
+// servedModel is one model's serving state: the atomically swappable
+// engine (the live snapshot) and the micro-batcher feeding it.
+type servedModel struct {
+	name string
+	eng  atomic.Pointer[engine]
+	b    *batcher
+}
+
+// Server is the network inference service: it exposes the query-side
+// primitives of the runtime over HTTP, coalescing concurrent Predict
+// traffic into minibatches per model. Construct with NewServer, install
+// models with Install (or LoadSnapshot), mount Handler on any mux.
+//
+// Endpoints:
+//
+//	POST /v1/predict            one forward pass (JSON, or the binary fast path)
+//	POST /v1/act                greedy action of a QLearn model (remote RL au_NN)
+//	GET  /v1/models             served models with versions and sizes
+//	POST /models/{name}/reload  atomic hot reload (body = SaveModel image, or empty to pull from Source)
+//	GET  /healthz               liveness
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	met *metricsSet
+
+	mu     sync.RWMutex
+	models map[string]*servedModel
+	closed bool
+}
+
+// NewServer builds a Server with no models installed.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		log:    cfg.Logger.With("component", "serve"),
+		met:    newMetricsSet(cfg.Registry),
+		models: make(map[string]*servedModel),
+	}
+}
+
+// Install makes a model servable (or hot-reloads it): spec describes
+// the network family, data is a SaveModel image. On an existing name
+// the fresh engine is built off to the side and swapped in atomically —
+// in-flight batches finish on the old snapshot, the next dispatch sees
+// the new one, and the version counter increments. It returns the live
+// version.
+func (s *Server) Install(name string, spec core.ModelSpec, data []byte) (int, error) {
+	if name == "" {
+		return 0, auerr.E(auerr.ErrSpecInvalid, "serve: model name must be non-empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("serve: server is closed")
+	}
+	version := 1
+	if m, ok := s.models[name]; ok {
+		version = m.eng.Load().version + 1
+	}
+	eng, err := buildEngine(name, spec, data, version, s.cfg.Replicas)
+	if err != nil {
+		return 0, err
+	}
+	m, ok := s.models[name]
+	if !ok {
+		m = &servedModel{name: name}
+		m.eng.Store(eng)
+		m.b = newBatcher(m, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth, s.met)
+		s.models[name] = m
+		s.met.queueDepth(name, func() float64 { return float64(m.b.depth()) })
+	} else {
+		m.eng.Store(eng)
+	}
+	s.met.modelVersion(name, version)
+	s.log.Info("model installed", "model", name, "version", version,
+		"in", eng.inSize, "out", eng.outSize, "replicas", eng.replicas)
+	return version, nil
+}
+
+// LoadSnapshot installs every model of a snapshot image and reports how
+// many were installed.
+func (s *Server) LoadSnapshot(r io.Reader) (int, error) {
+	models, err := ReadSnapshot(r)
+	if err != nil {
+		return 0, err
+	}
+	for i, m := range models {
+		if _, err := s.Install(m.Name, m.Spec, m.Data); err != nil {
+			return i, err
+		}
+	}
+	return len(models), nil
+}
+
+// Close stops every batcher and refuses further work. In-flight batches
+// complete; queued requests fail.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	models := make([]*servedModel, 0, len(s.models))
+	for _, m := range s.models {
+		models = append(models, m)
+	}
+	s.mu.Unlock()
+	for _, m := range models {
+		m.b.close()
+	}
+}
+
+// model looks a served model up by name.
+func (s *Server) model(name string) (*servedModel, bool) {
+	s.mu.RLock()
+	m, ok := s.models[name]
+	s.mu.RUnlock()
+	return m, ok
+}
+
+// Models lists served models sorted by name.
+func (s *Server) Models() []ModelInfo {
+	s.mu.RLock()
+	out := make([]ModelInfo, 0, len(s.models))
+	for _, m := range s.models {
+		e := m.eng.Load()
+		out = append(out, ModelInfo{Name: m.name, Version: e.version, InSize: e.inSize, OutSize: e.outSize})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Handler returns the HTTP surface. Mount it on any mux; auserve serves
+// it next to the obs telemetry endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/act", s.handleAct)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /models/{name}/reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// writeJSON writes a 200 JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		obs.Logger().Error("serve: response encode failed", "err", err)
+	}
+}
+
+// writeError renders the uniform error body with the auerr class, at
+// the status statusFor picks.
+func writeError(w http.ResponseWriter, err error) int {
+	code := statusFor(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Class: auerr.Class(err)})
+	return code
+}
+
+// submit resolves the model and runs one input through its batcher.
+func (s *Server) submit(ctx context.Context, model string, in []float64) ([]float64, error) {
+	m, ok := s.model(model)
+	if !ok {
+		return nil, auerr.E(auerr.ErrUnknownModel, "serve: unknown model %q", model)
+	}
+	return m.b.submit(ctx, in)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	tm := s.met.timer("predict")
+	ctx, sp := obs.StartSpan(r.Context(), "serve.predict")
+	code := http.StatusOK
+	var spanErr error
+	defer func() { sp.End(spanErr); s.met.request("predict", code, tm) }()
+
+	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), BinaryContentType)
+	var (
+		model string
+		in    []float64
+	)
+	if binaryReq {
+		var err error
+		model, in, err = decodePredictFrame(r.Body)
+		if err != nil {
+			spanErr = auerr.E(auerr.ErrSpecInvalid, "serve: bad binary frame: %v", err)
+			code = writeError(w, spanErr)
+			return
+		}
+	} else {
+		var req PredictRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxJSONBody)).Decode(&req); err != nil {
+			spanErr = auerr.E(auerr.ErrSpecInvalid, "serve: bad predict request: %v", err)
+			code = writeError(w, spanErr)
+			return
+		}
+		model, in = req.Model, req.Input
+	}
+	out, err := s.submit(ctx, model, in)
+	if err != nil {
+		spanErr = err
+		code = writeError(w, err)
+		return
+	}
+	if binaryReq {
+		w.Header().Set("Content-Type", BinaryContentType)
+		if _, err := w.Write(appendVector(nil, out)); err != nil {
+			s.log.Debug("predict response write failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, PredictResponse{Output: out})
+}
+
+func (s *Server) handleAct(w http.ResponseWriter, r *http.Request) {
+	tm := s.met.timer("act")
+	ctx, sp := obs.StartSpan(r.Context(), "serve.act")
+	code := http.StatusOK
+	var spanErr error
+	defer func() { sp.End(spanErr); s.met.request("act", code, tm) }()
+
+	var req ActRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxJSONBody)).Decode(&req); err != nil {
+		spanErr = auerr.E(auerr.ErrSpecInvalid, "serve: bad act request: %v", err)
+		code = writeError(w, spanErr)
+		return
+	}
+	q, err := s.submit(ctx, req.Model, req.State)
+	if err != nil {
+		spanErr = err
+		code = writeError(w, err)
+		return
+	}
+	// Greedy argmax over the Q-vector — the TS-mode rl.Agent.Act path,
+	// so remote NNRL picks exactly the action the embedded runtime would.
+	writeJSON(w, ActResponse{Action: stats.ArgMax(q)})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	tm := s.met.timer("models")
+	defer s.met.request("models", http.StatusOK, tm)
+	writeJSON(w, s.Models())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	tm := s.met.timer("reload")
+	_, sp := obs.StartSpan(r.Context(), "serve.reload")
+	code := http.StatusOK
+	var spanErr error
+	defer func() { sp.End(spanErr); s.met.request("reload", code, tm) }()
+
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxJSONBody))
+	if err != nil {
+		spanErr = fmt.Errorf("serve: read reload body: %w", err)
+		code = writeError(w, spanErr)
+		return
+	}
+	var spec core.ModelSpec
+	data := body
+	switch {
+	case len(body) > 0:
+		// Raw SaveModel image: keep the spec the live engine serves with.
+		m, ok := s.model(name)
+		if !ok {
+			spanErr = auerr.E(auerr.ErrUnknownModel,
+				"serve: cannot reload unknown model %q from raw weights (no spec on file)", name)
+			code = writeError(w, spanErr)
+			return
+		}
+		spec = m.eng.Load().spec
+	case s.cfg.Source != nil:
+		spec, data, err = s.cfg.Source.Snapshot(name)
+		if err != nil {
+			spanErr = err
+			code = writeError(w, err)
+			return
+		}
+	default:
+		spanErr = auerr.E(auerr.ErrSpecInvalid,
+			"serve: reload of %q needs a weight image in the body (no snapshot source configured)", name)
+		code = writeError(w, spanErr)
+		return
+	}
+	version, err := s.Install(name, spec, data)
+	if err != nil {
+		if errors.Is(err, auerr.ErrCorruptModel) || errors.Is(err, auerr.ErrCorruptStore) {
+			err = auerr.E(auerr.ErrSpecInvalid, "serve: reload of %q rejected: %v", name, err)
+		}
+		spanErr = err
+		code = writeError(w, err)
+		return
+	}
+	writeJSON(w, ReloadResponse{Model: name, Version: version})
+}

@@ -1,0 +1,464 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/core"
+	"github.com/autonomizer/autonomizer/internal/stats"
+)
+
+// trainModel fits a small deterministic supervised model and returns
+// its serving spec, SaveModel image, and a Test-mode reference runtime
+// for in-process ground-truth predictions.
+func trainModel(t testing.TB, seed uint64) (core.ModelSpec, []byte, *core.Runtime) {
+	t.Helper()
+	spec := core.ModelSpec{Name: "m", Algo: core.AdamOpt, Hidden: []int{6}, LR: 0.01}
+	tr := core.NewRuntimeWith(core.Train, core.WithSeed(seed), core.WithMetrics(nil))
+	if err := tr.ConfigCtx(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(seed + 1)
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if err := tr.RecordExample("m", x, []float64{x[0] - x[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.FitCtx(context.Background(), "m", 5, 16); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.SaveModel("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewRuntimeWith(core.Test, core.WithMetrics(nil))
+	ref.LoadModel("m", data)
+	if err := ref.ConfigCtx(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	return spec, data, ref
+}
+
+// newTestServer installs the model on a batching server behind an
+// httptest listener and returns the server and its base URL.
+func newTestServer(t testing.TB, cfg Config, spec core.ModelSpec, data []byte) (*Server, string) {
+	t.Helper()
+	srv := NewServer(cfg)
+	if _, err := srv.Install("m", spec, data); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts.URL
+}
+
+// TestBatchedEquivalence is the core serving guarantee: predictions
+// through the batching server are bit-identical to the in-process
+// runtime, at every concurrency width — batch composition must never
+// leak into results. Run under -race in CI.
+func TestBatchedEquivalence(t *testing.T) {
+	spec, data, ref := trainModel(t, 21)
+	_, url := newTestServer(t, Config{MaxBatch: 8, MaxDelay: time.Millisecond}, spec, data)
+
+	const perClient = 25
+	for _, width := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("width%d", width), func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan error, width)
+			for w := 0; w < width; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cli := NewClient(url)
+					rng := stats.NewRNG(uint64(1000 + w))
+					for i := 0; i < perClient; i++ {
+						in := []float64{rng.Float64(), rng.Float64()}
+						want, err := ref.PredictCtx(context.Background(), "m", in)
+						if err != nil {
+							errs <- err
+							return
+						}
+						got, err := cli.PredictCtx(context.Background(), "m", in)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if len(got) != len(want) || got[0] != want[0] {
+							errs <- fmt.Errorf("width %d: batched %v != in-process %v for %v", width, got, want, in)
+							return
+						}
+					}
+					errs <- nil
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryJSONParity pins the two predict encodings to each other.
+func TestBinaryJSONParity(t *testing.T) {
+	spec, data, _ := trainModel(t, 22)
+	_, url := newTestServer(t, Config{}, spec, data)
+
+	binCli := NewClient(url)
+	jsonCli := NewClient(url, WithJSONPredict())
+	in := []float64{0.25, 0.75}
+	a, err := binCli.Predict("m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := jsonCli.Predict("m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Fatalf("binary %v != json %v", a, b)
+	}
+}
+
+// TestWindowSemantics pins the batching window behavior of DESIGN.md
+// §5d: a lone request pays up to MaxDelay waiting for company; a full
+// batch dispatches without waiting out the window.
+func TestWindowSemantics(t *testing.T) {
+	const window = 300 * time.Millisecond
+	spec, data, _ := trainModel(t, 23)
+	_, url := newTestServer(t, Config{MaxBatch: 4, MaxDelay: window}, spec, data)
+	cli := NewClient(url)
+
+	start := time.Now()
+	if _, err := cli.Predict("m", []float64{0.1, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if lone := time.Since(start); lone < window*8/10 {
+		t.Errorf("lone request returned in %v; want it to wait out the %v window", lone, window)
+	}
+
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cli.Predict("m", []float64{0.3, 0.4}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if full := time.Since(start); full >= window {
+		t.Errorf("full batch took %v; want dispatch before the %v window closes", full, window)
+	}
+}
+
+// TestHotReloadKeepsServing swaps model versions while clients hammer
+// predict: no request may fail, and every answer must match one of the
+// two snapshots exactly — never a blend.
+func TestHotReloadKeepsServing(t *testing.T) {
+	spec, data1, ref1 := trainModel(t, 24)
+	_, data2, ref2 := trainModel(t, 99)
+	srv, url := newTestServer(t, Config{MaxBatch: 8, MaxDelay: time.Millisecond}, spec, data1)
+
+	in := []float64{0.6, 0.3}
+	want1, err := ref1.PredictCtx(context.Background(), "m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := ref2.PredictCtx(context.Background(), "m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want1[0] == want2[0] {
+		t.Fatal("test needs distinguishable snapshots")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli := NewClient(url)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := cli.Predict("m", in)
+				if err != nil {
+					t.Errorf("predict during reload: %v", err)
+					return
+				}
+				if out[0] != want1[0] && out[0] != want2[0] {
+					t.Errorf("blended output %v; want %v or %v", out, want1, want2)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		d := data1
+		if i%2 == 0 {
+			d = data2
+		}
+		if _, err := srv.Install("m", spec, d); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if v := srv.Models()[0].Version; v != 11 {
+		t.Errorf("version after 10 reloads = %d, want 11", v)
+	}
+}
+
+// TestReloadEndpoint drives the HTTP reload path: raw weights bump the
+// version, unknown models 404, garbage is a classed 400.
+func TestReloadEndpoint(t *testing.T) {
+	spec, data1, _ := trainModel(t, 25)
+	_, data2, ref2 := trainModel(t, 26)
+	_, url := newTestServer(t, Config{}, spec, data1)
+	cli := NewClient(url)
+
+	v, err := cli.Reload(context.Background(), "m", data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Errorf("reload version = %d, want 2", v)
+	}
+	in := []float64{0.2, 0.9}
+	want, err := ref2.PredictCtx(context.Background(), "m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Predict("m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] {
+		t.Errorf("post-reload predict %v, want snapshot-2 output %v", got, want)
+	}
+
+	if _, err := cli.Reload(context.Background(), "ghost", data2); !errors.Is(err, auerr.ErrUnknownModel) {
+		t.Errorf("reload of unknown model: %v, want ErrUnknownModel", err)
+	}
+	if _, err := cli.Reload(context.Background(), "m", []byte("garbage")); !errors.Is(err, auerr.ErrSpecInvalid) {
+		t.Errorf("reload with garbage: %v, want ErrSpecInvalid", err)
+	}
+}
+
+// TestClientQuerierFlow exercises the primitive loop through a Client:
+// extract → serialize → NN → write-back, and the RL act path, against
+// the in-process reference.
+func TestClientQuerierFlow(t *testing.T) {
+	spec, data, ref := trainModel(t, 27)
+	_, url := newTestServer(t, Config{}, spec, data)
+	cli := NewClient(url)
+	ctx := context.Background()
+
+	cli.Extract("X", 0.4)
+	if err := cli.ExtractCtx(ctx, "Y", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	key, err := cli.SerializeCtx(ctx, "X", "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.NNCtx(ctx, "m", key, "OUT"); err != nil {
+		t.Fatal(err)
+	}
+	var out [1]float64
+	if _, err := cli.WriteBackCtx(ctx, "OUT", out[:]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.PredictCtx(ctx, "m", []float64{0.4, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != want[0] {
+		t.Errorf("client NN flow output %v, want %v", out[0], want[0])
+	}
+
+	// NN with a consumed (empty) input is the usual typed error.
+	if err := cli.NNCtx(ctx, "m", key, "OUT"); !errors.Is(err, auerr.ErrMissingInput) {
+		t.Errorf("NN on consumed input: %v, want ErrMissingInput", err)
+	}
+
+	// The RL flow binds the greedy argmax of the model output.
+	cli.Extract("S1", 0.9)
+	cli.Extract("S2", 0.2)
+	skey, _ := cli.SerializeCtx(ctx, "S1", "S2")
+	if err := cli.NNRLCtx(ctx, "m", skey, 0, false, "ACT"); err != nil {
+		t.Fatal(err)
+	}
+	action, err := cli.WriteBackActionCtx(ctx, "ACT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ref.PredictCtx(ctx, "m", []float64{0.9, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != stats.ArgMax(q) {
+		t.Errorf("remote action %d, want argmax %d of %v", action, stats.ArgMax(q), q)
+	}
+
+	// Typed errors round-trip the wire.
+	if _, err := cli.Predict("ghost", []float64{1, 2}); !errors.Is(err, auerr.ErrUnknownModel) {
+		t.Errorf("remote unknown model: %v, want ErrUnknownModel", err)
+	}
+	if _, err := cli.Predict("m", []float64{1}); !errors.Is(err, auerr.ErrSpecInvalid) {
+		t.Errorf("remote wrong-size input: %v, want ErrSpecInvalid", err)
+	}
+}
+
+// TestClientCancellation pins the context contract across the network:
+// a canceled caller gets the same typed ErrCanceled as in-process.
+func TestClientCancellation(t *testing.T) {
+	spec, data, _ := trainModel(t, 28)
+	_, url := newTestServer(t, Config{MaxBatch: 64, MaxDelay: time.Second}, spec, data)
+	cli := NewClient(url)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// The lone request sits in a 1s batching window; the 20ms deadline
+	// fires first.
+	if _, err := cli.PredictCtx(ctx, "m", []float64{0.1, 0.2}); !errors.Is(err, auerr.ErrCanceled) {
+		t.Errorf("deadline during batching window: %v, want ErrCanceled", err)
+	}
+
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if err := cli.ExtractCtx(canceled, "X", 1); !errors.Is(err, auerr.ErrCanceled) {
+		t.Errorf("local primitive with dead ctx: %v, want ErrCanceled", err)
+	}
+}
+
+// TestSubmitBackpressure pins the load-shedding contract at the batcher
+// layer: a full queue rejects immediately with ErrOverloaded, and the
+// HTTP mapping for that class is 429.
+func TestSubmitBackpressure(t *testing.T) {
+	spec, data, _ := trainModel(t, 29)
+	eng, err := buildEngine("m", spec, data, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &servedModel{name: "m"}
+	m.eng.Store(eng)
+	// No collector goroutine: the queue genuinely fills.
+	b := &batcher{
+		model: m, queue: make(chan *batchCall, 1),
+		maxBatch: 4, maxDelay: time.Second,
+		met: newMetricsSet(nil), stop: make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := b.submit(ctx, []float64{1, 2}); !errors.Is(err, auerr.ErrCanceled) {
+			t.Errorf("queued call after cancel: %v, want ErrCanceled", err)
+		}
+	}()
+	// Wait until the first call occupies the queue slot.
+	for len(b.queue) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := b.submit(context.Background(), []float64{3, 4}); !errors.Is(err, auerr.ErrOverloaded) {
+		t.Fatalf("submit on full queue: %v, want ErrOverloaded", err)
+	}
+	cancel()
+	wg.Wait()
+
+	if code := statusFor(auerr.E(auerr.ErrOverloaded, "x")); code != 429 {
+		t.Errorf("statusFor(ErrOverloaded) = %d, want 429", code)
+	}
+}
+
+// TestSnapshotRoundTrip pins the AUSN container format and its corrupt
+// handling.
+func TestSnapshotRoundTrip(t *testing.T) {
+	spec, data, _ := trainModel(t, 30)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, []SnapshotModel{{Name: "m", Spec: spec, Data: data}}); err != nil {
+		t.Fatal(err)
+	}
+	image := buf.Bytes()
+	models, err := ReadSnapshot(bytes.NewReader(image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Name != "m" || !bytes.Equal(models[0].Data, data) {
+		t.Fatalf("round trip mangled the snapshot: %+v", models)
+	}
+	if models[0].Spec.Algo != spec.Algo || len(models[0].Spec.Hidden) != len(spec.Hidden) {
+		t.Fatalf("round trip mangled the spec: %+v", models[0].Spec)
+	}
+
+	srv := NewServer(Config{})
+	defer srv.Close()
+	if n, err := srv.LoadSnapshot(bytes.NewReader(image)); err != nil || n != 1 {
+		t.Fatalf("LoadSnapshot = %d, %v", n, err)
+	}
+
+	for name, mut := range map[string][]byte{
+		"bad magic": append([]byte("NOPE"), image[4:]...),
+		"truncated": image[:len(image)-3],
+	} {
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); !errors.Is(err, auerr.ErrCorruptStore) {
+			t.Errorf("%s: %v, want ErrCorruptStore", name, err)
+		}
+	}
+}
+
+// BenchmarkServePredict measures serving throughput through the full
+// HTTP + batching stack: one sequential client (each request waits out
+// the batching window alone) versus 16 concurrent clients (requests
+// coalesce, amortizing the window across the batch). The concurrent
+// number divided by the sequential one is the batching win recorded in
+// BENCH_serve.json.
+func BenchmarkServePredict(b *testing.B) {
+	spec, data, _ := trainModel(b, 31)
+	_, url := newTestServer(b, Config{}, spec, data)
+	in := []float64{0.5, 0.25}
+
+	b.Run("single", func(b *testing.B) {
+		cli := NewClient(url)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Predict("m", in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clients16", func(b *testing.B) {
+		b.SetParallelism(16)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			cli := NewClient(url)
+			for pb.Next() {
+				if _, err := cli.Predict("m", in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,97 @@
+package autonomizer
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/serve"
+)
+
+// Querier is the query-side surface of an autonomized execution: the
+// primitives a host calls on every iteration of its decision loop
+// (au_extract → au_serialize → au_NN → au_write_back), in both their
+// plain and context-aware forms. Two implementations ship with the
+// framework:
+//
+//   - *Runtime — the embedded engine; queries run in-process.
+//   - *Client — the remote engine; Predict/NN/NNRL cross the network to
+//     an auserve instance, whose micro-batcher coalesces them with
+//     other clients' traffic, while the store-side primitives stay
+//     local.
+//
+// Hosts written against Querier switch between the two with one
+// constructor change, and both honor the same typed-error contract
+// (errors.Is against ErrUnknownModel, ErrMissingInput, ErrOverloaded,
+// ErrCanceled, ...). Train-only operations (Config, Fit, Checkpoint,
+// Restore, Save) are deliberately outside Querier: serving is TS-mode.
+type Querier interface {
+	// Extract appends feature values to the named database list
+	// (au_extract).
+	Extract(name string, vals ...float64)
+	ExtractCtx(ctx context.Context, name string, vals ...float64) error
+
+	// Serialize concatenates and consumes the named lists into one
+	// model-input binding (au_serialize).
+	Serialize(names ...string) string
+	SerializeCtx(ctx context.Context, names ...string) (string, error)
+
+	// NN runs the supervised au_NN: feed the extName binding to the
+	// model, bind the output across wbNames.
+	NN(mdName, extName string, wbNames ...string) error
+	NNCtx(ctx context.Context, mdName, extName string, wbNames ...string) error
+
+	// NNRL runs the RL au_NN: select an action for the extName state and
+	// bind it to wbName.
+	NNRL(mdName, extName string, reward float64, terminal bool, wbName string) error
+	NNRLCtx(ctx context.Context, mdName, extName string, reward float64, terminal bool, wbName string) error
+
+	// WriteBack copies a bound output into dst (au_write_back).
+	WriteBack(name string, dst []float64) (int, error)
+	WriteBackCtx(ctx context.Context, name string, dst []float64) (int, error)
+
+	// WriteBackAction reads a bound discrete action (au_write_back for
+	// RL outputs).
+	WriteBackAction(name string) (int, error)
+	WriteBackActionCtx(ctx context.Context, name string) (int, error)
+
+	// Predict runs one raw forward pass, bypassing the database store.
+	Predict(mdName string, in []float64) ([]float64, error)
+	PredictCtx(ctx context.Context, mdName string, in []float64) ([]float64, error)
+}
+
+// Both engines satisfy Querier; a signature drift in either is a
+// compile error here, not a runtime surprise.
+var (
+	_ Querier = (*Runtime)(nil)
+	_ Querier = (*Client)(nil)
+)
+
+// Client is a remote Querier talking to an auserve model server. See
+// the serve package for the wire protocol and batching contract.
+type Client = serve.Client
+
+// ClientOption configures NewClient.
+type ClientOption = serve.ClientOption
+
+// WithHTTPClient substitutes the client's HTTP transport.
+func WithHTTPClient(hc *http.Client) ClientOption { return serve.WithHTTPClient(hc) }
+
+// WithJSONPredict disables the binary Predict fast path in favor of
+// JSON bodies.
+func WithJSONPredict() ClientOption { return serve.WithJSONPredict() }
+
+// NewClient returns a Client for the auserve instance at baseURL:
+//
+//	q := autonomizer.NewClient("http://127.0.0.1:8080")
+//	q.Extract("PX", px)
+//	key, _ := q.SerializeCtx(ctx, "PX")
+//	if err := q.NNCtx(ctx, "Mario", key, "output"); err != nil { ... }
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	return serve.NewClient(baseURL, opts...)
+}
+
+// ErrOverloaded marks a query shed by a saturated server: the serving
+// queue was full and the request was rejected immediately (HTTP 429 on
+// the wire) rather than queued unboundedly. Retry with backoff.
+var ErrOverloaded = auerr.ErrOverloaded

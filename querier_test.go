@@ -1,0 +1,133 @@
+package autonomizer_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	autonomizer "github.com/autonomizer/autonomizer"
+	"github.com/autonomizer/autonomizer/internal/serve"
+)
+
+// decide is a host-program decision step written against the Querier
+// surface only: extract → serialize → NN → write-back. The whole point
+// of the interface is that this function cannot tell an embedded
+// runtime from a remote client.
+func decide(q autonomizer.Querier, x, y float64) (float64, error) {
+	q.Extract("X", x)
+	q.Extract("Y", y)
+	key, err := q.SerializeCtx(context.Background(), "X", "Y")
+	if err != nil {
+		return 0, err
+	}
+	if err := q.NNCtx(context.Background(), "m", key, "OUT"); err != nil {
+		return 0, err
+	}
+	var out [1]float64
+	if _, err := q.WriteBackCtx(context.Background(), "OUT", out[:]); err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// trainAndSave builds a tiny supervised model through the public API.
+func trainAndSave(t *testing.T) (autonomizer.ModelSpec, []byte, *autonomizer.Runtime) {
+	t.Helper()
+	spec := autonomizer.ModelSpec{Name: "m", Algo: autonomizer.AdamOpt, Hidden: []int{4}, LR: 0.01}
+	tr := autonomizer.NewRuntime(autonomizer.Train, autonomizer.WithSeed(11))
+	if err := tr.Config(spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		x := float64(i) / 60
+		if err := tr.RecordExample("m", []float64{x, 1 - x}, []float64{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Fit("m", 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.SaveModel("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := autonomizer.NewRuntime(autonomizer.Test, autonomizer.WithSeed(12))
+	ts.LoadModel("m", data)
+	if err := ts.Config(spec); err != nil {
+		t.Fatal(err)
+	}
+	return spec, data, ts
+}
+
+// TestQuerierEmbeddedAndRemote runs the same Querier-shaped host step
+// against both implementations and demands identical answers.
+func TestQuerierEmbeddedAndRemote(t *testing.T) {
+	spec, data, embedded := trainAndSave(t)
+
+	srv := serve.NewServer(serve.Config{})
+	defer srv.Close()
+	if _, err := srv.Install("m", spec, data); err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(srv.Handler())
+	defer web.Close()
+	remote := autonomizer.NewClient(web.URL)
+
+	for _, pt := range [][2]float64{{0.1, 0.9}, {0.5, 0.5}, {0.8, 0.3}} {
+		a, err := decide(embedded, pt[0], pt[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := decide(remote, pt[0], pt[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("decide(%v) embedded=%v remote=%v", pt, a, b)
+		}
+	}
+
+	// The typed-error contract holds for both implementations.
+	for name, q := range map[string]autonomizer.Querier{"embedded": embedded, "remote": remote} {
+		if _, err := q.Predict("ghost", []float64{1, 2}); !errors.Is(err, autonomizer.ErrUnknownModel) {
+			t.Errorf("%s: Predict on unknown model: %v, want ErrUnknownModel", name, err)
+		}
+	}
+}
+
+// TestRootOptions pins the re-exported functional options: seeds drive
+// determinism and WithMetrics(nil) detaches a runtime from telemetry.
+func TestRootOptions(t *testing.T) {
+	mk := func(opts ...autonomizer.Option) float64 {
+		rt := autonomizer.NewRuntime(autonomizer.Train, opts...)
+		spec := autonomizer.ModelSpec{Name: "m", Algo: autonomizer.AdamOpt, Hidden: []int{3}, LR: 0.05}
+		if err := rt.Config(spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			x := float64(i) / 30
+			if err := rt.RecordExample("m", []float64{x}, []float64{1 - x}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rt.Fit("m", 2, 8); err != nil {
+			t.Fatal(err)
+		}
+		out, err := rt.Predict("m", []float64{0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0]
+	}
+	if a, b := mk(autonomizer.WithSeed(5)), mk(autonomizer.WithSeed(5)); a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+	if a, b := mk(autonomizer.WithSeed(5)), mk(autonomizer.WithSeed(6)); a == b {
+		t.Errorf("different seeds agreed: %v", a)
+	}
+	// WithMetrics(nil) must not panic anywhere in the primitive path even
+	// with process telemetry enabled.
+	autonomizer.EnableTelemetry()
+	mk(autonomizer.WithSeed(5), autonomizer.WithMetrics(nil))
+}
