@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/nn"
+	"github.com/autonomizer/autonomizer/internal/parallel"
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// fillKernel fills t with a deterministic pseudo-random pattern (the
+// xorshift generator also used by the tensor package's tests).
+func fillKernel(t *tensor.Tensor, seed uint64) {
+	s := seed | 1
+	for i := range t.Data() {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		t.Data()[i] = float64(int64(s*0x2545F4914F6CDD1D)) / (1 << 62)
+	}
+}
+
+// benchDNN builds the reference regression model used throughout the
+// perf docs: DNN 64-[128,64]-16.
+func benchDNN() *nn.Network {
+	net := nn.NewDNN(64, []int{128, 64}, 16, stats.NewRNG(7))
+	net.UseAdam(1e-3)
+	return net
+}
+
+// benchCNN builds a small conv stack exercising im2col, the blocked
+// matmul and the transpose-free backward kernels.
+func benchCNN() *nn.Network {
+	rng := stats.NewRNG(7)
+	return nn.NewNetwork(
+		nn.NewConv2D(4, 8, 3, 3, 1, 1, rng.Split()),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2),
+		nn.NewFlatten(),
+		nn.NewDense(8*16*16, 16, rng.Split()),
+	)
+}
+
+// BenchmarkKernels is the kernel-layer benchmark suite behind
+// BENCH_kernels.json and the CI allocs gate (scripts/check_allocs.sh).
+// Sub-benchmarks:
+//
+//   - MatMulNaive/MatMulBlocked at 64/192/512: the blocked-vs-naive
+//     speedup, single-core (SetWorkers(1)) so the comparison isolates
+//     cache blocking from sharding.
+//   - Dense/Conv2D forward+backward: layer-level steady state.
+//   - NetworkForward, TrainBatch, ServedPredict: end-to-end allocs/op —
+//     NetworkForward and ServedPredict must report 0 allocs/op after
+//     warm-up; TrainBatch has a fixed small budget (see check_allocs.sh).
+func BenchmarkKernels(b *testing.B) {
+	for _, size := range []int{64, 192, 512} {
+		a, bb := tensor.New(size, size), tensor.New(size, size)
+		fillKernel(a, 1)
+		fillKernel(bb, 2)
+		dst := tensor.New(size, size)
+		b.Run(sizeName("MatMulNaive", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulNaiveInto(dst, a, bb)
+			}
+		})
+		b.Run(sizeName("MatMulBlocked", size), func(b *testing.B) {
+			defer parallel.SetWorkers(parallel.SetWorkers(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, a, bb)
+			}
+		})
+	}
+
+	b.Run("DenseForwardBackward", func(b *testing.B) {
+		rng := stats.NewRNG(7)
+		d := nn.NewDense(256, 128, rng)
+		in := tensor.New(256)
+		fillKernel(in, 3)
+		grad := tensor.New(128)
+		fillKernel(grad, 4)
+		d.Forward(in) // warm the layer caches
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Forward(in)
+			d.Backward(grad)
+		}
+	})
+
+	b.Run("Conv2DForwardBackward", func(b *testing.B) {
+		rng := stats.NewRNG(7)
+		c := nn.NewConv2D(4, 8, 3, 3, 1, 1, rng)
+		in := tensor.New(4, 32, 32)
+		fillKernel(in, 5)
+		grad := tensor.New(8, 32, 32)
+		fillKernel(grad, 6)
+		c.Forward(in)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Forward(in)
+			c.Backward(grad)
+		}
+	})
+
+	b.Run("NetworkForward", func(b *testing.B) {
+		net := benchDNN()
+		in := tensor.New(64)
+		fillKernel(in, 7)
+		net.Forward(in) // warm-up: after this, steady state is 0 allocs/op
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Forward(in)
+		}
+	})
+
+	b.Run("CNNForward", func(b *testing.B) {
+		net := benchCNN()
+		in := tensor.New(4, 32, 32)
+		fillKernel(in, 8)
+		net.Forward(in)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Forward(in)
+		}
+	})
+
+	b.Run("ServedPredict", func(b *testing.B) {
+		net := benchDNN()
+		rep, ok := net.Replica()
+		if !ok {
+			b.Fatal("DNN not replicable")
+		}
+		in := make([]float64, 64)
+		out := make([]float64, 16)
+		rep.PredictInto(out, in) // warm-up
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep.PredictInto(out, in)
+		}
+	})
+
+	b.Run("TrainBatch", func(b *testing.B) {
+		net := benchDNN()
+		ins := make([]*tensor.Tensor, 32)
+		targets := make([]*tensor.Tensor, 32)
+		for i := range ins {
+			ins[i] = tensor.New(64)
+			targets[i] = tensor.New(16)
+			fillKernel(ins[i], uint64(10+i))
+			fillKernel(targets[i], uint64(50+i))
+		}
+		net.TrainBatch(ins, targets) // warm-up
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.TrainBatch(ins, targets)
+		}
+	})
+}
+
+func sizeName(base string, size int) string {
+	switch size {
+	case 64:
+		return base + "64"
+	case 192:
+		return base + "192"
+	default:
+		return base + "512"
+	}
+}

@@ -148,6 +148,30 @@ func (m *model) predictor() func(in []float64) []float64 {
 	return func(in []float64) []float64 { return rep.Predict(in) }
 }
 
+// predictorInto is the destination-passing predictor(): the returned
+// function writes the prediction into out when it has the right length
+// (allocating otherwise) and returns the filled slice. With a private
+// replica and a correctly sized out, a steady-state call allocates
+// nothing — the serving engine's per-replica closures are built on this.
+func (m *model) predictorInto() func(in, out []float64) []float64 {
+	rep, ok := m.net.Replica()
+	if !ok {
+		return func(in, out []float64) []float64 {
+			res := m.predict(in)
+			if len(out) == len(res) {
+				copy(out, res)
+				return out
+			}
+			return res
+		}
+	}
+	var shape []int
+	if m.spec.Type == CNN {
+		shape = m.spec.InputShape
+	}
+	return func(in, out []float64) []float64 { return rep.PredictInto(out, in, shape...) }
+}
+
 // slTrainStep performs one online gradient step (the literal TRAIN rule)
 // using target as the desirable output.
 func (m *model) slTrainStep(in, target []float64) float64 {

@@ -622,3 +622,21 @@ func (rt *Runtime) Predictor(mdName string) (fn func(in []float64) []float64, er
 	}
 	return m.predictor(), nil
 }
+
+// PredictorInto is the destination-passing Predictor: the returned
+// function writes the prediction into out when it has the right length
+// (allocating a fresh slice otherwise) and returns the filled slice. Same
+// concurrency contract as Predictor; with a correctly sized out the
+// steady-state call performs no heap allocation, which is what the
+// serving engine's hot path relies on.
+func (rt *Runtime) PredictorInto(mdName string) (fn func(in, out []float64) []float64, err error) {
+	defer guard(&err)
+	m, ok := rt.getModel(mdName)
+	if !ok {
+		return nil, auerr.E(auerr.ErrUnknownModel, "core: unknown model %q", mdName)
+	}
+	if m.net == nil {
+		return nil, auerr.E(auerr.ErrNotMaterialized, "core: model %q not materialized", mdName)
+	}
+	return m.predictorInto(), nil
+}

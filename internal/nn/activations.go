@@ -8,9 +8,16 @@ import (
 	"github.com/autonomizer/autonomizer/internal/tensor"
 )
 
+// The activation layers own their output and gradient buffers and recycle
+// them across calls (tensor.Reuse), so the steady-state forward/backward
+// path allocates nothing. Returned tensors are valid until the next call
+// on the same layer; callers needing longer lifetimes must Clone.
+
 // ReLU is the rectified-linear activation max(0, x).
 type ReLU struct {
-	mask []bool // which inputs were positive, for the backward pass
+	mask    []bool // which inputs were positive, for the backward pass
+	out     *tensor.Tensor
+	gradBuf *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -18,17 +25,20 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies max(0, x) elementwise.
 func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone()
+	r.out = tensor.Reuse(r.out, in.Shape()...)
+	out := r.out
 	if cap(r.mask) < in.Size() {
 		r.mask = make([]bool, in.Size())
 	}
 	r.mask = r.mask[:in.Size()]
-	for i, x := range out.Data() {
+	od := out.Data()
+	for i, x := range in.Data() {
 		if x > 0 {
 			r.mask[i] = true
+			od[i] = x
 		} else {
 			r.mask[i] = false
-			out.Data()[i] = 0
+			od[i] = 0
 		}
 	}
 	return out
@@ -39,10 +49,14 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(r.mask) != gradOut.Size() {
 		auerr.Failf("nn: ReLU Backward shape mismatch or called before Forward")
 	}
-	out := gradOut.Clone()
-	for i := range out.Data() {
-		if !r.mask[i] {
-			out.Data()[i] = 0
+	r.gradBuf = tensor.Reuse(r.gradBuf, gradOut.Shape()...)
+	out := r.gradBuf
+	od := out.Data()
+	for i, g := range gradOut.Data() {
+		if r.mask[i] {
+			od[i] = g
+		} else {
+			od[i] = 0
 		}
 	}
 	return out
@@ -64,6 +78,7 @@ func (r *ReLU) Name() string { return "relu" }
 // constrained to (0,1) such as normalized parameter predictions.
 type Sigmoid struct {
 	lastOut *tensor.Tensor
+	gradBuf *tensor.Tensor
 }
 
 // NewSigmoid returns a sigmoid activation layer.
@@ -71,8 +86,12 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function elementwise.
 func (s *Sigmoid) Forward(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone().Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	s.lastOut = out
+	s.lastOut = tensor.Reuse(s.lastOut, in.Shape()...)
+	out := s.lastOut
+	od := out.Data()
+	for i, x := range in.Data() {
+		od[i] = 1 / (1 + math.Exp(-x))
+	}
 	return out
 }
 
@@ -81,10 +100,12 @@ func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if s.lastOut == nil || s.lastOut.Size() != gradOut.Size() {
 		auerr.Failf("nn: Sigmoid Backward shape mismatch or called before Forward")
 	}
-	out := gradOut.Clone()
+	s.gradBuf = tensor.Reuse(s.gradBuf, gradOut.Shape()...)
+	out := s.gradBuf
+	od := out.Data()
 	y := s.lastOut.Data()
-	for i := range out.Data() {
-		out.Data()[i] *= y[i] * (1 - y[i])
+	for i, g := range gradOut.Data() {
+		od[i] = g * y[i] * (1 - y[i])
 	}
 	return out
 }
@@ -104,6 +125,7 @@ func (s *Sigmoid) Name() string { return "sigmoid" }
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
 	lastOut *tensor.Tensor
+	gradBuf *tensor.Tensor
 }
 
 // NewTanh returns a tanh activation layer.
@@ -111,8 +133,12 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh elementwise.
 func (t *Tanh) Forward(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone().Apply(math.Tanh)
-	t.lastOut = out
+	t.lastOut = tensor.Reuse(t.lastOut, in.Shape()...)
+	out := t.lastOut
+	od := out.Data()
+	for i, x := range in.Data() {
+		od[i] = math.Tanh(x)
+	}
 	return out
 }
 
@@ -121,10 +147,12 @@ func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if t.lastOut == nil || t.lastOut.Size() != gradOut.Size() {
 		auerr.Failf("nn: Tanh Backward shape mismatch or called before Forward")
 	}
-	out := gradOut.Clone()
+	t.gradBuf = tensor.Reuse(t.gradBuf, gradOut.Shape()...)
+	out := t.gradBuf
+	od := out.Data()
 	y := t.lastOut.Data()
-	for i := range out.Data() {
-		out.Data()[i] *= 1 - y[i]*y[i]
+	for i, g := range gradOut.Data() {
+		od[i] = g * (1 - y[i]*y[i])
 	}
 	return out
 }
@@ -145,6 +173,8 @@ func (t *Tanh) Name() string { return "tanh" }
 // convolutional and dense stages in the CNN models.
 type Flatten struct {
 	lastShape []int
+	fwdView   *tensor.Tensor
+	bwdView   *tensor.Tensor
 }
 
 // NewFlatten returns a flattening layer.
@@ -153,7 +183,8 @@ func NewFlatten() *Flatten { return &Flatten{} }
 // Forward flattens the input to a vector view.
 func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
 	f.lastShape = append(f.lastShape[:0], in.Shape()...)
-	return in.Reshape(in.Size())
+	f.fwdView = tensor.ViewOf1(f.fwdView, in.Data())
+	return f.fwdView
 }
 
 // Backward restores the gradient to the pre-flatten shape.
@@ -161,7 +192,8 @@ func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if f.lastShape == nil {
 		auerr.Failf("nn: Flatten Backward before Forward")
 	}
-	return gradOut.Reshape(f.lastShape...)
+	f.bwdView = tensor.View(f.bwdView, gradOut, f.lastShape...)
+	return f.bwdView
 }
 
 // Params implements Layer.
@@ -179,24 +211,28 @@ func (f *Flatten) Name() string { return "flatten" }
 // Softmax converts logits to a probability distribution. Its backward
 // pass assumes it is paired with a cross-entropy loss whose gradient is
 // already (p - onehot); in that arrangement Backward is the identity.
-type Softmax struct{}
+type Softmax struct {
+	out *tensor.Tensor
+}
 
 // NewSoftmax returns a softmax output layer.
 func NewSoftmax() *Softmax { return &Softmax{} }
 
 // Forward computes the numerically stable softmax.
 func (s *Softmax) Forward(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone()
+	s.out = tensor.Reuse(s.out, in.Shape()...)
+	out := s.out
 	max := math.Inf(-1)
-	for _, x := range out.Data() {
+	for _, x := range in.Data() {
 		if x > max {
 			max = x
 		}
 	}
 	sum := 0.0
-	for i, x := range out.Data() {
+	od := out.Data()
+	for i, x := range in.Data() {
 		e := math.Exp(x - max)
-		out.Data()[i] = e
+		od[i] = e
 		sum += e
 	}
 	if sum == 0 {

@@ -1,0 +1,69 @@
+//go:build !race
+
+// Allocation regression tests for the zero-allocation steady-state
+// contract (DESIGN.md §5e). Excluded under -race: the race runtime
+// instruments allocations and makes testing.AllocsPerRun report its own
+// bookkeeping.
+package nn
+
+import (
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/stats"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// TestForwardZeroAllocs checks the steady-state inference paths: after
+// one warm-up pass, Network.Forward and PredictInto over both the DNN
+// and a conv stack must not touch the heap.
+func TestForwardZeroAllocs(t *testing.T) {
+	rng := stats.NewRNG(3)
+	dnn := NewDNN(64, []int{128, 64}, 16, rng.Split())
+	cnn := NewNetwork(
+		NewConv2D(4, 8, 3, 3, 1, 1, rng.Split()),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(8*16*16, 16, rng.Split()),
+	)
+
+	in := tensor.New(64)
+	dnn.Forward(in) // warm-up allocates the layer caches
+	if n := testing.AllocsPerRun(100, func() { dnn.Forward(in) }); n != 0 {
+		t.Errorf("DNN Forward allocs/op = %v, want 0", n)
+	}
+
+	// The conv stack pays a fixed 3 closure headers per pass — the shard
+	// bodies Im2ColInto and the blocked MatMulInto hand to parallel.For /
+	// ForAligned escape into the task queue. That cost is O(1) per call
+	// and data-independent; everything sized by the tensors is recycled.
+	cin := tensor.New(4, 32, 32)
+	cnn.Forward(cin)
+	if n := testing.AllocsPerRun(100, func() { cnn.Forward(cin) }); n > 3 {
+		t.Errorf("CNN Forward allocs/op = %v, want <= 3 (kernel dispatch closures only)", n)
+	}
+
+	flat := make([]float64, 64)
+	out := make([]float64, 16)
+	dnn.PredictInto(out, flat)
+	if n := testing.AllocsPerRun(100, func() { dnn.PredictInto(out, flat) }); n != 0 {
+		t.Errorf("PredictInto allocs/op = %v, want 0", n)
+	}
+}
+
+// TestBackwardZeroAllocs checks a full forward/loss-grad/backward cycle
+// (the per-example body of sequential TrainBatch) is allocation-free in
+// steady state.
+func TestBackwardZeroAllocs(t *testing.T) {
+	net := NewDNN(64, []int{128, 64}, 16, stats.NewRNG(3))
+	in, target := tensor.New(64), tensor.New(16)
+	step := func() {
+		pred := net.Forward(in)
+		net.Backward(net.lossGrad(pred, target))
+	}
+	net.ZeroGrads()
+	step() // warm-up
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Errorf("forward+backward allocs/op = %v, want 0", n)
+	}
+}

@@ -21,8 +21,20 @@ type Conv2D struct {
 	weights            *tensor.Tensor
 	bias               *tensor.Tensor
 	gradW, gradB       *tensor.Tensor
-	lastCols           *tensor.Tensor
 	lastOutH, lastOutW int
+
+	// Reused scratch (DESIGN.md §5e): the im2col column matrix, the 2-D
+	// output and its (OutC, outH, outW) view, the column gradient and the
+	// input gradient are all layer-owned and recycled across calls, so
+	// steady-state forward/backward allocates nothing. Outputs are valid
+	// until the next call on this layer.
+	lastCols  *tensor.Tensor
+	out2d     *tensor.Tensor
+	outView   *tensor.Tensor
+	gView     *tensor.Tensor
+	gradWProd *tensor.Tensor // view over arena scratch for the gradW product
+	gradCols  *tensor.Tensor
+	gradIn    *tensor.Tensor
 }
 
 // NewConv2D constructs a convolution layer with He initialization.
@@ -52,21 +64,24 @@ func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 		auerr.Failf("nn: Conv2D expects (%d,H,W) input, got %v", c.InC, s)
 	}
 	c.inH, c.inW = s[1], s[2]
-	cols := tensor.Im2Col(in, c.KH, c.KW, c.Stride, c.Pad)
-	c.lastCols = cols
 	c.lastOutH = tensor.ConvOutputSize(s[1], c.KH, c.Stride, c.Pad)
 	c.lastOutW = tensor.ConvOutputSize(s[2], c.KW, c.Stride, c.Pad)
-	out := tensor.MatMul(c.weights, cols) // (OutC, outH*outW)
-	// Add per-output-channel bias.
 	n := c.lastOutH * c.lastOutW
+	c.lastCols = tensor.Reuse2(c.lastCols, c.InC*c.KH*c.KW, n)
+	cols := tensor.Im2ColInto(c.lastCols, in, c.KH, c.KW, c.Stride, c.Pad)
+	c.out2d = tensor.Reuse2(c.out2d, c.OutC, n)
+	out := tensor.MatMulInto(c.out2d, c.weights, cols) // (OutC, outH*outW)
+	// Add per-output-channel bias.
+	bd := c.bias.Data()
 	for oc := 0; oc < c.OutC; oc++ {
-		b := c.bias.At(oc)
+		b := bd[oc]
 		row := out.Data()[oc*n : (oc+1)*n]
 		for i := range row {
 			row[i] += b
 		}
 	}
-	return out.Reshape(c.OutC, c.lastOutH, c.lastOutW)
+	c.outView = tensor.ViewOf3(c.outView, out.Data(), c.OutC, c.lastOutH, c.lastOutW)
+	return c.outView
 }
 
 // Backward accumulates weight/bias gradients and returns the input
@@ -76,9 +91,20 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		auerr.Failf("nn: Conv2D Backward before Forward")
 	}
 	n := c.lastOutH * c.lastOutW
-	g := gradOut.Reshape(c.OutC, n)
-	// dL/dW = g × colsᵀ
-	c.gradW.AddInPlace(tensor.MatMul(g, tensor.Transpose(c.lastCols)))
+	c.gView = tensor.ViewOf2(c.gView, gradOut.Data(), c.OutC, n)
+	g := c.gView
+	// dL/dW += g × colsᵀ via the transpose-free ABT kernel: no colsᵀ
+	// materialization, and the product lands in arena scratch rather than
+	// a fresh allocation. The per-example product must be formed from zero
+	// and then added (not chained through the accumulator with
+	// MatMulABTAcc): the data-parallel reduction in Network.TrainBatch
+	// adds per-example products exactly this way, and the two paths must
+	// associate identically to stay bit-equal at any worker count.
+	pw := tensor.Scratch.Get(c.gradW.Size())
+	c.gradWProd = tensor.ViewOf2(c.gradWProd, *pw, c.OutC, c.InC*c.KH*c.KW)
+	tensor.MatMulABTInto(c.gradWProd, g, c.lastCols)
+	c.gradW.AddInPlace(c.gradWProd)
+	tensor.Scratch.Put(pw)
 	// dL/db = row sums of g
 	for oc := 0; oc < c.OutC; oc++ {
 		sum := 0.0
@@ -87,9 +113,12 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 		c.gradB.Data()[oc] += sum
 	}
-	// dL/dcols = Wᵀ × g, then scatter back to the input shape.
-	gradCols := tensor.MatMul(tensor.Transpose(c.weights), g)
-	return tensor.Col2Im(gradCols, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+	// dL/dcols = Wᵀ × g via the transpose-free ATB kernel, then scatter
+	// back to the input shape.
+	c.gradCols = tensor.Reuse2(c.gradCols, c.InC*c.KH*c.KW, n)
+	tensor.MatMulATBInto(c.gradCols, c.weights, g)
+	c.gradIn = tensor.Reuse3(c.gradIn, c.InC, c.inH, c.inW)
+	return tensor.Col2ImInto(c.gradIn, c.gradCols, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
 }
 
 // Params returns the kernel and bias tensors.
@@ -115,6 +144,8 @@ type MaxPool2D struct {
 	Size    int
 	argmax  []int // flat input index of each pooled maximum
 	inShape []int
+	out     *tensor.Tensor // reused output buffer, valid until next Forward
+	gradIn  *tensor.Tensor // reused backward buffer, valid until next Backward
 }
 
 // NewMaxPool2D constructs a pooling layer with a square window.
@@ -138,7 +169,8 @@ func (m *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 		auerr.Failf("nn: MaxPool2D window %d too large for %dx%d input", m.Size, h, w)
 	}
 	m.inShape = append(m.inShape[:0], s...)
-	out := tensor.New(c, oh, ow)
+	m.out = tensor.Reuse3(m.out, c, oh, ow)
+	out := m.out
 	if cap(m.argmax) < out.Size() {
 		m.argmax = make([]int, out.Size())
 	}
@@ -176,7 +208,9 @@ func (m *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if gradOut.Size() != len(m.argmax) {
 		auerr.Failf("nn: MaxPool2D Backward shape mismatch")
 	}
-	out := tensor.New(m.inShape...)
+	m.gradIn = tensor.Reuse(m.gradIn, m.inShape...)
+	out := m.gradIn
+	out.Fill(0)
 	for i, g := range gradOut.Data() {
 		out.Data()[m.argmax[i]] += g
 	}

@@ -20,7 +20,15 @@ type Dense struct {
 	gradW   *tensor.Tensor
 	gradB   *tensor.Tensor
 
-	lastIn *tensor.Tensor // cached input for the backward pass
+	// Reused scratch (DESIGN.md §5e): lastIn is an allocation-free view
+	// of the current input for the backward pass; out and gradIn are
+	// layer-owned destinations recycled across calls, so the steady-state
+	// forward/backward makes no heap allocations. Both are fully
+	// overwritten each call; callers needing a result to survive the next
+	// pass must Clone it.
+	lastIn *tensor.Tensor
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
 }
 
 // NewDense constructs a fully connected layer with He-initialized weights
@@ -50,13 +58,15 @@ func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if in.Size() != d.InSize {
 		auerr.Failf("nn: Dense expects %d inputs, got %d", d.InSize, in.Size())
 	}
-	d.lastIn = in.Reshape(d.InSize)
-	out := tensor.New(d.OutSize)
+	d.lastIn = tensor.ViewOf1(d.lastIn, in.Data())
+	d.out = tensor.Reuse1(d.out, d.OutSize)
+	out := d.out
 	w := d.weights.Data()
 	x := d.lastIn.Data()
+	bd := d.bias.Data()
 	for o := 0; o < d.OutSize; o++ {
 		row := w[o*d.InSize : (o+1)*d.InSize]
-		out.Data()[o] = tensor.Dot(row, x) + d.bias.At(o)
+		out.Data()[o] = tensor.Dot(row, x) + bd[o]
 	}
 	return out
 }
@@ -81,7 +91,9 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			row[i] += go_ * x[i]
 		}
 	}
-	gradIn := tensor.New(d.InSize)
+	d.gradIn = tensor.Reuse1(d.gradIn, d.InSize)
+	gradIn := d.gradIn
+	gradIn.Fill(0)
 	w := d.weights.Data()
 	gi := gradIn.Data()
 	for o := 0; o < d.OutSize; o++ {

@@ -18,6 +18,16 @@ type Loss interface {
 	Name() string
 }
 
+// GradIntoLoss is the destination-passing refinement of Loss: GradInto
+// writes d loss / d pred into the caller-owned dst (same size as pred)
+// and returns it. The Network training paths use it with a reused scratch
+// tensor so the steady-state loss gradient allocates nothing; losses not
+// implementing it fall back to Grad.
+type GradIntoLoss interface {
+	Loss
+	GradInto(dst, pred, target *tensor.Tensor) *tensor.Tensor
+}
+
 // MSE is the mean-squared-error loss used for the supervised parameter
 // regression models (predicting lo/hi/sigma etc.).
 type MSE struct{}
@@ -34,14 +44,21 @@ func (MSE) Loss(pred, target *tensor.Tensor) float64 {
 }
 
 // Grad returns 2(pred-target)/n.
-func (MSE) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+func (m MSE) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+	return m.GradInto(tensor.New(pred.Shape()...), pred, target)
+}
+
+// GradInto writes 2(pred-target)/n into dst.
+func (MSE) GradInto(dst, pred, target *tensor.Tensor) *tensor.Tensor {
 	checkSameSize(pred, target)
-	out := pred.Clone()
+	checkSameSize(dst, pred)
 	n := float64(pred.Size())
-	for i := range out.Data() {
-		out.Data()[i] = 2 * (out.Data()[i] - target.Data()[i]) / n
+	od := dst.Data()
+	td := target.Data()
+	for i, p := range pred.Data() {
+		od[i] = 2 * (p - td[i]) / n
 	}
-	return out
+	return dst
 }
 
 // Name implements Loss.
@@ -80,22 +97,29 @@ func (h Huber) Loss(pred, target *tensor.Tensor) float64 {
 
 // Grad returns the elementwise Huber gradient divided by n.
 func (h Huber) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+	return h.GradInto(tensor.New(pred.Shape()...), pred, target)
+}
+
+// GradInto writes the elementwise Huber gradient divided by n into dst.
+func (h Huber) GradInto(dst, pred, target *tensor.Tensor) *tensor.Tensor {
 	checkSameSize(pred, target)
+	checkSameSize(dst, pred)
 	d := h.delta()
-	out := pred.Clone()
 	n := float64(pred.Size())
-	for i := range out.Data() {
-		e := out.Data()[i] - target.Data()[i]
+	od := dst.Data()
+	td := target.Data()
+	for i, p := range pred.Data() {
+		e := p - td[i]
 		switch {
 		case e > d:
-			out.Data()[i] = d / n
+			od[i] = d / n
 		case e < -d:
-			out.Data()[i] = -d / n
+			od[i] = -d / n
 		default:
-			out.Data()[i] = e / n
+			od[i] = e / n
 		}
 	}
-	return out
+	return dst
 }
 
 // Name implements Loss.
@@ -120,11 +144,20 @@ func (CrossEntropy) Loss(pred, target *tensor.Tensor) float64 {
 }
 
 // Grad returns pred - target (the combined softmax+CE gradient).
-func (CrossEntropy) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+func (c CrossEntropy) Grad(pred, target *tensor.Tensor) *tensor.Tensor {
+	return c.GradInto(tensor.New(pred.Shape()...), pred, target)
+}
+
+// GradInto writes pred - target into dst.
+func (CrossEntropy) GradInto(dst, pred, target *tensor.Tensor) *tensor.Tensor {
 	checkSameSize(pred, target)
-	out := pred.Clone()
-	out.SubInPlace(target)
-	return out
+	checkSameSize(dst, pred)
+	od := dst.Data()
+	td := target.Data()
+	for i, p := range pred.Data() {
+		od[i] = p - td[i]
+	}
+	return dst
 }
 
 // Name implements Loss.

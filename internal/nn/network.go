@@ -29,6 +29,20 @@ type Network struct {
 	replicas  []*Network
 	itemGrads [][]*tensor.Tensor
 	itemLoss  []float64
+
+	// Cached views and scratch (DESIGN.md §5e): the parameter/gradient
+	// lists are fixed at construction and built once; gradScratch holds the
+	// loss gradient for GradIntoLoss losses; inScratch holds the copied-in
+	// Predict input; workerFns are the TrainBatch worker closures, rebuilt
+	// only when the width changes, reading the batch through parIns /
+	// parTargets so no per-call closures are allocated.
+	params, grads []*tensor.Tensor
+	paramsBuilt   bool
+	gradScratch   *tensor.Tensor
+	inScratch     *tensor.Tensor
+	workerFns     []func()
+	parIns        []*tensor.Tensor
+	parTargets    []*tensor.Tensor
 }
 
 // NewNetwork assembles a network from layers. Attach a loss/optimizer
@@ -40,7 +54,8 @@ func NewNetwork(layers ...Layer) *Network {
 // SetLoss selects the training loss (default MSE).
 func (n *Network) SetLoss(l Loss) {
 	n.loss = l
-	n.replicas = nil // replicas capture the loss; rebuild lazily
+	n.replicas = nil  // replicas capture the loss; rebuild lazily
+	n.workerFns = nil // worker closures capture the replicas
 }
 
 // SetMaxWorkers caps the data-parallel width used by TrainBatch for this
@@ -67,22 +82,30 @@ func (n *Network) UseSGD(lr, momentum float64) { n.opt = NewSGD(n.Params(), lr, 
 // Layers returns the layer stack (do not mutate).
 func (n *Network) Layers() []Layer { return n.layers }
 
-// Params returns every trainable parameter tensor in layer order.
+// Params returns every trainable parameter tensor in layer order. The
+// layer stack is fixed at construction, so the list is built once and the
+// same slice is returned thereafter; callers must not mutate it.
 func (n *Network) Params() []*tensor.Tensor {
-	var ps []*tensor.Tensor
-	for _, l := range n.layers {
-		ps = append(ps, l.Params()...)
-	}
-	return ps
+	n.buildParamLists()
+	return n.params
 }
 
-// Grads returns every gradient tensor aligned with Params.
+// Grads returns every gradient tensor aligned with Params. Like Params,
+// the returned slice is cached; callers must not mutate it.
 func (n *Network) Grads() []*tensor.Tensor {
-	var gs []*tensor.Tensor
-	for _, l := range n.layers {
-		gs = append(gs, l.Grads()...)
+	n.buildParamLists()
+	return n.grads
+}
+
+func (n *Network) buildParamLists() {
+	if n.paramsBuilt {
+		return
 	}
-	return gs
+	for _, l := range n.layers {
+		n.params = append(n.params, l.Params()...)
+		n.grads = append(n.grads, l.Grads()...)
+	}
+	n.paramsBuilt = true
 }
 
 // ZeroGrads clears all accumulated gradients.
@@ -115,14 +138,31 @@ func (n *Network) Forward(in *tensor.Tensor) *tensor.Tensor {
 // Predict is Forward over a plain []float64 vector, reshaped to shape if
 // given (needed for CNN inputs). It returns a fresh slice.
 func (n *Network) Predict(in []float64, shape ...int) []float64 {
-	var t *tensor.Tensor
+	return n.PredictInto(nil, in, shape...)
+}
+
+// PredictInto is the destination-passing Predict: the output is written
+// into dst when it has the right length, otherwise a fresh slice is
+// allocated; either way the filled slice is returned. The input is copied
+// into network-owned scratch, so neither in nor dst is aliased by any
+// layer cache and the steady state (correctly sized dst) allocates
+// nothing.
+func (n *Network) PredictInto(dst, in []float64, shape ...int) []float64 {
 	if len(shape) > 0 {
-		t = tensor.FromSlice(append([]float64(nil), in...), shape...)
+		n.inScratch = tensor.Reuse(n.inScratch, shape...)
 	} else {
-		t = tensor.FromSlice(append([]float64(nil), in...), len(in))
+		n.inScratch = tensor.Reuse1(n.inScratch, len(in))
 	}
-	out := n.Forward(t)
-	return append([]float64(nil), out.Data()...)
+	if n.inScratch.Size() != len(in) {
+		auerr.Failf("nn: Predict shape %v needs %d elements, got %d", shape, n.inScratch.Size(), len(in))
+	}
+	copy(n.inScratch.Data(), in)
+	out := n.Forward(n.inScratch)
+	if len(dst) != out.Size() {
+		dst = make([]float64, out.Size())
+	}
+	copy(dst, out.Data())
+	return dst
 }
 
 // Backward pushes a loss gradient through the stack, accumulating
@@ -143,9 +183,20 @@ func (n *Network) TrainStep(in, target *tensor.Tensor) float64 {
 	n.ZeroGrads()
 	pred := n.Forward(in)
 	lv := n.loss.Loss(pred, target)
-	n.Backward(n.loss.Grad(pred, target))
+	n.Backward(n.lossGrad(pred, target))
 	n.opt.Step(n.Grads())
 	return lv
+}
+
+// lossGrad computes the loss gradient, through network-owned scratch when
+// the loss supports destination passing (all built-in losses do), so the
+// steady-state training path allocates nothing here.
+func (n *Network) lossGrad(pred, target *tensor.Tensor) *tensor.Tensor {
+	if gi, ok := n.loss.(GradIntoLoss); ok {
+		n.gradScratch = tensor.Reuse(n.gradScratch, pred.Shape()...)
+		return gi.GradInto(n.gradScratch, pred, target)
+	}
+	return n.loss.Grad(pred, target)
 }
 
 // TrainBatchCtx is the context-aware TrainBatch: a mini-batch is the
@@ -195,7 +246,7 @@ func (n *Network) TrainBatch(ins, targets []*tensor.Tensor) float64 {
 		for i, in := range ins {
 			pred := n.Forward(in)
 			total += n.loss.Loss(pred, targets[i])
-			n.Backward(n.loss.Grad(pred, targets[i]))
+			n.Backward(n.lossGrad(pred, targets[i]))
 		}
 	}
 	// Average the accumulated gradients over the batch.
@@ -251,23 +302,31 @@ func (n *Network) forwardBackwardParallel(ins, targets []*tensor.Tensor, w int) 
 		}
 		n.itemGrads = append(n.itemGrads, gs)
 	}
-	fns := make([]func(), w)
-	for wk := 0; wk < w; wk++ {
-		wk := wk
-		rep := n.replicas[wk]
-		fns[wk] = func() {
-			for i := wk; i < len(ins); i += w {
-				rep.ZeroGrads()
-				pred := rep.Forward(ins[i])
-				n.itemLoss[i] = rep.loss.Loss(pred, targets[i])
-				rep.Backward(rep.loss.Grad(pred, targets[i]))
-				for j, g := range rep.Grads() {
-					copy(n.itemGrads[i][j].Data(), g.Data())
+	// The worker closures are cached per width and read the batch through
+	// n.parIns / n.parTargets, so a steady-state TrainBatch rebuilds
+	// nothing here.
+	n.parIns, n.parTargets = ins, targets
+	if len(n.workerFns) != w {
+		n.workerFns = make([]func(), w)
+		for wk := 0; wk < w; wk++ {
+			wk := wk
+			width := w
+			rep := n.replicas[wk]
+			n.workerFns[wk] = func() {
+				for i := wk; i < len(n.parIns); i += width {
+					rep.ZeroGrads()
+					pred := rep.Forward(n.parIns[i])
+					n.itemLoss[i] = rep.loss.Loss(pred, n.parTargets[i])
+					rep.Backward(rep.lossGrad(pred, n.parTargets[i]))
+					for j, g := range rep.Grads() {
+						copy(n.itemGrads[i][j].Data(), g.Data())
+					}
 				}
 			}
 		}
 	}
-	parallel.Run(fns...)
+	parallel.Run(n.workerFns...)
+	n.parIns, n.parTargets = nil, nil // do not retain the caller's batch
 	return true
 }
 

@@ -279,6 +279,32 @@ func For(n, grain int, fn func(lo, hi int)) {
 	pnc.rethrow()
 }
 
+// ForAligned is For with chunk boundaries rounded to multiples of align,
+// the grain math for tiled kernels: a cache-blocked matmul that processes
+// rows in register blocks of 4 wants every chunk (except the last) to
+// hold a whole number of blocks, so no worker pays the ragged-edge scalar
+// path in the middle of the range. Boundaries still depend only on
+// (n, grain, align, width) — never on scheduling — so the determinism
+// contract of For carries over unchanged.
+func ForAligned(n, grain, align int, fn func(lo, hi int)) {
+	if align <= 1 {
+		For(n, grain, fn)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	blocks := (n + align - 1) / align
+	blockGrain := (grain + align - 1) / align
+	For(blocks, blockGrain, func(lo, hi int) {
+		l, h := lo*align, hi*align
+		if h > n {
+			h = n
+		}
+		fn(l, h)
+	})
+}
+
 // Run executes the given functions, possibly concurrently, returning when
 // all have finished. It is For over the function list; ordering of side
 // effects between functions is unspecified, so they must be independent.

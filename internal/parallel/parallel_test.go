@@ -1,6 +1,9 @@
 package parallel
 
 import (
+	"reflect"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -90,5 +93,48 @@ func TestRun(t *testing.T) {
 	Run(func() { a.Store(1) }, func() { b.Store(2) }, func() { c.Store(3) })
 	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
 		t.Error("Run skipped a function")
+	}
+}
+
+// TestForAligned checks the tiled-grain variant: every chunk boundary
+// except the final hi lands on a multiple of align, the chunks tile
+// [0, n) exactly, and boundaries are identical across repeated calls
+// (the determinism contract the blocked kernels shard under).
+func TestForAligned(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	for _, tc := range []struct{ n, grain, align int }{
+		{100, 10, 4}, {97, 5, 4}, {16, 1, 4}, {3, 1, 4}, {0, 1, 4}, {64, 8, 1},
+	} {
+		collect := func() [][2]int {
+			var mu sync.Mutex
+			var chunks [][2]int
+			ForAligned(tc.n, tc.grain, tc.align, func(lo, hi int) {
+				mu.Lock()
+				chunks = append(chunks, [2]int{lo, hi})
+				mu.Unlock()
+			})
+			sort.Slice(chunks, func(i, j int) bool { return chunks[i][0] < chunks[j][0] })
+			return chunks
+		}
+		chunks := collect()
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next {
+				t.Fatalf("n=%d: gap/overlap at %d (chunk %v)", tc.n, next, c)
+			}
+			if tc.align > 1 && c[0]%tc.align != 0 {
+				t.Errorf("n=%d: chunk lo %d not aligned to %d", tc.n, c[0], tc.align)
+			}
+			if tc.align > 1 && c[1] != tc.n && c[1]%tc.align != 0 {
+				t.Errorf("n=%d: interior chunk hi %d not aligned to %d", tc.n, c[1], tc.align)
+			}
+			next = c[1]
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d: chunks end at %d", tc.n, next)
+		}
+		if again := collect(); !reflect.DeepEqual(chunks, again) {
+			t.Errorf("n=%d: chunk boundaries changed between calls: %v vs %v", tc.n, chunks, again)
+		}
 	}
 }

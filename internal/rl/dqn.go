@@ -106,6 +106,14 @@ type Agent struct {
 	itemGrads              [][]*tensor.Tensor
 	itemLoss               []float64
 
+	// stateView is the recycled tensor header stateTensor wraps around
+	// the caller's state slice on the sequential API paths (Act, QValues,
+	// the sequential replay loop), so the Act hot path allocates nothing.
+	// workerViews are the per-worker equivalents for the parallel replay
+	// update, aligned with onlineReps.
+	stateView   *tensor.Tensor
+	workerViews []*tensor.Tensor
+
 	// Telemetry instruments, resolved at construction (nil while
 	// telemetry is disabled; every use is a nil-checked no-op).
 	obsSteps *obs.Counter
@@ -158,26 +166,42 @@ func (a *Agent) Epsilon() float64 {
 // Steps reports how many transitions the agent has observed.
 func (a *Agent) Steps() int { return a.steps }
 
-func (a *Agent) stateTensor(s []float64) *tensor.Tensor {
+// stateTensor wraps a caller's state slice in the given recycled tensor
+// header (allocated on first use, nothing thereafter) and returns it.
+// Concurrent callers must pass distinct views: the sequential agent API
+// uses a.stateView, each replay worker its own workerViews slot.
+func (a *Agent) stateTensor(view *tensor.Tensor, s []float64) *tensor.Tensor {
 	if len(a.cfg.StateShape) > 0 {
-		return tensor.FromSlice(s, a.cfg.StateShape...)
+		return tensor.ViewOf(view, s, a.cfg.StateShape...)
 	}
-	return tensor.FromSlice(s, len(s))
+	return tensor.ViewOf1(view, s)
+}
+
+// seqView returns the sequential-path view header, allocating it once.
+func (a *Agent) seqView() *tensor.Tensor {
+	if a.stateView == nil {
+		a.stateView = &tensor.Tensor{}
+	}
+	return a.stateView
 }
 
 // QValues returns the online network's action values for state.
 func (a *Agent) QValues(state []float64) []float64 {
-	out := a.online.Forward(a.stateTensor(state))
+	a.stateView = a.stateTensor(a.stateView, state)
+	out := a.online.Forward(a.stateView)
 	return append([]float64(nil), out.Data()...)
 }
 
 // Act selects an action ε-greedily in training, or greedily when greedy
-// is true (the paper's TS/production mode).
+// is true (the paper's TS/production mode). The greedy path reads the
+// argmax straight off the network's cached forward buffer — no QValues
+// copy, so steady-state action selection allocates nothing.
 func (a *Agent) Act(state []float64, greedy bool) int {
 	if !greedy && a.rng.Float64() < a.Epsilon() {
 		return a.rng.Intn(a.actions)
 	}
-	return stats.ArgMax(a.QValues(state))
+	a.stateView = a.stateTensor(a.stateView, state)
+	return stats.ArgMax(a.online.Forward(a.stateView).Data())
 }
 
 // ObserveCtx is the context-aware Observe. Cancellation is checked at
@@ -223,7 +247,7 @@ func (a *Agent) Observe(t Transition) float64 {
 	} else {
 		a.online.ZeroGrads()
 		for _, tr := range batch {
-			pred, targetVec := a.tdPair(a.online, a.target, tr)
+			pred, targetVec := a.tdPair(a.seqView(), a.online, a.target, tr)
 			totalLoss += dqnLoss.Loss(pred, targetVec)
 			a.online.Backward(dqnLoss.Grad(pred, targetVec))
 		}
@@ -260,20 +284,20 @@ var dqnLoss = nn.Huber{Delta: 1}
 // network; under DoubleDQN the online network picks the action and the
 // target network scores it. Only the taken action's Q-value receives
 // gradient.
-func (a *Agent) tdPair(online, target *nn.Network, tr Transition) (pred, targetVec *tensor.Tensor) {
+func (a *Agent) tdPair(view *tensor.Tensor, online, target *nn.Network, tr Transition) (pred, targetVec *tensor.Tensor) {
 	y := tr.Reward
 	if !tr.Terminal {
-		q := target.Forward(a.stateTensor(tr.NextState))
+		q := target.Forward(a.stateTensor(view, tr.NextState))
 		var best float64
 		if a.cfg.DoubleDQN {
-			next := online.Forward(a.stateTensor(tr.NextState))
+			next := online.Forward(a.stateTensor(view, tr.NextState))
 			best = q.Data()[stats.ArgMax(next.Data())]
 		} else {
 			best = q.Data()[stats.ArgMax(q.Data())]
 		}
 		y += a.cfg.Gamma * best
 	}
-	pred = online.Forward(a.stateTensor(tr.State))
+	pred = online.Forward(a.stateTensor(view, tr.State))
 	targetVec = pred.Clone()
 	targetVec.Data()[tr.Action] = y
 	return pred, targetVec
@@ -298,6 +322,9 @@ func (a *Agent) observeParallel(batch []Transition, w int) bool {
 		a.onlineReps = append(a.onlineReps, oRep)
 		a.targetReps = append(a.targetReps, tRep)
 	}
+	for len(a.workerViews) < w {
+		a.workerViews = append(a.workerViews, &tensor.Tensor{})
+	}
 	if cap(a.itemLoss) < len(batch) {
 		a.itemLoss = make([]float64, len(batch))
 	}
@@ -313,10 +340,11 @@ func (a *Agent) observeParallel(batch []Transition, w int) bool {
 	for wk := 0; wk < w; wk++ {
 		wk := wk
 		oRep, tRep := a.onlineReps[wk], a.targetReps[wk]
+		view := a.workerViews[wk]
 		fns[wk] = func() {
 			for i := wk; i < len(batch); i += w {
 				oRep.ZeroGrads()
-				pred, targetVec := a.tdPair(oRep, tRep, batch[i])
+				pred, targetVec := a.tdPair(view, oRep, tRep, batch[i])
 				a.itemLoss[i] = dqnLoss.Loss(pred, targetVec)
 				oRep.Backward(dqnLoss.Grad(pred, targetVec))
 				for j, g := range oRep.Grads() {

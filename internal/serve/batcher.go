@@ -165,9 +165,15 @@ func (b *batcher) execute(batch []*batchCall) {
 	if len(live) == 0 {
 		return
 	}
+	// One flat allocation per batch holds every member's output; the
+	// replica closures write straight into the per-request slots, so the
+	// cost amortizes over the whole batch instead of one alloc per call.
 	ins := make([][]float64, len(live))
+	outs := make([][]float64, len(live))
+	flat := make([]float64, len(live)*eng.outSize)
 	for i, c := range live {
 		ins[i] = c.in
+		outs[i] = flat[i*eng.outSize : (i+1)*eng.outSize]
 	}
 	func() {
 		defer func() {
@@ -178,7 +184,7 @@ func (b *batcher) execute(batch []*batchCall) {
 				}
 			}
 		}()
-		outs := eng.predictBatch(ins)
+		eng.predictBatchInto(ins, outs)
 		for i, c := range live {
 			c.out = outs[i]
 		}

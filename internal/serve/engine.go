@@ -23,10 +23,11 @@ type engine struct {
 	inSize  int
 	outSize int
 
-	// pool hands out predictor replicas to batch shards. Capacity is the
-	// replica count; a shard blocks only if more shards than replicas are
-	// ever in flight, which predictBatch's chunking prevents.
-	pool     chan func([]float64) []float64
+	// pool hands out destination-passing predictor replicas to batch
+	// shards. Capacity is the replica count; a shard blocks only if more
+	// shards than replicas are ever in flight, which predictBatch's
+	// chunking prevents.
+	pool     chan func(in, out []float64) []float64
 	replicas int
 }
 
@@ -51,10 +52,10 @@ func buildEngine(name string, spec core.ModelSpec, data []byte, version, replica
 	e := &engine{
 		name: name, version: version, spec: spec, rt: rt,
 		inSize: inSize, outSize: outSize,
-		pool: make(chan func([]float64) []float64, replicas), replicas: replicas,
+		pool: make(chan func(in, out []float64) []float64, replicas), replicas: replicas,
 	}
 	for i := 0; i < replicas; i++ {
-		fn, err := rt.Predictor(name)
+		fn, err := rt.PredictorInto(name)
 		if err != nil {
 			return nil, err
 		}
@@ -83,19 +84,32 @@ func (e *engine) checkInput(in []float64) error {
 // batch composition or worker count.
 func (e *engine) predictBatch(ins [][]float64) [][]float64 {
 	out := make([][]float64, len(ins))
+	flat := make([]float64, len(ins)*e.outSize)
+	for i := range out {
+		out[i] = flat[i*e.outSize : (i+1)*e.outSize]
+	}
+	e.predictBatchInto(ins, out)
+	return out
+}
+
+// predictBatchInto is the destination-passing predictBatch: outs[i] must
+// have length outSize and receives the prediction for ins[i]. Beyond the
+// outs buffers (which the batcher carves from one flat per-batch
+// allocation), the steady-state batch performs no heap allocation — the
+// replica closures write straight into their request's slot.
+func (e *engine) predictBatchInto(ins, outs [][]float64) {
 	if len(ins) == 1 {
 		fn := <-e.pool
-		out[0] = fn(ins[0])
+		outs[0] = fn(ins[0], outs[0])
 		e.pool <- fn
-		return out
+		return
 	}
 	grain := (len(ins) + e.replicas - 1) / e.replicas
 	parallel.For(len(ins), grain, func(lo, hi int) {
 		fn := <-e.pool
 		defer func() { e.pool <- fn }()
 		for i := lo; i < hi; i++ {
-			out[i] = fn(ins[i])
+			outs[i] = fn(ins[i], outs[i])
 		}
 	})
-	return out
 }

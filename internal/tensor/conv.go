@@ -25,19 +25,35 @@ const convCutoff = 16 * 1024
 // each row fills a disjoint slice of the output, so results are
 // bit-identical at any worker count.
 func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
+	c, h, _ := im2colDims(in, kh, kw, stride, pad)
+	outH := ConvOutputSize(h, kh, stride, pad)
+	outW := ConvOutputSize(in.shape[2], kw, stride, pad)
+	return Im2ColInto(New(c*kh*kw, outH*outW), in, kh, kw, stride, pad)
+}
+
+// im2colDims validates an im2col lowering and returns (c, h, w).
+func im2colDims(in *Tensor, kh, kw, stride, pad int) (c, h, w int) {
 	if len(in.shape) != 3 {
 		panic(fmt.Sprintf("tensor: Im2Col wants (C,H,W) input, got %v", in.shape))
 	}
 	if stride < 1 {
 		panic("tensor: Im2Col stride must be >= 1")
 	}
-	c, h, w := in.shape[0], in.shape[1], in.shape[2]
-	outH := (h+2*pad-kh)/stride + 1
-	outW := (w+2*pad-kw)/stride + 1
-	if outH <= 0 || outW <= 0 {
+	c, h, w = in.shape[0], in.shape[1], in.shape[2]
+	if (h+2*pad-kh)/stride+1 <= 0 || (w+2*pad-kw)/stride+1 <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col kernel %dx%d too large for %dx%d input (pad %d)", kh, kw, h, w, pad))
 	}
-	out := New(c*kh*kw, outH*outW)
+	return c, h, w
+}
+
+// Im2ColInto is the destination-passing Im2Col: it fully overwrites the
+// caller-owned (c·kh·kw, outH·outW) destination and returns it, so the
+// convolution forward pass reuses one column buffer across calls.
+func Im2ColInto(out, in *Tensor, kh, kw, stride, pad int) *Tensor {
+	c, h, w := im2colDims(in, kh, kw, stride, pad)
+	outH := ConvOutputSize(h, kh, stride, pad)
+	outW := ConvOutputSize(w, kw, stride, pad)
+	checkDst(out, c*kh*kw, outH*outW)
 	rows, rowLen := c*kh*kw, outH*outW
 	grain := rows
 	if rows*rowLen >= convCutoff {
@@ -76,12 +92,23 @@ func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
 // channel but never across channels, so each worker accumulates into a
 // disjoint (h×w) plane with the sequential accumulation order preserved.
 func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	return Col2ImInto(New(c, h, w), cols, c, h, w, kh, kw, stride, pad)
+}
+
+// Col2ImInto is the destination-passing Col2Im: it zeroes the
+// caller-owned (c, h, w) destination, scatter-accumulates into it and
+// returns it, so the convolution backward pass reuses one input-gradient
+// buffer across calls.
+func Col2ImInto(out, cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
 	if len(cols.shape) != 2 || cols.shape[0] != c*kh*kw || cols.shape[1] != outH*outW {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with params", cols.shape))
 	}
-	out := New(c, h, w)
+	if len(out.shape) != 3 || out.shape[0] != c || out.shape[1] != h || out.shape[2] != w {
+		panic(fmt.Sprintf("tensor: Col2Im destination shape %v, want [%d %d %d]", out.shape, c, h, w))
+	}
+	out.Fill(0)
 	perChannel := kh * kw * outH * outW
 	grain := c
 	if perChannel > 0 && c*perChannel >= convCutoff {

@@ -39,7 +39,7 @@ func TestMatMulParallelEquivalence(t *testing.T) {
 		a, b := New(m, k), New(k, n)
 		fillPseudo(a, 1)
 		fillPseudo(b, 2)
-		a.Data()[0] = 0 // exercise the zero-skip branch
+		a.Data()[0] = 0 // a zero multiplier must not perturb bit-equality
 		prev := parallel.SetWorkers(1)
 		want := MatMul(a, b)
 		for _, w := range []int{2, 3, 8} {

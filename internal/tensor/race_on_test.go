@@ -1,0 +1,7 @@
+//go:build race
+
+package tensor
+
+// raceEnabled gates assertions that the race runtime invalidates (e.g.
+// sync.Pool deliberately randomizes caching under -race).
+const raceEnabled = true

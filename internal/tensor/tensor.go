@@ -18,8 +18,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-
-	"github.com/autonomizer/autonomizer/internal/parallel"
 )
 
 // Tensor is a dense, row-major array of float64 with an arbitrary shape.
@@ -168,84 +166,160 @@ func (t *Tensor) assertSameShape(o *Tensor) {
 	}
 }
 
-// matMulCutoff is the minimum m·k·n flop count at which MatMul shards its
-// rows over the worker pool; below it the scheduling overhead outweighs
-// the win. Exported knobs are unnecessary: correctness is identical on
-// both sides of the cutoff.
+// matMulCutoff is the minimum m·k·n flop count at which the matrix
+// kernels shard their rows over the worker pool; below it the scheduling
+// overhead outweighs the win. Exported knobs are unnecessary: correctness
+// is identical on both sides of the cutoff.
 const matMulCutoff = 32 * 1024
 
 // MatMul computes the matrix product a×b for 2-D tensors, returning a new
-// (a.rows × b.cols) tensor. It panics on rank or inner-dimension mismatch.
-//
-// Above a size cutoff the output rows are sharded over the shared worker
-// pool. Each output row is produced entirely by one worker with the same
-// loop order as the sequential code, so the result is bit-identical at
-// any worker count.
+// (a.rows × b.cols) tensor. It panics on rank or inner-dimension
+// mismatch. This is the allocating convenience wrapper over MatMulInto
+// (kernel.go); hot paths pass their own destination instead.
 func MatMul(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic("tensor: MatMul requires rank-2 tensors")
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d vs %d", k, k2))
-	}
-	out := New(m, n)
-	if k == 0 || n == 0 {
-		return out
-	}
-	// Grain: enough rows per chunk that each chunk is at least one cutoff
-	// worth of flops.
-	grain := matMulCutoff / (k * n)
-	if grain < 1 {
-		grain = 1
-	}
-	if m*k*n < matMulCutoff {
-		grain = m // force the inline path
-	}
-	parallel.For(m, grain, func(lo, hi int) {
-		// ikj loop order: stream through b's rows for cache friendliness.
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*n : (i+1)*n]
-			for kk := 0; kk < k; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
-				brow := b.data[kk*n : (kk+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
-			}
-		}
-	})
-	return out
+	m, _, n := matMulDims(a, b)
+	return MatMulInto(New(m, n), a, b)
 }
 
-// Transpose returns the transpose of a rank-2 tensor. Large inputs shard
-// source rows over the worker pool; each source row writes a disjoint
-// stride-m comb of the output, so the result is unaffected by sharding.
+// Transpose returns the transpose of a rank-2 tensor, allocating the
+// destination; see TransposeInto for the destination-passing form.
 func Transpose(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
 		panic("tensor: Transpose requires a rank-2 tensor")
 	}
-	m, n := a.shape[0], a.shape[1]
-	out := New(n, m)
-	grain := m
-	if n > 0 && m*n >= matMulCutoff {
-		if grain = matMulCutoff / n; grain < 1 {
-			grain = 1
+	return TransposeInto(New(a.shape[1], a.shape[0]), a)
+}
+
+// Reuse returns a tensor with the given shape, recycling t's backing
+// array when its capacity suffices and allocating a fresh tensor
+// otherwise. The contents are unspecified when recycled — callers must
+// fully overwrite. This is the layer-scratch primitive: a layer holds
+// its output tensor across calls and Reuses it each Forward, so the
+// steady state allocates nothing.
+func Reuse(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
 		}
+		n *= d
 	}
-	parallel.For(m, grain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for j := 0; j < n; j++ {
-				out.data[j*m+i] = a.data[i*n+j]
-			}
-		}
-	})
-	return out
+	if t == nil || cap(t.data) < n {
+		return New(shape...)
+	}
+	t.data = t.data[:n]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// Reuse1, Reuse2 and Reuse3 are fixed-arity forms of Reuse for hot
+// paths: a literal variadic call like Reuse(t, 4, 8) constructs a []int
+// argument per call, which would be the only heap traffic left in an
+// otherwise zero-allocation forward/backward pass. (Spreading an
+// existing slice — Reuse(t, s...) — is already allocation-free.)
+func Reuse1(t *Tensor, d0 int) *Tensor {
+	if d0 < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %d", d0))
+	}
+	if t == nil || cap(t.data) < d0 {
+		return New(d0)
+	}
+	t.data = t.data[:d0]
+	t.shape = append(t.shape[:0], d0)
+	return t
+}
+
+// Reuse2 is the rank-2 fixed-arity Reuse; see Reuse1.
+func Reuse2(t *Tensor, d0, d1 int) *Tensor {
+	if d0 < 0 || d1 < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension in [%d %d]", d0, d1))
+	}
+	n := d0 * d1
+	if t == nil || cap(t.data) < n {
+		return New(d0, d1)
+	}
+	t.data = t.data[:n]
+	t.shape = append(t.shape[:0], d0, d1)
+	return t
+}
+
+// Reuse3 is the rank-3 fixed-arity Reuse; see Reuse1.
+func Reuse3(t *Tensor, d0, d1, d2 int) *Tensor {
+	if d0 < 0 || d1 < 0 || d2 < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension in [%d %d %d]", d0, d1, d2))
+	}
+	n := d0 * d1 * d2
+	if t == nil || cap(t.data) < n {
+		return New(d0, d1, d2)
+	}
+	t.data = t.data[:n]
+	t.shape = append(t.shape[:0], d0, d1, d2)
+	return t
+}
+
+// View repoints view at src's backing data with the given shape and
+// returns it: an allocation-free Reshape for hot paths (a nil view
+// allocates the header once, then it is recycled on every call). The
+// returned tensor shares src's data; it panics if the element counts
+// differ.
+func View(view, src *Tensor, shape ...int) *Tensor {
+	return ViewOf(view, src.data, shape...)
+}
+
+// ViewOf is View over a raw slice: it repoints view at data with the
+// given shape. The element count must match len(data).
+func ViewOf(view *Tensor, data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	if view == nil {
+		view = &Tensor{}
+	}
+	view.shape = append(view.shape[:0], shape...)
+	view.data = data
+	return view
+}
+
+// ViewOf1, ViewOf2 and ViewOf3 are fixed-arity forms of ViewOf for hot
+// paths, for the same reason as Reuse1..3: a literal variadic shape
+// argument allocates per call. ViewOf1 wraps data as a rank-1 vector.
+func ViewOf1(view *Tensor, data []float64) *Tensor {
+	if view == nil {
+		view = &Tensor{}
+	}
+	view.shape = append(view.shape[:0], len(data))
+	view.data = data
+	return view
+}
+
+// ViewOf2 wraps data as a d0×d1 matrix; the element count must match.
+func ViewOf2(view *Tensor, data []float64, d0, d1 int) *Tensor {
+	if d0*d1 != len(data) {
+		panic(fmt.Sprintf("tensor: shape [%d %d] needs %d elements, got %d", d0, d1, d0*d1, len(data)))
+	}
+	if view == nil {
+		view = &Tensor{}
+	}
+	view.shape = append(view.shape[:0], d0, d1)
+	view.data = data
+	return view
+}
+
+// ViewOf3 wraps data as a rank-3 d0×d1×d2 tensor.
+func ViewOf3(view *Tensor, data []float64, d0, d1, d2 int) *Tensor {
+	if d0*d1*d2 != len(data) {
+		panic(fmt.Sprintf("tensor: shape [%d %d %d] needs %d elements, got %d", d0, d1, d2, d0*d1*d2, len(data)))
+	}
+	if view == nil {
+		view = &Tensor{}
+	}
+	view.shape = append(view.shape[:0], d0, d1, d2)
+	view.data = data
+	return view
 }
 
 // Dot computes the inner product of two equal-length vectors.

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# check_allocs.sh — the zero-allocation gate for the NN hot path.
+#
+# DESIGN.md §5e: after warm-up, the steady-state inference and training
+# paths must not touch the heap. This script runs the end-to-end
+# sub-benchmarks of BenchmarkKernels with -benchmem and fails if any
+# allocs/op figure exceeds its budget:
+#
+#   NetworkForward  0  (DNN 64-[128,64]-16 Forward)
+#   ServedPredict   0  (replica PredictInto, the serving engine's path)
+#   TrainBatch      8  (0 on one core; on multicore the data-parallel
+#                       batch path pays a few WaitGroup/closure headers
+#                       per parallel.Run call — fixed-size dispatch
+#                       cost, never data-sized traffic)
+#
+# Budgets are overridable (MAX_ALLOCS_<NAME>) so a future PR can land a
+# conscious regression without rewriting the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MAX_ALLOCS_NETWORKFORWARD="${MAX_ALLOCS_NETWORKFORWARD:-0}"
+MAX_ALLOCS_SERVEDPREDICT="${MAX_ALLOCS_SERVEDPREDICT:-0}"
+MAX_ALLOCS_TRAINBATCH="${MAX_ALLOCS_TRAINBATCH:-8}"
+
+out=$(go test -bench 'BenchmarkKernels/(NetworkForward|ServedPredict|TrainBatch)' \
+    -benchmem -benchtime 100x -run '^$' ./internal/bench/)
+printf '%s\n' "$out"
+
+fail=0
+check() {
+    local name="$1" budget="$2"
+    local allocs
+    allocs=$(printf '%s\n' "$out" | awk -v n="$name" \
+        '$1 ~ "BenchmarkKernels/" n "(-|$)" { print $(NF-1); exit }')
+    if [ -z "$allocs" ]; then
+        echo "FAIL: no benchmark output for $name" >&2
+        fail=1
+        return
+    fi
+    echo "allocs gate: $name = $allocs allocs/op (budget $budget)"
+    if [ "$allocs" -gt "$budget" ]; then
+        echo "FAIL: $name allocates $allocs/op, budget $budget." >&2
+        echo "The steady state must reuse layer scratch (DESIGN.md §5e)." >&2
+        fail=1
+    fi
+}
+
+check NetworkForward "$MAX_ALLOCS_NETWORKFORWARD"
+check ServedPredict "$MAX_ALLOCS_SERVEDPREDICT"
+check TrainBatch "$MAX_ALLOCS_TRAINBATCH"
+exit "$fail"
