@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"github.com/autonomizer/autonomizer/internal/ckpt"
+	"github.com/autonomizer/autonomizer/internal/core"
+	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/queue"
+)
+
+// The train/resume verbs exercise the durable training pipeline: a
+// WAL-backed database store holds the dataset, a WAL-backed queue holds
+// the fit request, and the fit checkpoints itself into the queue at
+// minibatch boundaries. Killing the process at ANY point — including
+// SIGKILL mid-fit — loses at most the minibatches since the last
+// checkpoint; `autonomizer resume -wal DIR` replays the logs, reclaims
+// the orphaned job, and finishes with final parameters bit-identical to
+// an uninterrupted run. CI's durability-smoke job asserts exactly that.
+
+// durableConfig collects the -wal family of flags.
+type durableConfig struct {
+	dir        string
+	seed       uint64
+	epochs     int
+	batch      int
+	examples   int
+	ckptEvery  int
+	crashAfter int  // SIGKILL self after this many durable checkpoints (0 = never)
+	enqueue    bool // train enqueues a fresh job; resume only drains
+}
+
+const durableModel = "DurableNN"
+
+func runDurable(ctx context.Context, log *slog.Logger, cfg durableConfig) error {
+	if cfg.dir == "" {
+		return errors.New("train/resume need -wal DIR for the durable state")
+	}
+	store, err := db.OpenDurable(filepath.Join(cfg.dir, "store"), db.WALOptions{})
+	if err != nil {
+		return fmt.Errorf("opening durable store: %w", err)
+	}
+	defer store.Close()
+	if rec := store.WAL().Recovered(); rec != nil {
+		log.Warn("store journal had a torn tail; truncated to last valid record",
+			"segment", rec.Segment, "dropped_bytes", rec.DroppedBytes)
+	}
+	q, err := queue.Open(filepath.Join(cfg.dir, "queue"), "autonomizer", queue.Options{})
+	if err != nil {
+		return fmt.Errorf("opening job queue: %w", err)
+	}
+	defer q.Close()
+	if rec := q.WAL().Recovered(); rec != nil {
+		log.Warn("queue journal had a torn tail; truncated to last valid record",
+			"segment", rec.Segment, "dropped_bytes", rec.DroppedBytes)
+	}
+
+	if err := ensureDataset(store, cfg.examples); err != nil {
+		return err
+	}
+
+	if cfg.enqueue {
+		id, err := q.Enqueue(queue.Job{Model: durableModel, Epochs: cfg.epochs, BatchSize: cfg.batch})
+		if err != nil {
+			return fmt.Errorf("enqueuing fit job: %w", err)
+		}
+		log.Info("enqueued fit job", "job", id, "model", durableModel,
+			"epochs", cfg.epochs, "batch", cfg.batch, "examples", cfg.examples)
+	}
+
+	for {
+		job, err := q.Claim()
+		if errors.Is(err, queue.ErrEmpty) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := runFitJob(ctx, log, store, q, job, cfg); err != nil {
+			return err
+		}
+	}
+	for _, j := range q.Jobs() {
+		if j.State == queue.Done {
+			fmt.Printf("job %d done: model=%s sha256=%s\n", j.ID, j.Model, j.Result)
+		}
+	}
+	return nil
+}
+
+// runFitJob executes one claimed fit job to completion (or checkpointed
+// interruption), journaling a resumable checkpoint into the queue at
+// every -ckpt-every minibatch boundary.
+func runFitJob(ctx context.Context, log *slog.Logger, store *db.DurableStore, q *queue.Queue, job *queue.Job, cfg durableConfig) error {
+	rt := core.NewRuntime(core.Train, cfg.seed)
+	if err := rt.Config(core.ModelSpec{Name: job.Model, Algo: core.AdamOpt, Hidden: []int{16, 8}}); err != nil {
+		return err
+	}
+	xs, ys, inSize, err := loadDataset(store)
+	if err != nil {
+		return err
+	}
+	for i := 0; i*inSize < len(xs); i++ {
+		if err := rt.RecordExample(job.Model, xs[i*inSize:(i+1)*inSize], ys[i:i+1]); err != nil {
+			return err
+		}
+	}
+
+	opt := core.FitResumeOptions{CheckpointEvery: cfg.ckptEvery}
+	if len(job.Checkpoint) > 0 {
+		ck, err := ckpt.DecodeFitCheckpoint(job.Checkpoint)
+		if err != nil {
+			return fmt.Errorf("job %d carries an undecodable checkpoint: %w", job.ID, err)
+		}
+		opt.Resume = ck
+		log.Info("resuming fit from checkpoint", "job", job.ID, "attempt", job.Attempts,
+			"epoch", ck.Epoch, "batch_in_epoch", ck.Batch, "total_batches", ck.Batches)
+	} else if job.Attempts > 1 {
+		log.Info("re-running fit from scratch (claimed but never checkpointed)",
+			"job", job.ID, "attempt", job.Attempts)
+	}
+	taken := 0
+	opt.OnCheckpoint = func(c *ckpt.FitCheckpoint) error {
+		if err := q.Checkpoint(job.ID, c.Encode()); err != nil {
+			return err
+		}
+		taken++
+		if cfg.crashAfter > 0 && taken >= cfg.crashAfter {
+			// Deterministic crash harness: the checkpoint above is durable,
+			// so a resume continues from exactly this minibatch boundary.
+			log.Warn("crash-after-batches reached; SIGKILLing self",
+				"checkpoints", taken, "total_batches", c.Batches)
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // unreachable: SIGKILL is not deliverable to a handler
+		}
+		return nil
+	}
+
+	st, err := rt.FitResumeCtx(ctx, job.Model, job.Epochs, job.BatchSize, opt)
+	if err != nil {
+		// Graceful interruption (SIGINT) or a journaling failure: hand the
+		// job back with its latest checkpoint so another run resumes it.
+		if relErr := q.Release(job.ID); relErr != nil {
+			log.Warn("releasing interrupted job failed", "job", job.ID, "err", relErr)
+		}
+		return err
+	}
+
+	data, err := rt.SaveModel(job.Model)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	sumHex := hex.EncodeToString(sum[:])
+	path := filepath.Join(cfg.dir, fmt.Sprintf("final-%s.aum", job.Model))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing final model: %w", err)
+	}
+	if err := q.Complete(job.ID, []byte(sumHex)); err != nil {
+		return err
+	}
+	log.Info("fit complete", "job", job.ID, "epochs", st.Epochs, "batches", st.Batches,
+		"loss", st.LastLoss, "steps_per_sec", st.StepsPerSec, "model_file", path)
+	fmt.Printf("job %d complete: epochs=%d batches=%d loss=%.8g sha256=%s\n",
+		job.ID, st.Epochs, st.Batches, st.LastLoss, sumHex)
+	return nil
+}
+
+// Dataset names in the durable store. The dataset is a deterministic
+// closed-form regression corpus (inputs (x, x², 1-x), target 2x), so
+// train and resume rebuild the identical in-memory dataset from the
+// replayed store.
+const (
+	dsInputs  = "train/x"
+	dsTargets = "train/y"
+	dsInSize  = 3
+)
+
+// ensureDataset idempotently populates the durable store: a fresh store
+// gets the corpus appended (journaled and fsync'd); a replayed store
+// that already holds a consistent dataset is left alone regardless of n
+// — the store is the authority, and regenerating would duplicate the
+// WAL records and the examples (a resumed fit must see the dataset the
+// original run saw).
+func ensureDataset(store *db.DurableStore, n int) error {
+	if nx, ny := store.Len(dsInputs), store.Len(dsTargets); ny > 0 && nx == ny*dsInSize {
+		return nil
+	}
+	if store.Len(dsInputs) != 0 || store.Len(dsTargets) != 0 {
+		return fmt.Errorf("durable store holds an inconsistent dataset (%d inputs for %d targets) — use a fresh -wal dir",
+			store.Len(dsInputs), store.Len(dsTargets))
+	}
+	xs := make([]float64, 0, n*dsInSize)
+	ys := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n)
+		xs = append(xs, x, x*x, 1-x)
+		ys = append(ys, 2*x)
+	}
+	store.Append(dsInputs, xs...)
+	store.Append(dsTargets, ys...)
+	return store.Sync()
+}
+
+func loadDataset(store *db.DurableStore) (xs, ys []float64, inSize int, err error) {
+	xs, _ = store.Get(dsInputs)
+	ys, _ = store.Get(dsTargets)
+	if len(ys) == 0 || len(xs) != len(ys)*dsInSize {
+		return nil, nil, 0, fmt.Errorf("durable store dataset has inconsistent geometry: %d inputs for %d targets", len(xs), len(ys))
+	}
+	return xs, ys, dsInSize, nil
+}

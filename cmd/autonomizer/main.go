@@ -50,6 +50,12 @@ func main() {
 	logFormat := flag.String("log-format", "text", "diagnostic log format: text|json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	traceSpans := flag.Bool("trace", false, "record per-primitive spans (exported on /debug/spans)")
+	walDir := flag.String("wal", "", "directory for durable WAL state (train/resume verbs)")
+	fitEpochs := flag.Int("fit-epochs", 8, "epochs for the train verb's fit job")
+	fitBatch := flag.Int("fit-batch", 8, "minibatch size for the train verb's fit job")
+	fitExamples := flag.Int("fit-examples", 256, "dataset size for the train verb's fit job")
+	ckptEvery := flag.Int("ckpt-every", 1, "journal a resumable checkpoint every N minibatches")
+	crashAfter := flag.Int("crash-after-batches", 0, "SIGKILL self after N durable checkpoints (crash-recovery harness)")
 	flag.Usage = usage
 	flag.Parse()
 	if err := obs.ConfigureLog(*logFormat, os.Stderr); err != nil {
@@ -116,6 +122,17 @@ func main() {
 		err = runDepGraph(flag.Arg(1), *seed)
 	case "demo":
 		err = runDemo(ctx, *seed)
+	case "train", "resume":
+		err = runDurable(ctx, log, durableConfig{
+			dir:        *walDir,
+			seed:       *seed,
+			epochs:     *fitEpochs,
+			batch:      *fitBatch,
+			examples:   *fitExamples,
+			ckptEvery:  *ckptEvery,
+			crashAfter: *crashAfter,
+			enqueue:    cmd == "train",
+		})
 	case "serve":
 		if *telemetry == "" {
 			log.Error("serve needs -telemetry ADDR to have endpoints to serve")
@@ -168,6 +185,8 @@ commands:
   depgraph   dump a subject's dynamic dependence graph as Graphviz DOT
   demo       quick end-to-end demonstration
   serve      exercise every primitive once, then serve telemetry until interrupted
+  train      enqueue a fit job into the durable -wal queue and run it to completion
+  resume     drain the durable -wal queue, resuming any interrupted fit from its checkpoint
   all        run everything
 
 network model serving (batched inference over HTTP) is the separate

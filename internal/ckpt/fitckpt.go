@@ -1,0 +1,167 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+)
+
+// FitCheckpoint is a resumable snapshot of an offline SL fit, taken at a
+// minibatch boundary. It captures everything the training loop needs to
+// continue bit-identically: the network parameters, the optimizer state
+// (Adam moments and step counter), the model RNG stream as it was at the
+// START of the in-progress epoch — so a resume re-draws the identical
+// shuffle permutation and skips the batches already applied — and the
+// loop position itself.
+//
+// The checkpoint is a value, not a file: the durable training queue
+// journals the encoded form into its WAL at each minibatch boundary, and
+// crash recovery hands the latest one back to the trainer.
+type FitCheckpoint struct {
+	// Model names the model being fitted; a resume against a different
+	// model is rejected.
+	Model string
+	// Epochs and BatchSize are the parameters of the interrupted Fit
+	// call. A resume must use the same values or the trajectory would
+	// diverge from the uninterrupted run.
+	Epochs    int
+	BatchSize int
+
+	// Epoch is the number of fully completed epochs; Batch the number of
+	// completed minibatches within the in-progress epoch; Batches the
+	// total completed optimizer steps across all epochs.
+	Epoch   int
+	Batch   int
+	Batches int
+	// LossSum accumulates the per-batch losses of the in-progress epoch,
+	// so the resumed epoch reports the same mean loss.
+	LossSum float64
+
+	// RNGState is the model RNG state captured at the start of the
+	// in-progress epoch, before the shuffle permutation was drawn.
+	RNGState uint64
+	// Params is the nn.Network.MarshalParams image at the boundary.
+	Params []byte
+	// OptState is the nn.Network.MarshalOptState image (Adam moments and
+	// step counter) at the boundary.
+	OptState []byte
+}
+
+const (
+	fitCkptMagic   = "AUFC"
+	fitCkptVersion = 1
+)
+
+// Encode serializes the checkpoint (little-endian, "AUFC" | version |
+// fields). The encoding is deterministic: identical checkpoints encode
+// to identical bytes.
+func (c *FitCheckpoint) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Grow(64 + len(c.Model) + len(c.Params) + len(c.OptState))
+	buf.WriteString(fitCkptMagic)
+	le := binary.LittleEndian
+	var tmp [8]byte
+	w32 := func(v uint32) { le.PutUint32(tmp[:4], v); buf.Write(tmp[:4]) }
+	w64 := func(v uint64) { le.PutUint64(tmp[:], v); buf.Write(tmp[:]) }
+	w32(fitCkptVersion)
+	w32(uint32(len(c.Model)))
+	buf.WriteString(c.Model)
+	w32(uint32(c.Epochs))
+	w32(uint32(c.BatchSize))
+	w32(uint32(c.Epoch))
+	w32(uint32(c.Batch))
+	w32(uint32(c.Batches))
+	w64(math.Float64bits(c.LossSum))
+	w64(c.RNGState)
+	w32(uint32(len(c.Params)))
+	buf.Write(c.Params)
+	w32(uint32(len(c.OptState)))
+	buf.Write(c.OptState)
+	return buf.Bytes()
+}
+
+// DecodeFitCheckpoint parses an Encode image. Damage is reported as an
+// error wrapping auerr.ErrCorruptStore: a checkpoint that cannot be
+// decoded exactly must never be silently resumed from.
+func DecodeFitCheckpoint(data []byte) (*FitCheckpoint, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("%w: ckpt: fit checkpoint: %s", auerr.ErrCorruptStore, fmt.Sprintf(format, args...))
+	}
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != fitCkptMagic {
+		return nil, corrupt("bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	r32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(b[:]), nil
+	}
+	r64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(b[:]), nil
+	}
+	ver, err := r32()
+	if err != nil {
+		return nil, corrupt("truncated header")
+	}
+	if ver != fitCkptVersion {
+		return nil, corrupt("unsupported version %d", ver)
+	}
+	nameLen, err := r32()
+	if err != nil || int64(nameLen) > int64(r.Len()) {
+		return nil, corrupt("bad model name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, corrupt("truncated model name")
+	}
+	c := &FitCheckpoint{Model: string(name)}
+	ints := []*int{&c.Epochs, &c.BatchSize, &c.Epoch, &c.Batch, &c.Batches}
+	for _, dst := range ints {
+		v, err := r32()
+		if err != nil {
+			return nil, corrupt("truncated loop position")
+		}
+		*dst = int(v)
+	}
+	lossBits, err := r64()
+	if err != nil {
+		return nil, corrupt("truncated loss sum")
+	}
+	c.LossSum = math.Float64frombits(lossBits)
+	if c.RNGState, err = r64(); err != nil {
+		return nil, corrupt("truncated rng state")
+	}
+	readBlob := func(what string) ([]byte, error) {
+		n, err := r32()
+		if err != nil || int64(n) > int64(r.Len()) {
+			return nil, corrupt("bad %s length", what)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, corrupt("truncated %s", what)
+		}
+		return b, nil
+	}
+	if c.Params, err = readBlob("params"); err != nil {
+		return nil, err
+	}
+	if c.OptState, err = readBlob("optimizer state"); err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, corrupt("%d trailing bytes", r.Len())
+	}
+	return c, nil
+}

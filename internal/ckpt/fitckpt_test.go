@@ -1,0 +1,68 @@
+package ckpt
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+)
+
+func TestFitCheckpointRoundTrip(t *testing.T) {
+	in := &FitCheckpoint{
+		Model:     "controller",
+		Epochs:    10,
+		BatchSize: 16,
+		Epoch:     3,
+		Batch:     7,
+		Batches:   55,
+		LossSum:   1.25e-3,
+		RNGState:  0xDEADBEEFCAFEF00D,
+		Params:    []byte{1, 2, 3, 4, 5},
+		OptState:  []byte{9, 8, 7},
+	}
+	out, err := DecodeFitCheckpoint(in.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestFitCheckpointEncodeDeterministic(t *testing.T) {
+	c := &FitCheckpoint{Model: "m", Epochs: 1, BatchSize: 2, Params: []byte{1}, OptState: []byte{2}}
+	a, b := c.Encode(), c.Encode()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func TestFitCheckpointDecodeRejectsDamage(t *testing.T) {
+	good := (&FitCheckpoint{
+		Model: "m", Epochs: 2, BatchSize: 4, Params: []byte{1, 2}, OptState: []byte{3},
+	}).Encode()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(append([]byte(nil), good...), 0),
+		"short header": good[:6],
+	}
+	for name, data := range cases {
+		if _, err := DecodeFitCheckpoint(data); err == nil {
+			t.Errorf("%s: decode accepted damaged checkpoint", name)
+		} else if !errors.Is(err, auerr.ErrCorruptStore) {
+			t.Errorf("%s: error %v does not wrap auerr.ErrCorruptStore", name, err)
+		}
+	}
+
+	// Oversized length prefix must not allocate or panic.
+	bad := append([]byte(nil), good...)
+	bad[8] = 0xFF // model name length low byte
+	bad[9] = 0xFF
+	if _, err := DecodeFitCheckpoint(bad); !errors.Is(err, auerr.ErrCorruptStore) {
+		t.Errorf("oversized name length: %v", err)
+	}
+}

@@ -8,7 +8,6 @@ import (
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/nn"
-	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/rl"
 	"github.com/autonomizer/autonomizer/internal/stats"
 	"github.com/autonomizer/autonomizer/internal/tensor"
@@ -223,73 +222,8 @@ type FitStats struct {
 //
 // tel, when non-nil, receives per-step latency observations, per-epoch
 // loss, and the epoch counter; a nil tel costs one branch per batch.
-func (m *model) fitCtx(ctx context.Context, epochs, batchSize int, tel *telemetry) (st FitStats, err error) {
-	begun := time.Now()
-	defer func() {
-		st.Duration = time.Since(begun)
-		if secs := st.Duration.Seconds(); secs > 0 && st.Batches > 0 {
-			st.StepsPerSec = float64(st.Batches) / secs
-		}
-	}()
-	if m.spec.Algo != AdamOpt {
-		return st, auerr.E(auerr.ErrModeViolation, "core: Fit only applies to AdamOpt models, %q is %v", m.spec.Name, m.spec.Algo)
-	}
-	if len(m.slInputs) == 0 {
-		return st, auerr.E(auerr.ErrMissingInput, "core: model %q has no recorded examples", m.spec.Name)
-	}
-	if m.net == nil {
-		if err := m.materialize(len(m.slInputs[0]), len(m.slTargets[0])); err != nil {
-			return st, err
-		}
-	}
-	if batchSize <= 0 {
-		batchSize = 16
-	}
-	toTensor := func(v []float64, shape []int) *tensor.Tensor {
-		if len(shape) == 3 {
-			return tensor.FromSlice(v, shape...)
-		}
-		return tensor.FromSlice(v, len(v))
-	}
-	for e := 0; e < epochs; e++ {
-		perm := m.rng.Perm(len(m.slInputs))
-		total, batches := 0.0, 0
-		for start := 0; start < len(perm); start += batchSize {
-			if err := live(ctx); err != nil {
-				if batches > 0 {
-					st.LastLoss = total / float64(batches)
-					tel.fitLoss(m.spec.Name, st.LastLoss)
-				}
-				return st, err
-			}
-			end := start + batchSize
-			if end > len(perm) {
-				end = len(perm)
-			}
-			var ins, outs []*tensor.Tensor
-			for _, idx := range perm[start:end] {
-				var shape []int
-				if m.spec.Type == CNN {
-					shape = m.spec.InputShape
-				}
-				ins = append(ins, toTensor(m.slInputs[idx], shape))
-				outs = append(outs, toTensor(m.slTargets[idx], nil))
-			}
-			var stepTm obs.Timer
-			if tel != nil {
-				stepTm = tel.fitStep.Timer()
-			}
-			total += m.net.TrainBatch(ins, outs)
-			stepTm.Stop()
-			batches++
-			st.Batches++
-		}
-		st.LastLoss = total / float64(batches)
-		st.Epochs++
-		if tel != nil {
-			tel.fitEpochs.Inc()
-			tel.fitLoss(m.spec.Name, st.LastLoss)
-		}
-	}
-	return st, nil
+// The full loop, including the checkpoint/resume machinery this wraps,
+// lives in fitResumeCtx.
+func (m *model) fitCtx(ctx context.Context, epochs, batchSize int, tel *telemetry) (FitStats, error) {
+	return m.fitResumeCtx(ctx, epochs, batchSize, tel, FitResumeOptions{})
 }

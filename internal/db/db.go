@@ -10,6 +10,7 @@
 package db
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -64,6 +65,10 @@ func resetMetricsForTest() { sm.Store(nil) }
 type Store struct {
 	mu   sync.RWMutex
 	data map[string][]float64
+
+	// wal, when attached (OpenDurable), journals every mutation while
+	// mu is held, making the on-disk record order the apply order.
+	wal *WAL
 }
 
 // New returns an empty store.
@@ -75,6 +80,9 @@ func New() *Store {
 func (s *Store) Append(name string, vals ...float64) {
 	s.mu.Lock()
 	s.data[name] = append(s.data[name], vals...)
+	if s.wal != nil {
+		s.logRecord(walOpStoreAppend, encNameVals(name, vals))
+	}
 	s.mu.Unlock()
 	if m := metrics(); m != nil {
 		m.appends.Inc()
@@ -87,6 +95,9 @@ func (s *Store) Append(name string, vals ...float64) {
 func (s *Store) Put(name string, vals []float64) {
 	s.mu.Lock()
 	s.data[name] = append([]float64(nil), vals...)
+	if s.wal != nil {
+		s.logRecord(walOpStorePut, encNameVals(name, vals))
+	}
 	s.mu.Unlock()
 	if m := metrics(); m != nil {
 		m.puts.Inc()
@@ -117,6 +128,11 @@ func (s *Store) Reset(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.data, name)
+	if s.wal != nil {
+		var buf bytes.Buffer
+		encName(&buf, name)
+		s.logRecord(walOpStoreReset, buf.Bytes())
+	}
 }
 
 // Concat implements the SERIALIZE rule: it binds strcat(names…) (joined
@@ -132,6 +148,9 @@ func (s *Store) Concat(names ...string) string {
 	}
 	key := strings.Join(names, "+")
 	s.data[key] = combined
+	if s.wal != nil {
+		s.logRecord(walOpStoreConcat, encNames(names))
+	}
 	return key
 }
 
@@ -167,6 +186,11 @@ func (s *Store) RestoreSnapshot(snap map[string][]float64) {
 	s.data = make(map[string][]float64, len(snap))
 	for k, v := range snap {
 		s.data[k] = append([]float64(nil), v...)
+	}
+	// A restore is journaled as a full snapshot record: replay must
+	// reproduce the reset exactly, not merge with pre-restore history.
+	if s.wal != nil {
+		s.logRecord(walOpStoreSnapshot, s.saveImageLocked())
 	}
 }
 

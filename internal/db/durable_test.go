@@ -1,0 +1,210 @@
+package db
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+)
+
+func openDurable(t *testing.T, dir string) *DurableStore {
+	t.Helper()
+	d, err := OpenDurable(dir, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenDurable(%s): %v", dir, err)
+	}
+	return d
+}
+
+func TestDurableStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	d.Append("x", 1, 2, 3)
+	d.Append("y", -1.5)
+	d.Put("out", []float64{9, 8})
+	d.Append("gone", 4)
+	d.Reset("gone")
+	key := d.Concat("x", "y")
+	if key != "x+y" {
+		t.Fatalf("Concat key = %q", key)
+	}
+	want := d.Snapshot()
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2 := openDurable(t, dir)
+	defer d2.Close()
+	got := d2.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed store = %v, want %v", got, want)
+	}
+	if _, ok := d2.Get("gone"); ok {
+		t.Error("Reset not replayed: name still bound")
+	}
+}
+
+func TestDurableStoreRestoreSnapshotReplay(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	d.Append("junk", 1, 2, 3)
+	snap := map[string][]float64{"kept": {42, 43}}
+	d.RestoreSnapshot(snap)
+	d.Append("kept", 44) // post-restore mutation must replay on top
+	d.Close()
+
+	d2 := openDurable(t, dir)
+	defer d2.Close()
+	if _, ok := d2.Get("junk"); ok {
+		t.Error("RestoreSnapshot replay kept pre-restore binding")
+	}
+	got, _ := d2.Get("kept")
+	if !reflect.DeepEqual(got, []float64{42, 43, 44}) {
+		t.Errorf("kept = %v, want [42 43 44]", got)
+	}
+}
+
+func TestDurableStoreCompactPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	for i := 0; i < 100; i++ {
+		d.Append("series", float64(i))
+	}
+	d.Put("params", []float64{3.14})
+	want := d.Snapshot()
+	if err := d.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := d.WAL().Segments(); got != 1 {
+		t.Errorf("segments after compact = %d, want 1", got)
+	}
+	// Mutations after compaction land in the tail.
+	d.Append("series", 100)
+	want["series"] = append(want["series"], 100)
+	d.Close()
+
+	d2 := openDurable(t, dir)
+	defer d2.Close()
+	if got := d2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-compaction replay = %v, want %v", got, want)
+	}
+}
+
+// TestDurableStoreCompactCrashBeforeUnlink exercises the compaction
+// crash window: the snapshot segment is durable but the stale segments
+// were never removed. Replay must let the snapshot supersede them.
+func TestDurableStoreCompactCrashBeforeUnlink(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	d.Append("a", 1, 2)
+	d.Put("b", []float64{7})
+	want := d.Snapshot()
+	d.Close()
+
+	// Simulate the crash by hand-building the post-compaction segment
+	// while leaving segment 1 in place.
+	s := New()
+	for k, v := range want {
+		s.data[k] = v
+	}
+	img := s.saveImageLocked()
+	f, err := os.OpenFile(filepath.Join(dir, segName(2)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("create snapshot segment: %v", err)
+	}
+	if err := writeSegHeader(f, 2); err != nil {
+		t.Fatalf("write header: %v", err)
+	}
+	if _, err := f.Write(encodeFrame(walOpStoreSnapshot, img)); err != nil {
+		t.Fatalf("write snapshot record: %v", err)
+	}
+	f.Close()
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatalf("stale segment missing from fixture: %v", err)
+	}
+
+	d2 := openDurable(t, dir)
+	defer d2.Close()
+	if got := d2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("replay with stale prefix = %v, want %v", got, want)
+	}
+}
+
+func TestDurableStoreTornTailKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	d.Append("safe", 1, 2, 3)
+	prefix := d.WAL().SizeBytes()
+	d.Append("torn", 4, 5, 6)
+	d.Close()
+
+	path := filepath.Join(dir, segName(1))
+	if err := os.Truncate(path, prefix+5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	d2 := openDurable(t, dir)
+	defer d2.Close()
+	if d2.WAL().Recovered() == nil {
+		t.Fatal("torn tail not reported")
+	}
+	if got, _ := d2.Get("safe"); !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Errorf("prefix binding = %v", got)
+	}
+	if _, ok := d2.Get("torn"); ok {
+		t.Error("torn record partially applied")
+	}
+}
+
+func TestDurableStoreMidFileCorruptionFatal(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	d.Append("a", 1, 2, 3)
+	d.Append("b", 4, 5, 6)
+	d.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[segHeaderSize+frameSize+4] ^= 0xFF // inside the first record's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_, err = OpenDurable(dir, WALOptions{NoSync: true})
+	if err == nil {
+		t.Fatal("OpenDurable accepted mid-file corruption")
+	}
+	if !errors.Is(err, auerr.ErrCorruptStore) {
+		t.Errorf("error %v does not wrap auerr.ErrCorruptStore", err)
+	}
+}
+
+func TestDurableStoreConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				d.Append("shared", float64(g*1000+i))
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	want := d.Snapshot()
+	d.Close()
+
+	d2 := openDurable(t, dir)
+	defer d2.Close()
+	if got := d2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Error("concurrent appends replayed in a different order than applied")
+	}
+}

@@ -1,0 +1,212 @@
+package db
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WAL segment layout (little-endian):
+//
+//	header: magic "AUWS" | uint32 version | uint64 segment index   (16 bytes)
+//	record: uint32 bodyLen | uint32 crc32(body) | body             (8-byte frame)
+//	body:   uint8 recordType | payload
+//
+// Segments are append-only and named wal-%016x.seg by their index; a
+// sealed segment (one with a successor) must end cleanly, while the
+// final segment may end in a torn record from a crash mid-append.
+
+const (
+	segMagic      = "AUWS"
+	segVersion    = 1
+	segHeaderSize = 16
+	frameSize     = 8 // bodyLen + crc
+)
+
+func segName(idx uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", idx)
+}
+
+// parseSegName extracts the index from a segment file name, reporting
+// whether the name is a WAL segment at all.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// listSegments returns the WAL segment indices present in dir, sorted
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if idx, ok := parseSegName(e.Name()); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs, nil
+}
+
+// writeSegHeader writes a fresh segment header to f.
+func writeSegHeader(f *os.File, idx uint64) error {
+	var hdr [segHeaderSize]byte
+	copy(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], idx)
+	_, err := f.Write(hdr[:])
+	return err
+}
+
+// readSegHeader validates a segment's header against its file name.
+func readSegHeader(data []byte, idx uint64) error {
+	if len(data) < segHeaderSize {
+		return fmt.Errorf("db: segment %s: short header (%d bytes)", segName(idx), len(data))
+	}
+	if string(data[0:4]) != segMagic {
+		return fmt.Errorf("db: segment %s: bad magic %q", segName(idx), data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != segVersion {
+		return fmt.Errorf("db: segment %s: unsupported version %d", segName(idx), v)
+	}
+	if got := binary.LittleEndian.Uint64(data[8:16]); got != idx {
+		return fmt.Errorf("db: segment %s: header claims index %d", segName(idx), got)
+	}
+	return nil
+}
+
+// encodeFrame frames one record: 8-byte header then type byte + payload.
+func encodeFrame(typ byte, payload []byte) []byte {
+	body := len(payload) + 1
+	frame := make([]byte, frameSize+body)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(body))
+	frame[frameSize] = typ
+	copy(frame[frameSize+1:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[frameSize:]))
+	return frame
+}
+
+// tornTailError marks a decode failure consistent with a write that was
+// interrupted by a crash: recoverable by truncating the segment back to
+// the last valid record. Any other decode failure is mid-file corruption
+// and fatal. The classification rules (final segment only):
+//
+//   - a frame header or body extending past end-of-file is torn (the
+//     crash landed mid-write);
+//   - a CRC mismatch on a record whose frame ends exactly at end-of-file
+//     is torn (partially persisted final record);
+//   - a zero/implausible length whose remaining bytes are all zero is
+//     torn (zero-filled tail pages);
+//   - everything else — a bad record with valid-looking data after it,
+//     or any damage in a sealed segment — is fatal, because silently
+//     dropping records that were once durable would corrupt the replay.
+type tornTailError struct {
+	off int64 // file offset of the last valid byte
+	why string
+}
+
+func (e *tornTailError) Error() string {
+	return fmt.Sprintf("db: torn tail at offset %d: %s", e.off, e.why)
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// scanSegment replays every intact record of one segment through fn.
+// final marks the newest segment, the only one allowed to end in a torn
+// record; a torn tail is reported as *tornTailError with the offset to
+// truncate to, any other failure as a plain (fatal) error.
+func scanSegment(data []byte, idx uint64, maxRecord int, final bool, fn func(typ byte, payload []byte) error) error {
+	if err := readSegHeader(data, idx); err != nil {
+		if final && len(data) < segHeaderSize && allZero(data) {
+			// A crash immediately after creating the file can leave a
+			// short or empty header; nothing was ever logged here.
+			return &tornTailError{off: 0, why: "incomplete segment header"}
+		}
+		return err
+	}
+	off := int64(segHeaderSize)
+	size := int64(len(data))
+	torn := func(why string) error {
+		if final {
+			return &tornTailError{off: off, why: why}
+		}
+		return fmt.Errorf("db: segment %s: %s in sealed segment at offset %d", segName(idx), why, off)
+	}
+	for off < size {
+		if off+frameSize > size {
+			return torn("short record frame")
+		}
+		bodyLen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		end := off + frameSize + bodyLen
+		if end > size {
+			return torn("record extends past end of file")
+		}
+		if bodyLen < 1 || bodyLen > int64(maxRecord) {
+			if final && allZero(data[off:]) {
+				return &tornTailError{off: off, why: "zero-filled tail"}
+			}
+			return fmt.Errorf("db: segment %s: implausible record length %d at offset %d", segName(idx), bodyLen, off)
+		}
+		body := data[off+frameSize : end]
+		if crc32.ChecksumIEEE(body) != crc {
+			if final && end == size {
+				return torn("checksum mismatch on final record")
+			}
+			return fmt.Errorf("db: segment %s: checksum mismatch at offset %d", segName(idx), off)
+		}
+		if err := fn(body[0], body[1:]); err != nil {
+			return fmt.Errorf("db: segment %s: record at offset %d: %w", segName(idx), off, err)
+		}
+		off = end
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so segment creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// removeSegments deletes the segments with the given indices.
+func removeSegments(dir string, idxs []uint64) error {
+	for _, idx := range idxs {
+		if err := os.Remove(filepath.Join(dir, segName(idx))); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return syncDir(dir)
+}

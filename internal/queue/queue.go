@@ -1,0 +1,653 @@
+// Package queue implements a durable, crash-resumable training job
+// queue on top of the db package's write-ahead log. Fit requests are
+// enqueued as WAL records; a consumer claims the oldest pending job
+// under a lease, journals a resumable checkpoint at every minibatch
+// boundary, and marks the job complete with its result. Every state
+// transition is one fsync'd WAL record, so after SIGKILL at any point
+// the queue reopens to a consistent state:
+//
+//   - a job claimed by the crashed process (same owner) is requeued
+//     immediately, keeping its latest checkpoint — training resumes at
+//     the last durable minibatch boundary instead of restarting;
+//   - a job claimed by a different live process stays claimed until its
+//     lease expires, then becomes claimable again;
+//   - completed jobs keep their results until the log is compacted away
+//     by retention.
+//
+// The design follows the "persistent source of truth + queue-first
+// execution" idiom: the WAL is the authority, the in-memory index is a
+// pure replay artifact.
+package queue
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/obs"
+)
+
+// Queue record types live in the 0x10 nibble so a WAL directory mixed
+// up with a store journal fails loudly on replay.
+const (
+	opEnqueue    byte = 0x10
+	opClaim      byte = 0x11
+	opCheckpoint byte = 0x12
+	opComplete   byte = 0x13
+	opRelease    byte = 0x14
+	opRenew      byte = 0x15
+)
+
+// State is a job's position in the claim lifecycle.
+type State uint8
+
+const (
+	// Pending jobs are claimable.
+	Pending State = iota
+	// Claimed jobs are owned by a consumer until completion, release, or
+	// lease expiry.
+	Claimed
+	// Done jobs carry a result and are never claimable again.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Claimed:
+		return "claimed"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Job is one training request. Model/Epochs/BatchSize parameterize the
+// fit; Payload is opaque caller data (e.g. a dataset descriptor);
+// Checkpoint is the latest resumable fit checkpoint journaled at a
+// minibatch boundary, nil until the first one.
+type Job struct {
+	ID        uint64
+	Model     string
+	Epochs    int
+	BatchSize int
+	Payload   []byte
+
+	State      State
+	Owner      string
+	LeaseUntil time.Time
+	Attempts   int
+	Checkpoint []byte
+	Result     []byte
+}
+
+func (j *Job) clone() *Job {
+	c := *j
+	c.Payload = append([]byte(nil), j.Payload...)
+	c.Checkpoint = append([]byte(nil), j.Checkpoint...)
+	c.Result = append([]byte(nil), j.Result...)
+	return &c
+}
+
+// ErrEmpty is returned by Claim when no job is claimable.
+var ErrEmpty = errors.New("queue: no claimable job")
+
+// Options tunes a Queue.
+type Options struct {
+	// Lease is how long a claim is honored without renewal before other
+	// consumers may reclaim the job (default 30s).
+	Lease time.Duration
+	// WAL configures the underlying log (NoSync for tests).
+	WAL db.WALOptions
+	// Now overrides the clock, for deterministic lease tests.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lease <= 0 {
+		o.Lease = 30 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// queueMetrics instruments queue traffic process-wide, lazily resolved
+// after telemetry is enabled.
+type queueMetrics struct {
+	enqueued    *obs.Counter
+	claimed     *obs.Counter
+	completed   *obs.Counter
+	requeued    *obs.Counter
+	checkpoints *obs.Counter
+	depth       *obs.Gauge
+}
+
+var qm atomic.Pointer[queueMetrics]
+
+func metrics() *queueMetrics {
+	if m := qm.Load(); m != nil {
+		return m
+	}
+	reg := obs.Default()
+	if reg == nil {
+		return nil
+	}
+	m := &queueMetrics{
+		enqueued: reg.Counter("autonomizer_queue_enqueued_total",
+			"Training jobs enqueued.", nil),
+		claimed: reg.Counter("autonomizer_queue_claimed_total",
+			"Training job claims (including reclaims).", nil),
+		completed: reg.Counter("autonomizer_queue_completed_total",
+			"Training jobs completed.", nil),
+		requeued: reg.Counter("autonomizer_queue_requeued_total",
+			"Jobs requeued after a crash or lease expiry.", nil),
+		checkpoints: reg.Counter("autonomizer_queue_checkpoints_total",
+			"Resumable checkpoints journaled at minibatch boundaries.", nil),
+		depth: reg.Gauge("autonomizer_queue_depth",
+			"Pending (claimable) jobs in the most recently touched queue.", nil),
+	}
+	if !qm.CompareAndSwap(nil, m) {
+		return qm.Load()
+	}
+	return m
+}
+
+// resetMetricsForTest drops the cached instruments so tests can attach
+// a fresh registry.
+func resetMetricsForTest() { qm.Store(nil) }
+
+// Queue is a WAL-backed job queue. All methods are safe for concurrent
+// use within one process; cross-process coordination is by lease.
+type Queue struct {
+	mu    sync.Mutex
+	wal   *db.WAL
+	owner string
+	opts  Options
+
+	jobs   map[uint64]*Job
+	order  []uint64 // enqueue order, the claim priority
+	nextID uint64
+
+	m *queueMetrics
+}
+
+// Open opens (creating if necessary) the queue journaled in dir. owner
+// identifies this consumer: jobs found claimed by the same owner were
+// orphaned by a crash of a previous incarnation and are requeued
+// immediately — keeping their checkpoints — rather than waiting out the
+// lease.
+func Open(dir, owner string, opts Options) (*Queue, error) {
+	q := &Queue{
+		owner: owner,
+		opts:  opts.withDefaults(),
+		jobs:  make(map[uint64]*Job),
+		m:     metrics(),
+	}
+	w, err := db.OpenWAL(dir, opts.WAL, q.replay)
+	if err != nil {
+		return nil, err
+	}
+	q.wal = w
+	// Crash recovery: reclaim our own orphans.
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.State == Claimed && j.Owner == owner {
+			j.State = Pending
+			j.Owner = ""
+			j.LeaseUntil = time.Time{}
+			if q.m != nil {
+				q.m.requeued.Inc()
+			}
+		}
+	}
+	q.publishDepth()
+	return q, nil
+}
+
+// replay applies one journal record to the in-memory index.
+func (q *Queue) replay(typ byte, payload []byte) error {
+	switch typ {
+	case opEnqueue:
+		j, err := decEnqueue(payload)
+		if err != nil {
+			return err
+		}
+		q.jobs[j.ID] = j
+		q.order = append(q.order, j.ID)
+		if j.ID >= q.nextID {
+			q.nextID = j.ID + 1
+		}
+	case opClaim:
+		id, owner, lease, err := decClaim(payload)
+		if err != nil {
+			return err
+		}
+		j, ok := q.jobs[id]
+		if !ok {
+			return fmt.Errorf("queue: claim of unknown job %d", id)
+		}
+		j.State = Claimed
+		j.Owner = owner
+		j.LeaseUntil = lease
+		j.Attempts++
+	case opRenew:
+		id, _, lease, err := decClaim(payload)
+		if err != nil {
+			return err
+		}
+		if j, ok := q.jobs[id]; ok && j.State == Claimed {
+			j.LeaseUntil = lease
+		}
+	case opCheckpoint:
+		id, data, err := decBlob(payload)
+		if err != nil {
+			return err
+		}
+		j, ok := q.jobs[id]
+		if !ok {
+			return fmt.Errorf("queue: checkpoint for unknown job %d", id)
+		}
+		j.Checkpoint = data
+	case opComplete:
+		id, data, err := decBlob(payload)
+		if err != nil {
+			return err
+		}
+		j, ok := q.jobs[id]
+		if !ok {
+			return fmt.Errorf("queue: completion of unknown job %d", id)
+		}
+		j.State = Done
+		j.Owner = ""
+		j.Result = data
+	case opRelease:
+		if len(payload) != 8 {
+			return fmt.Errorf("queue: malformed release record")
+		}
+		id := binary.LittleEndian.Uint64(payload)
+		j, ok := q.jobs[id]
+		if !ok {
+			return fmt.Errorf("queue: release of unknown job %d", id)
+		}
+		j.State = Pending
+		j.Owner = ""
+		j.LeaseUntil = time.Time{}
+	default:
+		return fmt.Errorf("queue: unknown record type 0x%02x", typ)
+	}
+	return nil
+}
+
+// Enqueue appends a job request durably and returns its ID. Only the
+// request fields (Model, Epochs, BatchSize, Payload) of j are used.
+func (q *Queue) Enqueue(j Job) (uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.ID = q.nextID
+	j.State = Pending
+	j.Owner, j.LeaseUntil, j.Attempts, j.Checkpoint, j.Result = "", time.Time{}, 0, nil, nil
+	if err := q.wal.Append(opEnqueue, encEnqueue(&j)); err != nil {
+		return 0, err
+	}
+	q.nextID++
+	q.jobs[j.ID] = j.clone()
+	q.order = append(q.order, j.ID)
+	if q.m != nil {
+		q.m.enqueued.Inc()
+	}
+	q.publishDepth()
+	return j.ID, nil
+}
+
+// Claim durably claims the oldest claimable job for this queue's owner
+// under a fresh lease: the oldest Pending job, or the oldest Claimed
+// job whose lease has expired (which counts as a requeue). Returns a
+// copy of the job — including any checkpoint from a previous attempt —
+// or ErrEmpty.
+func (q *Queue) Claim() (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opts.Now()
+	for _, id := range q.order {
+		j := q.jobs[id]
+		expired := j.State == Claimed && now.After(j.LeaseUntil)
+		if j.State != Pending && !expired {
+			continue
+		}
+		lease := now.Add(q.opts.Lease)
+		if err := q.wal.Append(opClaim, encClaim(id, q.owner, lease)); err != nil {
+			return nil, err
+		}
+		if expired && q.m != nil {
+			q.m.requeued.Inc()
+		}
+		j.State = Claimed
+		j.Owner = q.owner
+		j.LeaseUntil = lease
+		j.Attempts++
+		if q.m != nil {
+			q.m.claimed.Inc()
+		}
+		q.publishDepth()
+		return j.clone(), nil
+	}
+	return nil, ErrEmpty
+}
+
+// Renew durably extends the caller's lease on a claimed job.
+func (q *Queue) Renew(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, err := q.owned(id)
+	if err != nil {
+		return err
+	}
+	lease := q.opts.Now().Add(q.opts.Lease)
+	if err := q.wal.Append(opRenew, encClaim(id, q.owner, lease)); err != nil {
+		return err
+	}
+	j.LeaseUntil = lease
+	return nil
+}
+
+// Checkpoint durably journals a resumable fit checkpoint for a job this
+// owner has claimed, and renews the lease (a training step that makes
+// checkpoint progress is alive by definition).
+func (q *Queue) Checkpoint(id uint64, data []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, err := q.owned(id)
+	if err != nil {
+		return err
+	}
+	if err := q.wal.Append(opCheckpoint, encBlob(id, data)); err != nil {
+		return err
+	}
+	j.Checkpoint = append([]byte(nil), data...)
+	j.LeaseUntil = q.opts.Now().Add(q.opts.Lease)
+	if q.m != nil {
+		q.m.checkpoints.Inc()
+	}
+	return nil
+}
+
+// Complete durably marks a claimed job done with its result.
+func (q *Queue) Complete(id uint64, result []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, err := q.owned(id)
+	if err != nil {
+		return err
+	}
+	if err := q.wal.Append(opComplete, encBlob(id, result)); err != nil {
+		return err
+	}
+	j.State = Done
+	j.Owner = ""
+	j.Result = append([]byte(nil), result...)
+	if q.m != nil {
+		q.m.completed.Inc()
+	}
+	q.publishDepth()
+	return nil
+}
+
+// Release durably returns a claimed job to the pending state (checkpoint
+// retained), for consumers shutting down gracefully.
+func (q *Queue) Release(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, err := q.owned(id); err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	if err := q.wal.Append(opRelease, b[:]); err != nil {
+		return err
+	}
+	j := q.jobs[id]
+	j.State = Pending
+	j.Owner = ""
+	j.LeaseUntil = time.Time{}
+	q.publishDepth()
+	return nil
+}
+
+// owned returns the job iff it is claimed by this queue's owner.
+func (q *Queue) owned(id uint64) (*Job, error) {
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("queue: unknown job %d", id)
+	}
+	if j.State != Claimed || j.Owner != q.owner {
+		return nil, fmt.Errorf("queue: job %d is %s by %q, not claimed by %q", id, j.State, j.Owner, q.owner)
+	}
+	return j, nil
+}
+
+// Get returns a copy of a job by ID.
+func (q *Queue) Get(id uint64) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.clone(), true
+}
+
+// Jobs returns copies of all jobs in enqueue order.
+func (q *Queue) Jobs() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.jobs[id].clone())
+	}
+	return out
+}
+
+// Depth reports the number of claimable (pending or lease-expired) jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depthLocked()
+}
+
+func (q *Queue) depthLocked() int {
+	now := q.opts.Now()
+	n := 0
+	for _, j := range q.jobs {
+		if j.State == Pending || (j.State == Claimed && now.After(j.LeaseUntil)) {
+			n++
+		}
+	}
+	return n
+}
+
+func (q *Queue) publishDepth() {
+	if q.m != nil {
+		q.m.depth.Set(float64(q.depthLocked()))
+	}
+}
+
+// Compact collapses the journal into one canonical record set per live
+// job at the head of a fresh segment. Done jobs older than the newest
+// incomplete job are retained too — results are part of the truth —
+// so retention is the caller's policy via Remove (not yet needed).
+func (q *Queue) Compact() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var recs []db.Record
+	for _, id := range q.order {
+		j := q.jobs[id]
+		recs = append(recs, db.Record{Type: opEnqueue, Payload: encEnqueue(j)})
+		switch j.State {
+		case Claimed:
+			recs = append(recs, db.Record{Type: opClaim, Payload: encClaim(j.ID, j.Owner, j.LeaseUntil)})
+		case Done:
+			recs = append(recs, db.Record{Type: opComplete, Payload: encBlob(j.ID, j.Result)})
+		}
+		if j.Checkpoint != nil && j.State != Done {
+			recs = append(recs, db.Record{Type: opCheckpoint, Payload: encBlob(j.ID, j.Checkpoint)})
+		}
+	}
+	if err := q.wal.Compact(recs); err != nil {
+		return err
+	}
+	// Replayed attempts count one claim record per attempt; after
+	// compaction a claimed job replays exactly one, so fold the
+	// difference into the snapshot semantics: Attempts survives only in
+	// memory. That is acceptable — Attempts is advisory.
+	return nil
+}
+
+// WAL exposes the underlying log for size accounting and recovery info.
+func (q *Queue) WAL() *db.WAL { return q.wal }
+
+// Sync flushes the journal.
+func (q *Queue) Sync() error { return q.wal.Sync() }
+
+// Close closes the journal. The queue must not be used afterwards.
+func (q *Queue) Close() error { return q.wal.Close() }
+
+// --- record encodings (little-endian) ---
+
+func encEnqueue(j *Job) []byte {
+	var buf bytes.Buffer
+	buf.Grow(8 + 2 + len(j.Model) + 8 + 4 + len(j.Payload))
+	le := binary.LittleEndian
+	var b [8]byte
+	le.PutUint64(b[:], j.ID)
+	buf.Write(b[:])
+	le.PutUint16(b[:2], uint16(len(j.Model)))
+	buf.Write(b[:2])
+	buf.WriteString(j.Model)
+	le.PutUint32(b[:4], uint32(j.Epochs))
+	buf.Write(b[:4])
+	le.PutUint32(b[:4], uint32(j.BatchSize))
+	buf.Write(b[:4])
+	le.PutUint32(b[:4], uint32(len(j.Payload)))
+	buf.Write(b[:4])
+	buf.Write(j.Payload)
+	return buf.Bytes()
+}
+
+func decEnqueue(payload []byte) (*Job, error) {
+	r := bytes.NewReader(payload)
+	le := binary.LittleEndian
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return nil, fmt.Errorf("queue: malformed enqueue record: %w", err)
+	}
+	j := &Job{ID: le.Uint64(b[:])}
+	if _, err := io.ReadFull(r, b[:2]); err != nil {
+		return nil, fmt.Errorf("queue: malformed enqueue record: %w", err)
+	}
+	name := make([]byte, le.Uint16(b[:2]))
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("queue: malformed enqueue record: %w", err)
+	}
+	j.Model = string(name)
+	if _, err := io.ReadFull(r, b[:4]); err != nil {
+		return nil, fmt.Errorf("queue: malformed enqueue record: %w", err)
+	}
+	j.Epochs = int(le.Uint32(b[:4]))
+	if _, err := io.ReadFull(r, b[:4]); err != nil {
+		return nil, fmt.Errorf("queue: malformed enqueue record: %w", err)
+	}
+	j.BatchSize = int(le.Uint32(b[:4]))
+	if _, err := io.ReadFull(r, b[:4]); err != nil {
+		return nil, fmt.Errorf("queue: malformed enqueue record: %w", err)
+	}
+	n := le.Uint32(b[:4])
+	if int64(n) > int64(r.Len()) {
+		return nil, fmt.Errorf("queue: enqueue payload length %d exceeds record", n)
+	}
+	j.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, j.Payload); err != nil {
+		return nil, fmt.Errorf("queue: malformed enqueue record: %w", err)
+	}
+	return j, nil
+}
+
+func encClaim(id uint64, owner string, lease time.Time) []byte {
+	buf := make([]byte, 8+2+len(owner)+8)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:8], id)
+	le.PutUint16(buf[8:10], uint16(len(owner)))
+	copy(buf[10:], owner)
+	le.PutUint64(buf[10+len(owner):], uint64(lease.UnixNano()))
+	return buf
+}
+
+func decClaim(payload []byte) (id uint64, owner string, lease time.Time, err error) {
+	le := binary.LittleEndian
+	if len(payload) < 10 {
+		return 0, "", time.Time{}, fmt.Errorf("queue: malformed claim record")
+	}
+	id = le.Uint64(payload[0:8])
+	n := int(le.Uint16(payload[8:10]))
+	if len(payload) != 10+n+8 {
+		return 0, "", time.Time{}, fmt.Errorf("queue: malformed claim record")
+	}
+	owner = string(payload[10 : 10+n])
+	lease = time.Unix(0, int64(le.Uint64(payload[10+n:])))
+	return id, owner, lease, nil
+}
+
+func encBlob(id uint64, data []byte) []byte {
+	buf := make([]byte, 8+4+len(data))
+	binary.LittleEndian.PutUint64(buf[0:8], id)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(data)))
+	copy(buf[12:], data)
+	return buf
+}
+
+func decBlob(payload []byte) (uint64, []byte, error) {
+	if len(payload) < 12 {
+		return 0, nil, fmt.Errorf("queue: malformed record")
+	}
+	id := binary.LittleEndian.Uint64(payload[0:8])
+	n := binary.LittleEndian.Uint32(payload[8:12])
+	if int(n) != len(payload)-12 {
+		return 0, nil, fmt.Errorf("queue: record length %d does not match payload", n)
+	}
+	return id, append([]byte(nil), payload[12:]...), nil
+}
+
+// Stats is a point-in-time census of the queue.
+type Stats struct {
+	Pending, Claimed, Done int
+	Checkpointed           int // live jobs carrying a resumable checkpoint
+}
+
+// Snapshot returns the census.
+func (q *Queue) Snapshot() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var st Stats
+	for _, j := range q.jobs {
+		switch j.State {
+		case Pending:
+			st.Pending++
+		case Claimed:
+			st.Claimed++
+		case Done:
+			st.Done++
+		}
+		if j.Checkpoint != nil && j.State != Done {
+			st.Checkpointed++
+		}
+	}
+	return st
+}

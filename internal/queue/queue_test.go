@@ -1,0 +1,355 @@
+package queue
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/db"
+)
+
+func testOpts() Options {
+	return Options{WAL: db.WALOptions{NoSync: true}}
+}
+
+func open(t *testing.T, dir, owner string, opts Options) *Queue {
+	t.Helper()
+	q, err := Open(dir, owner, opts)
+	if err != nil {
+		t.Fatalf("Open(%s, %s): %v", dir, owner, err)
+	}
+	return q
+}
+
+func TestEnqueueClaimCompleteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	q := open(t, dir, "w1", testOpts())
+	id, err := q.Enqueue(Job{Model: "m", Epochs: 3, BatchSize: 8, Payload: []byte("data")})
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if q.Depth() != 1 {
+		t.Errorf("Depth = %d, want 1", q.Depth())
+	}
+	j, err := q.Claim()
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if j.ID != id || j.Model != "m" || j.Epochs != 3 || j.BatchSize != 8 || !bytes.Equal(j.Payload, []byte("data")) {
+		t.Errorf("claimed job = %+v", j)
+	}
+	if j.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", j.Attempts)
+	}
+	if _, err := q.Claim(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("second Claim = %v, want ErrEmpty", err)
+	}
+	if err := q.Complete(id, []byte("result")); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	q.Close()
+
+	// Everything survives a clean reopen.
+	q2 := open(t, dir, "w1", testOpts())
+	defer q2.Close()
+	got, ok := q2.Get(id)
+	if !ok || got.State != Done || !bytes.Equal(got.Result, []byte("result")) {
+		t.Errorf("reopened job = %+v", got)
+	}
+	if _, err := q2.Claim(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Claim on drained queue = %v, want ErrEmpty", err)
+	}
+}
+
+// TestCrashBetweenClaimAndFirstCheckpoint is the satellite regression
+// test: the consumer dies after the claim record is durable but before
+// any checkpoint. On reopen (same owner) the job must be claimable
+// again immediately, with no checkpoint, and count the extra attempt.
+func TestCrashBetweenClaimAndFirstCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	q := open(t, dir, "w1", testOpts())
+	id, err := q.Enqueue(Job{Model: "m", Epochs: 1, BatchSize: 4})
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if _, err := q.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	// Crash: no Release, no Complete, no Checkpoint. Simulate by
+	// reopening the directory without closing (the WAL file handle is
+	// torn down by the OS at process death; NoSync data is still in the
+	// page cache within one process, so the records are visible).
+	q.WAL().Close()
+
+	q2 := open(t, dir, "w1", testOpts())
+	defer q2.Close()
+	j, err := q2.Claim()
+	if err != nil {
+		t.Fatalf("reclaim after crash: %v", err)
+	}
+	if j.ID != id || j.Checkpoint != nil {
+		t.Errorf("reclaimed job = %+v, want id %d with nil checkpoint", j, id)
+	}
+	if j.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (one per claim)", j.Attempts)
+	}
+}
+
+func TestCrashMidFitResumesFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	q := open(t, dir, "w1", testOpts())
+	id, _ := q.Enqueue(Job{Model: "m", Epochs: 2, BatchSize: 4})
+	if _, err := q.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := q.Checkpoint(id, []byte("ckpt-batch-1")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := q.Checkpoint(id, []byte("ckpt-batch-2")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	q.WAL().Close() // crash
+
+	q2 := open(t, dir, "w1", testOpts())
+	defer q2.Close()
+	j, err := q2.Claim()
+	if err != nil {
+		t.Fatalf("reclaim: %v", err)
+	}
+	if !bytes.Equal(j.Checkpoint, []byte("ckpt-batch-2")) {
+		t.Errorf("Checkpoint = %q, want the latest one", j.Checkpoint)
+	}
+}
+
+func TestForeignClaimHonoredUntilLeaseExpiry(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	opts := testOpts()
+	opts.Lease = 10 * time.Second
+	opts.Now = clock
+
+	qa := open(t, dir, "worker-a", opts)
+	id, _ := qa.Enqueue(Job{Model: "m"})
+	if _, err := qa.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	qa.WAL().Close() // worker-a crashes; worker-b opens the same log
+
+	qb := open(t, dir, "worker-b", opts)
+	defer qb.Close()
+	if _, err := qb.Claim(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("foreign lease not honored: %v", err)
+	}
+	now = now.Add(11 * time.Second) // lease expires
+	j, err := qb.Claim()
+	if err != nil {
+		t.Fatalf("claim after lease expiry: %v", err)
+	}
+	if j.ID != id || j.Owner != "worker-b" || j.Attempts != 2 {
+		t.Errorf("reclaimed job = %+v", j)
+	}
+}
+
+func TestRenewExtendsLease(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	opts := testOpts()
+	opts.Lease = 10 * time.Second
+	opts.Now = func() time.Time { return now }
+	q := open(t, dir, "w1", opts)
+	defer q.Close()
+	id, _ := q.Enqueue(Job{Model: "m"})
+	if _, err := q.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	now = now.Add(8 * time.Second)
+	if err := q.Renew(id); err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	now = now.Add(8 * time.Second) // 16s after claim, 8s after renew
+	j, _ := q.Get(id)
+	if now.After(j.LeaseUntil) {
+		t.Error("renewed lease already expired")
+	}
+	if q.Depth() != 0 {
+		t.Errorf("Depth = %d, want 0 while lease held", q.Depth())
+	}
+}
+
+func TestReleaseRequeuesWithCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	q := open(t, dir, "w1", testOpts())
+	id, _ := q.Enqueue(Job{Model: "m"})
+	if _, err := q.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := q.Checkpoint(id, []byte("partial")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := q.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	q.Close()
+
+	q2 := open(t, dir, "w2", testOpts()) // different owner: release, not crash recovery
+	defer q2.Close()
+	j, err := q2.Claim()
+	if err != nil {
+		t.Fatalf("claim released job: %v", err)
+	}
+	if !bytes.Equal(j.Checkpoint, []byte("partial")) {
+		t.Errorf("released job lost its checkpoint: %q", j.Checkpoint)
+	}
+}
+
+func TestOwnershipEnforced(t *testing.T) {
+	dir := t.TempDir()
+	q := open(t, dir, "w1", testOpts())
+	defer q.Close()
+	id, _ := q.Enqueue(Job{Model: "m"})
+	// Not claimed at all.
+	if err := q.Checkpoint(id, []byte("x")); err == nil {
+		t.Error("Checkpoint on unclaimed job succeeded")
+	}
+	if err := q.Complete(id, nil); err == nil {
+		t.Error("Complete on unclaimed job succeeded")
+	}
+	if err := q.Renew(42); err == nil {
+		t.Error("Renew on unknown job succeeded")
+	}
+}
+
+func TestCompactPreservesQueueState(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.WAL.SegmentBytes = 512
+	q := open(t, dir, "w1", opts)
+	done, _ := q.Enqueue(Job{Model: "done-job", Payload: bytes.Repeat([]byte{1}, 100)})
+	if _, err := q.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := q.Complete(done, []byte("final")); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	inflight, _ := q.Enqueue(Job{Model: "inflight"})
+	if _, err := q.Claim(); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := q.Checkpoint(inflight, []byte("ck")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	pending, _ := q.Enqueue(Job{Model: "pending"})
+
+	if err := q.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if q.WAL().Segments() != 1 {
+		t.Errorf("segments after compact = %d, want 1", q.WAL().Segments())
+	}
+	q.Close()
+
+	q2 := open(t, dir, "w1", opts)
+	defer q2.Close()
+	if j, _ := q2.Get(done); j.State != Done || !bytes.Equal(j.Result, []byte("final")) {
+		t.Errorf("done job after compaction = %+v", j)
+	}
+	// The inflight job was ours → crash-requeued with checkpoint intact.
+	if j, _ := q2.Get(inflight); j.State != Pending || !bytes.Equal(j.Checkpoint, []byte("ck")) {
+		t.Errorf("inflight job after compaction = %+v", j)
+	}
+	if j, _ := q2.Get(pending); j.State != Pending {
+		t.Errorf("pending job after compaction = %+v", j)
+	}
+}
+
+// TestConcurrentClaimsNoDoubleDelivery drives the queue from many
+// goroutines under -race: every job is delivered to exactly one claimer.
+func TestConcurrentClaimsNoDoubleDelivery(t *testing.T) {
+	dir := t.TempDir()
+	q := open(t, dir, "w1", testOpts())
+	defer q.Close()
+	const jobs = 60
+	for i := 0; i < jobs; i++ {
+		if _, err := q.Enqueue(Job{Model: "m"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j, err := q.Claim()
+				if errors.Is(err, ErrEmpty) {
+					return
+				}
+				if err != nil {
+					t.Errorf("Claim: %v", err)
+					return
+				}
+				mu.Lock()
+				seen[j.ID]++
+				mu.Unlock()
+				if err := q.Complete(j.ID, nil); err != nil {
+					t.Errorf("Complete: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != jobs {
+		t.Errorf("claimed %d distinct jobs, want %d", len(seen), jobs)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("job %d delivered %d times", id, n)
+		}
+	}
+}
+
+func TestQueueTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	q := open(t, dir, "w1", testOpts())
+	if _, err := q.Enqueue(Job{Model: "kept"}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if _, err := q.Enqueue(Job{Model: "torn"}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	q.Close()
+
+	// Tear the final record: drop the last 3 bytes of the newest segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("globbing segments: %v (%d found)", err, len(segs))
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(last, st.Size()-3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	q2 := open(t, dir, "w1", testOpts())
+	defer q2.Close()
+	if q2.WAL().Recovered() == nil {
+		t.Fatal("torn tail not reported")
+	}
+	jobs := q2.Jobs()
+	if len(jobs) != 1 || jobs[0].Model != "kept" {
+		t.Errorf("jobs after torn-tail recovery = %+v", jobs)
+	}
+}

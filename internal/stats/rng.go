@@ -41,6 +41,21 @@ func (r *RNG) SplitN(n int) []*RNG {
 	return out
 }
 
+// State exposes the generator's internal state word so that durable
+// training checkpoints can capture the exact stream position; a stream
+// restored with SetState continues bit-for-bit where the original left
+// off (the WAL-backed fit-resume contract relies on this).
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds or fast-forwards the generator to a state previously
+// returned by State. A zero state is remapped like a zero seed.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

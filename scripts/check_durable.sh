@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# check_durable.sh — the crash-recovery gate (DESIGN.md §5f).
+#
+# Drives the durable training pipeline through its whole contract:
+#
+#   1. an uninterrupted `train` run records the baseline final model;
+#   2. a second run SIGKILLs itself mid-fit (deterministically, via
+#      -crash-after-batches, after the Nth checkpoint is fsync'd) and
+#      `resume` must finish it with BIT-IDENTICAL final parameters;
+#   3. a torn tail — a record half-written at the moment of a crash —
+#      must be truncated away on reopen, keeping the valid prefix;
+#   4. mid-file corruption (a flipped byte inside a record that was once
+#      durable) must be rejected loudly with the corrupt-store error,
+#      never silently replayed.
+#
+# Usage: check_durable.sh [path-to-autonomizer-binary]
+set -euo pipefail
+
+BIN="${1:-/tmp/autonomizer}"
+WORK="${WORK:-$(mktemp -d /tmp/durable-gate.XXXXXX)}"
+EPOCHS=4 BATCH=8 EXAMPLES=128 # 16 minibatches/epoch, 64 total
+CRASH_AT=23                   # SIGKILL mid-epoch-2, between batch boundaries
+
+fail=0
+note() { echo "durable gate: $*"; }
+die() {
+    echo "FAIL: $*" >&2
+    fail=1
+}
+
+if [ ! -x "$BIN" ]; then
+    echo "FAIL: autonomizer binary not found at $BIN (build it first)" >&2
+    exit 1
+fi
+
+run_train() { # dir extra-flags...
+    local dir="$1"
+    shift
+    "$BIN" -wal "$dir" -fit-epochs "$EPOCHS" -fit-batch "$BATCH" -fit-examples "$EXAMPLES" "$@" train
+}
+
+# --- 1. Baseline: uninterrupted run -----------------------------------
+note "baseline uninterrupted run"
+run_train "$WORK/base" >"$WORK/base.out" 2>"$WORK/base.err"
+BASE_MODEL="$WORK/base/final-DurableNN.aum"
+[ -s "$BASE_MODEL" ] || die "baseline run produced no final model"
+BASE_SHA=$(sed -n 's/.*sha256=\([0-9a-f]*\)$/\1/p' "$WORK/base.out" | head -n1)
+note "baseline sha256=$BASE_SHA"
+
+# --- 2. SIGKILL mid-fit, then resume ----------------------------------
+note "crash run: self-SIGKILL after checkpoint $CRASH_AT of 64"
+set +e
+run_train "$WORK/crash" -crash-after-batches "$CRASH_AT" >"$WORK/crash.out" 2>"$WORK/crash.err"
+crash_rc=$?
+set -e
+# 137 = 128+SIGKILL when the shell reaps it; a plain sh may report 0 for
+# a backgrounded wrapper, so gate on the absence of a final model too.
+if [ "$crash_rc" -ne 137 ] && [ "$crash_rc" -ne 0 ]; then
+    note "crash run exited rc=$crash_rc (expected SIGKILL/137)"
+fi
+[ ! -e "$WORK/crash/final-DurableNN.aum" ] || die "crashed run left a final model — it did not die mid-fit"
+grep -q "SIGKILLing self" "$WORK/crash.err" || die "crash run never reached the kill point"
+
+note "resuming crashed run"
+"$BIN" -wal "$WORK/crash" resume >"$WORK/resume.out" 2>"$WORK/resume.err"
+grep -q "resuming fit from checkpoint" "$WORK/resume.err" || die "resume did not pick up the checkpoint (re-ran from scratch?)"
+CRASH_MODEL="$WORK/crash/final-DurableNN.aum"
+[ -s "$CRASH_MODEL" ] || die "resume produced no final model"
+if cmp -s "$BASE_MODEL" "$CRASH_MODEL"; then
+    note "resume is bit-identical to the uninterrupted run"
+else
+    die "resumed final model differs from uninterrupted run (sha: $(sha256sum "$CRASH_MODEL" | cut -d' ' -f1) vs $BASE_SHA)"
+fi
+
+# --- 3. Torn tail: truncate mid-record, reopen must recover -----------
+note "torn tail: truncating the newest queue segment mid-record"
+QSEG=$(ls "$WORK/crash/queue"/wal-*.seg | sort | tail -n1)
+size=$(stat -c %s "$QSEG")
+truncate -s $((size - 3)) "$QSEG"
+"$BIN" -wal "$WORK/crash" resume >"$WORK/torn.out" 2>"$WORK/torn.err"
+grep -q "torn tail" "$WORK/torn.err" || die "torn tail was not detected/truncated on reopen"
+# The dropped record was the completion; the re-completed fit must agree.
+cmp -s "$BASE_MODEL" "$WORK/crash/final-DurableNN.aum" || die "re-completed model after torn-tail recovery differs from baseline"
+note "torn tail truncated; prefix replayed; job re-completed identically"
+
+# --- 4. Mid-file corruption: flip a durable byte, reopen must refuse --
+note "mid-file corruption: flipping a byte inside the store journal"
+SSEG=$(ls "$WORK/base/store"/wal-*.seg | sort | head -n1)
+# Offset 34 lands inside the first record's body (16B segment header +
+# 8B frame), with valid records after it: unambiguously fatal.
+printf '\xff' | dd of="$SSEG" bs=1 seek=34 count=1 conv=notrunc status=none
+set +e
+"$BIN" -wal "$WORK/base" resume >"$WORK/corrupt.out" 2>"$WORK/corrupt.err"
+corrupt_rc=$?
+set -e
+[ "$corrupt_rc" -ne 0 ] || die "reopen of a corrupted journal succeeded"
+grep -q "corrupt store data" "$WORK/corrupt.err" || die "corruption rejected without the corrupt-store error class: $(tail -n2 "$WORK/corrupt.err")"
+note "mid-file corruption rejected with the corrupt-store error"
+
+if [ "$fail" -ne 0 ]; then
+    echo "--- work dir kept at $WORK ---" >&2
+    exit 1
+fi
+note "all checks passed (work dir $WORK)"
