@@ -120,6 +120,29 @@ func BenchmarkKernels(b *testing.B) {
 	})
 
 	b.Run("CNNForward", func(b *testing.B) {
+		// The CNN serving path: a compiled plan instance. Gated at 0
+		// allocs/op — the plan's ops run sequentially on pre-sized
+		// buffers, with no parallel-dispatch closures.
+		net := benchCNN()
+		plan, err := nn.Compile(net, 4, 32, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst := plan.NewInstance()
+		in := make([]float64, 4*32*32)
+		out := make([]float64, plan.OutSize())
+		inst.PredictInto(out, in)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst.PredictInto(out, in)
+		}
+	})
+
+	b.Run("CNNForwardTrain", func(b *testing.B) {
+		// The CNN training-representation forward (informational, not
+		// alloc-gated): pays the arena and worker-dispatch costs the
+		// compiled plan eliminates.
 		net := benchCNN()
 		in := tensor.New(4, 32, 32)
 		fillKernel(in, 8)
@@ -132,18 +155,21 @@ func BenchmarkKernels(b *testing.B) {
 	})
 
 	b.Run("ServedPredict", func(b *testing.B) {
+		// The serving hot path: one compiled plan replica, exactly what
+		// the engine pool hands to each batch shard.
 		net := benchDNN()
-		rep, ok := net.Replica()
-		if !ok {
-			b.Fatal("DNN not replicable")
+		plan, err := nn.Compile(net)
+		if err != nil {
+			b.Fatal(err)
 		}
+		inst := plan.NewInstance()
 		in := make([]float64, 64)
 		out := make([]float64, 16)
-		rep.PredictInto(out, in) // warm-up
+		inst.PredictInto(out, in) // warm-up
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rep.PredictInto(out, in)
+			inst.PredictInto(out, in)
 		}
 	})
 

@@ -89,6 +89,7 @@ func (m *model) fitResumeCtx(ctx context.Context, epochs, batchSize int, tel *te
 		if err := m.net.UnmarshalParams(ck.Params); err != nil {
 			return st, fmt.Errorf("core: restoring checkpoint params for %q: %w", m.spec.Name, err)
 		}
+		m.bumpWeights()
 		if err := m.net.UnmarshalOptState(ck.OptState); err != nil {
 			return st, fmt.Errorf("core: restoring optimizer state for %q: %w", m.spec.Name, err)
 		}
@@ -142,6 +143,7 @@ func (m *model) fitResumeCtx(ctx context.Context, epochs, batchSize int, tel *te
 				stepTm = tel.fitStep.Timer()
 			}
 			total += m.net.TrainBatch(ins, outs)
+			m.bumpWeights()
 			stepTm.Stop()
 			batches++
 			st.Batches++

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
@@ -46,6 +47,63 @@ type model struct {
 	// layers cache forward-pass state. Parallel rollouts avoid this lock
 	// entirely by taking private replicas via predictor().
 	predMu sync.Mutex
+
+	// weightsVersion counts weight publications: it is bumped after every
+	// mutation of the network's parameters (materialize, online train
+	// steps, offline fit batches, RL observes, weight restores). Compiled
+	// serving plans snapshot the weights, so predictors compare their
+	// plan's version against this counter on every call and recompile on
+	// mismatch — the invalidation half of the two-representation
+	// architecture (DESIGN.md §5g).
+	weightsVersion atomic.Uint64
+
+	// Compiled-plan cache: one shared immutable plan per weights version,
+	// compiled lazily on first use and replaced when the version moves.
+	// planFailed latches compile failure — the architecture is fixed after
+	// materialize, so a network that cannot compile today never will.
+	planMu      sync.Mutex
+	plan        *nn.Plan
+	planVersion uint64
+	planFailed  bool
+}
+
+// bumpWeights records a weight publication, invalidating compiled plans.
+func (m *model) bumpWeights() { m.weightsVersion.Add(1) }
+
+// compiledPlan returns the serving plan for the current weights (and the
+// version it was compiled at), recompiling if training has published new
+// weights since the cached compile. Returns nil when the network's
+// architecture cannot be compiled; callers fall back to network replicas.
+func (m *model) compiledPlan() (*nn.Plan, uint64) {
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
+	if m.planFailed || m.net == nil {
+		return nil, 0
+	}
+	ver := m.weightsVersion.Load()
+	if m.plan == nil || m.planVersion != ver {
+		var shape []int
+		if m.spec.Type == CNN {
+			shape = m.spec.InputShape
+		}
+		p, err := nn.Compile(m.net, shape...)
+		if err != nil {
+			m.planFailed = true
+			return nil, 0
+		}
+		m.plan, m.planVersion = p, ver
+	}
+	return m.plan, m.planVersion
+}
+
+// planInstance returns a fresh per-goroutine instance of the current
+// compiled plan, or nil when the model cannot be compiled.
+func (m *model) planInstance() (*nn.PlanInstance, uint64) {
+	p, ver := m.compiledPlan()
+	if p == nil {
+		return nil, 0
+	}
+	return p.NewInstance(), ver
 }
 
 func newModel(spec ModelSpec, rng *stats.RNG) *model {
@@ -115,6 +173,7 @@ func (m *model) materialize(inSize, outSize int) error {
 		}
 		m.pendingParams = nil
 	}
+	m.bumpWeights()
 	return nil
 }
 
@@ -130,12 +189,24 @@ func (m *model) predict(in []float64) []float64 {
 	return m.net.Predict(in)
 }
 
-// predictor returns an inference function backed by a private replica of
-// the network (shared weights, private caches), safe to call concurrently
-// with other predictors while no training step is mutating the weights.
-// Networks that cannot be replicated fall back to the lock-guarded shared
-// path.
+// predictor returns an inference function backed by a private instance
+// of the model's compiled serving plan (shared packed weights, private
+// scratch), safe to call concurrently with other predictors while no
+// training step is mutating the weights. Each call checks the weights
+// version with one atomic load and recompiles when training has
+// published new weights. Models whose architecture cannot be compiled
+// fall back to a network replica, then to the lock-guarded shared path.
 func (m *model) predictor() func(in []float64) []float64 {
+	if inst, ver := m.planInstance(); inst != nil {
+		return func(in []float64) []float64 {
+			if v := m.weightsVersion.Load(); v != ver {
+				if ni, nv := m.planInstance(); ni != nil {
+					inst, ver = ni, nv
+				}
+			}
+			return inst.Predict(in)
+		}
+	}
 	rep, ok := m.net.Replica()
 	if !ok {
 		return m.predict
@@ -149,10 +220,20 @@ func (m *model) predictor() func(in []float64) []float64 {
 
 // predictorInto is the destination-passing predictor(): the returned
 // function writes the prediction into out when it has the right length
-// (allocating otherwise) and returns the filled slice. With a private
-// replica and a correctly sized out, a steady-state call allocates
+// (allocating otherwise) and returns the filled slice. With a compiled
+// plan instance and a correctly sized out, a steady-state call allocates
 // nothing — the serving engine's per-replica closures are built on this.
 func (m *model) predictorInto() func(in, out []float64) []float64 {
+	if inst, ver := m.planInstance(); inst != nil {
+		return func(in, out []float64) []float64 {
+			if v := m.weightsVersion.Load(); v != ver {
+				if ni, nv := m.planInstance(); ni != nil {
+					inst, ver = ni, nv
+				}
+			}
+			return inst.PredictInto(out, in)
+		}
+	}
 	rep, ok := m.net.Replica()
 	if !ok {
 		return func(in, out []float64) []float64 {
@@ -181,7 +262,9 @@ func (m *model) slTrainStep(in, target []float64) float64 {
 		it = tensor.FromSlice(append([]float64(nil), in...), len(in))
 	}
 	tt := tensor.FromSlice(append([]float64(nil), target...), len(target))
-	return m.net.TrainStep(it, tt)
+	loss := m.net.TrainStep(it, tt)
+	m.bumpWeights()
+	return loss
 }
 
 // recordExample appends a labeled example for offline training.

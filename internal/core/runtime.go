@@ -326,6 +326,7 @@ func (rt *Runtime) NNRLCtx(ctx context.Context, mdName, extName string, reward f
 		if _, err := m.agent.ObserveCtx(ctx, rlTransition(m.prevState, m.prevAction, reward, state, terminal)); err != nil {
 			return err
 		}
+		m.bumpWeights()
 	}
 	if terminal {
 		// The episode ended: do not bridge a transition across restore.
@@ -517,7 +518,34 @@ func (rt *Runtime) LoadModelParams(mdName string, data []byte) (err error) {
 	if err != nil {
 		return err
 	}
-	return m.net.UnmarshalParams(params)
+	if err := m.net.UnmarshalParams(params); err != nil {
+		return err
+	}
+	m.bumpWeights()
+	return nil
+}
+
+// CompileModel eagerly builds (or refreshes) the model's compiled
+// serving plan — weights packed into the active kernel layout, scratch
+// geometry pre-sized — so the first prediction pays no packing cost.
+// Predictor and PredictorInto closures then run on instances of that
+// plan. The serving layer calls this at snapshot install, publishing
+// only already-packed engines on hot reload. A model whose architecture
+// cannot be compiled returns an error wrapping auerr.ErrSpecInvalid;
+// predictors for it fall back to network replicas.
+func (rt *Runtime) CompileModel(mdName string) (err error) {
+	defer guard(&err)
+	m, ok := rt.getModel(mdName)
+	if !ok {
+		return auerr.E(auerr.ErrUnknownModel, "core: CompileModel on unconfigured model %q", mdName)
+	}
+	if m.net == nil {
+		return auerr.E(auerr.ErrNotMaterialized, "core: model %q not materialized", mdName)
+	}
+	if p, _ := m.compiledPlan(); p == nil {
+		return auerr.E(auerr.ErrSpecInvalid, "core: model %q cannot be compiled for serving", mdName)
+	}
+	return nil
 }
 
 // SavedModelSizes decodes the input/output sizes from a SaveModel image

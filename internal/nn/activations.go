@@ -183,7 +183,7 @@ func NewFlatten() *Flatten { return &Flatten{} }
 // Forward flattens the input to a vector view.
 func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
 	f.lastShape = append(f.lastShape[:0], in.Shape()...)
-	f.fwdView = tensor.ViewOf1(f.fwdView, in.Data())
+	f.fwdView = tensor.ViewOf(f.fwdView, in.Data(), in.Size())
 	return f.fwdView
 }
 

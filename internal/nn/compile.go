@@ -1,0 +1,393 @@
+// compile.go is the serving half of the two-representation architecture
+// (DESIGN.md §5g). A *Network is the training representation: mutable
+// weights, per-layer caches for the backward pass, parallel kernels that
+// pack operands on every call. A *Plan is the compiled serving
+// representation built from a network at a fixed input shape: weights
+// are packed into the active kernel's layout exactly once, every buffer
+// is pre-sized from the compile-time shape walk, and the ops run
+// sequentially — parallelism lives above the plan (one instance per
+// goroutine or replica), not inside it — so a steady-state PredictInto
+// performs zero allocations and no scratch-arena traffic.
+//
+// A Plan snapshots the weights: training a network after compiling it
+// does not change the plan. Publishing new weights means compiling a new
+// plan; that is what internal/core does on every weight publish and what
+// internal/serve does at snapshot install.
+//
+// Determinism contract: a plan's output is bit-identical to
+// Network.Forward on the same weights at every width — the packed dense
+// op reproduces Dot's two-rounding multiply-then-add fold, the packed
+// conv op reproduces the im2col×weights FMA fold, and every activation
+// op copies the layer formula exactly. Enforced by compile_test.go.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/tensor"
+)
+
+// Plan is an immutable compiled inference plan: packed weight snapshots
+// plus the op sequence and buffer geometry for one input shape. A Plan
+// holds no mutable state — share it freely; to execute it, create one
+// *PlanInstance per goroutine with NewInstance.
+type Plan struct {
+	inShape []int
+	inSize  int
+	outSize int
+	layers  []compiledLayer
+}
+
+// compiledLayer is the shared, immutable per-layer compile result; newOp
+// binds it to fresh per-instance scratch.
+type compiledLayer interface {
+	newOp() planOp
+}
+
+// planOp executes one layer step for one instance. run must not write to
+// in (identity ops return it unchanged); the returned slice is op-owned
+// and valid until the op runs again.
+type planOp interface {
+	run(in []float64) []float64
+}
+
+// Compile builds the serving plan for net at the given input shape
+// (omitted shape means a flat vector sized by the first layer). It
+// returns an error when the stack contains a layer kind the compiler
+// does not know or the shape walk fails; callers fall back to the
+// uncompiled network in that case.
+func Compile(net *Network, inShape ...int) (*Plan, error) {
+	if len(net.layers) == 0 {
+		return nil, fmt.Errorf("nn: compile of empty network")
+	}
+	if len(inShape) == 0 {
+		d, ok := net.layers[0].(*Dense)
+		if !ok {
+			return nil, fmt.Errorf("nn: compile needs an input shape for a %s first layer", net.layers[0].Name())
+		}
+		inShape = []int{d.InSize}
+	}
+	p := &Plan{inShape: append([]int(nil), inShape...), inSize: 1}
+	for _, d := range inShape {
+		if d <= 0 {
+			return nil, fmt.Errorf("nn: compile input shape %v", inShape)
+		}
+		p.inSize *= d
+	}
+	shape := p.inShape
+	for _, l := range net.layers {
+		cl, outShape, err := compileLayer(l, shape)
+		if err != nil {
+			return nil, err
+		}
+		if cl != nil { // identity layers compile to nothing
+			p.layers = append(p.layers, cl)
+		}
+		shape = outShape
+	}
+	p.outSize = 1
+	for _, d := range shape {
+		p.outSize *= d
+	}
+	return p, nil
+}
+
+// compileLayer lowers one layer at the given input shape, returning the
+// shared compile result (nil for identity) and the output shape.
+func compileLayer(l Layer, shape []int) (compiledLayer, []int, error) {
+	size := 1
+	for _, d := range shape {
+		size *= d
+	}
+	switch l := l.(type) {
+	case *Dense:
+		if size != l.InSize {
+			return nil, nil, fmt.Errorf("nn: compile dense expects %d inputs, got %v", l.InSize, shape)
+		}
+		return &cDense{pd: tensor.PackDense(l.weights, l.bias)}, []int{l.OutSize}, nil
+	case *Conv2D:
+		if len(shape) != 3 || shape[0] != l.InC {
+			return nil, nil, fmt.Errorf("nn: compile conv2d expects (%d,H,W), got %v", l.InC, shape)
+		}
+		h, w := shape[1], shape[2]
+		outH := tensor.ConvOutputSize(h, l.KH, l.Stride, l.Pad)
+		outW := tensor.ConvOutputSize(w, l.KW, l.Stride, l.Pad)
+		if outH <= 0 || outW <= 0 {
+			return nil, nil, fmt.Errorf("nn: compile conv2d kernel too large for %v", shape)
+		}
+		return &cConv{
+			w:    tensor.PackA(l.weights),
+			bias: append([]float64(nil), l.bias.Data()...),
+			inC:  l.InC, inH: h, inW: w,
+			kh: l.KH, kw: l.KW, stride: l.Stride, pad: l.Pad,
+			outC: l.OutC, outH: outH, outW: outW,
+		}, []int{l.OutC, outH, outW}, nil
+	case *MaxPool2D:
+		if len(shape) != 3 {
+			return nil, nil, fmt.Errorf("nn: compile maxpool expects (C,H,W), got %v", shape)
+		}
+		c, h, w := shape[0], shape[1], shape[2]
+		oh, ow := h/l.Size, w/l.Size
+		if oh == 0 || ow == 0 {
+			return nil, nil, fmt.Errorf("nn: compile maxpool window %d too large for %v", l.Size, shape)
+		}
+		return &cPool{size: l.Size, c: c, h: h, w: w, oh: oh, ow: ow}, []int{c, oh, ow}, nil
+	case *ReLU:
+		return &cMap{kind: mapReLU, size: size}, shape, nil
+	case *LeakyReLU:
+		return &cMap{kind: mapLeakyReLU, alpha: l.Alpha, size: size}, shape, nil
+	case *Sigmoid:
+		return &cMap{kind: mapSigmoid, size: size}, shape, nil
+	case *Tanh:
+		return &cMap{kind: mapTanh, size: size}, shape, nil
+	case *Softmax:
+		return &cMap{kind: mapSoftmax, size: size}, shape, nil
+	case *Flatten:
+		return nil, []int{size}, nil
+	case *Dropout:
+		// Serving is inference: dropout is the identity, exactly like the
+		// layer's own non-training Forward.
+		return nil, shape, nil
+	default:
+		return nil, nil, fmt.Errorf("nn: cannot compile layer %s", l.Name())
+	}
+}
+
+// InShape returns the input shape the plan was compiled for.
+func (p *Plan) InShape() []int { return p.inShape }
+
+// InSize returns the flat input length.
+func (p *Plan) InSize() int { return p.inSize }
+
+// OutSize returns the flat output length.
+func (p *Plan) OutSize() int { return p.outSize }
+
+// NewInstance allocates the per-goroutine execution state: one op per
+// compiled layer, each with pre-sized scratch, all sharing the plan's
+// packed weights. Instances are not goroutine-safe; the plan is.
+func (p *Plan) NewInstance() *PlanInstance {
+	inst := &PlanInstance{plan: p}
+	for _, cl := range p.layers {
+		inst.ops = append(inst.ops, cl.newOp())
+	}
+	return inst
+}
+
+// PlanInstance executes a compiled plan with instance-owned buffers.
+type PlanInstance struct {
+	plan *Plan
+	ops  []planOp
+}
+
+// Plan returns the shared compiled plan this instance executes.
+func (pi *PlanInstance) Plan() *Plan { return pi.plan }
+
+// Predict runs the plan over a flat input vector, returning a fresh
+// output slice. See PredictInto.
+func (pi *PlanInstance) Predict(in []float64) []float64 {
+	return pi.PredictInto(nil, in)
+}
+
+// PredictInto runs the plan over in, writing the output into dst when it
+// has the right length (allocating it otherwise) and returning the
+// filled slice. The steady state — correctly sized dst — allocates
+// nothing: no op allocates, packs weights, or touches the scratch arena.
+// in is never written to.
+func (pi *PlanInstance) PredictInto(dst, in []float64) []float64 {
+	if len(in) != pi.plan.inSize {
+		auerr.Failf("nn: compiled plan expects %d inputs, got %d", pi.plan.inSize, len(in))
+	}
+	x := in
+	for _, op := range pi.ops {
+		x = op.run(x)
+	}
+	if len(dst) != len(x) {
+		dst = make([]float64, len(x))
+	}
+	copy(dst, x)
+	return dst
+}
+
+// --- dense ---
+
+type cDense struct{ pd *tensor.PackedDense }
+
+func (c *cDense) newOp() planOp {
+	return &opDense{pd: c.pd, out: make([]float64, c.pd.Out())}
+}
+
+type opDense struct {
+	pd  *tensor.PackedDense
+	out []float64
+}
+
+func (o *opDense) run(in []float64) []float64 {
+	o.pd.Forward(o.out, in)
+	return o.out
+}
+
+// --- conv2d ---
+
+type cConv struct {
+	w          *tensor.PackedA
+	bias       []float64
+	inC        int
+	inH, inW   int
+	kh, kw     int
+	stride     int
+	pad        int
+	outC       int
+	outH, outW int
+}
+
+func (c *cConv) newOp() planOp {
+	rows := c.inC * c.kh * c.kw
+	n := c.outH * c.outW
+	return &opConv{
+		c:       c,
+		n:       n,
+		cols:    tensor.New(rows, n),
+		packedB: make([]float64, tensor.PackedBLen(rows, n)),
+		out2d:   tensor.New(c.outC, n),
+	}
+}
+
+type opConv struct {
+	c       *cConv
+	n       int
+	inView  *tensor.Tensor
+	cols    *tensor.Tensor
+	packedB []float64
+	out2d   *tensor.Tensor
+}
+
+func (o *opConv) run(in []float64) []float64 {
+	c := o.c
+	o.inView = tensor.ViewOf(o.inView, in, c.inC, c.inH, c.inW)
+	tensor.Im2ColSeqInto(o.cols, o.inView, c.kh, c.kw, c.stride, c.pad)
+	tensor.PackB(o.packedB, o.cols)
+	c.w.MulInto(o.out2d, o.packedB, o.n)
+	od := o.out2d.Data()
+	for oc := 0; oc < c.outC; oc++ {
+		b := c.bias[oc]
+		row := od[oc*o.n : (oc+1)*o.n]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return od
+}
+
+// --- maxpool ---
+
+type cPool struct{ size, c, h, w, oh, ow int }
+
+func (c *cPool) newOp() planOp {
+	return &opPool{c: c, out: make([]float64, c.c*c.oh*c.ow)}
+}
+
+type opPool struct {
+	c   *cPool
+	out []float64
+}
+
+func (o *opPool) run(in []float64) []float64 {
+	c := o.c
+	for ch := 0; ch < c.c; ch++ {
+		for oy := 0; oy < c.oh; oy++ {
+			for ox := 0; ox < c.ow; ox++ {
+				best := math.Inf(-1)
+				for dy := 0; dy < c.size; dy++ {
+					for dx := 0; dx < c.size; dx++ {
+						iy, ix := oy*c.size+dy, ox*c.size+dx
+						if v := in[(ch*c.h+iy)*c.w+ix]; v > best {
+							best = v
+						}
+					}
+				}
+				o.out[(ch*c.oh+oy)*c.ow+ox] = best
+			}
+		}
+	}
+	return o.out
+}
+
+// --- elementwise maps ---
+
+type mapKind int
+
+const (
+	mapReLU mapKind = iota
+	mapLeakyReLU
+	mapSigmoid
+	mapTanh
+	mapSoftmax
+)
+
+type cMap struct {
+	kind  mapKind
+	alpha float64
+	size  int
+}
+
+func (c *cMap) newOp() planOp {
+	return &opMap{c: c, out: make([]float64, c.size)}
+}
+
+type opMap struct {
+	c   *cMap
+	out []float64
+}
+
+func (o *opMap) run(in []float64) []float64 {
+	out := o.out
+	switch o.c.kind {
+	case mapReLU:
+		for i, x := range in {
+			if x > 0 {
+				out[i] = x
+			} else {
+				out[i] = 0
+			}
+		}
+	case mapLeakyReLU:
+		for i, x := range in {
+			if x < 0 {
+				out[i] = o.c.alpha * x
+			} else {
+				out[i] = x
+			}
+		}
+	case mapSigmoid:
+		for i, x := range in {
+			out[i] = 1 / (1 + math.Exp(-x))
+		}
+	case mapTanh:
+		for i, x := range in {
+			out[i] = math.Tanh(x)
+		}
+	case mapSoftmax:
+		max := math.Inf(-1)
+		for _, x := range in {
+			if x > max {
+				max = x
+			}
+		}
+		sum := 0.0
+		for i, x := range in {
+			e := math.Exp(x - max)
+			out[i] = e
+			sum += e
+		}
+		if sum == 0 {
+			auerr.Failf("nn: softmax sum underflowed to zero")
+		}
+		inv := 1 / sum
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}

@@ -67,9 +67,9 @@ func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 	c.lastOutH = tensor.ConvOutputSize(s[1], c.KH, c.Stride, c.Pad)
 	c.lastOutW = tensor.ConvOutputSize(s[2], c.KW, c.Stride, c.Pad)
 	n := c.lastOutH * c.lastOutW
-	c.lastCols = tensor.Reuse2(c.lastCols, c.InC*c.KH*c.KW, n)
+	c.lastCols = tensor.Reuse(c.lastCols, c.InC*c.KH*c.KW, n)
 	cols := tensor.Im2ColInto(c.lastCols, in, c.KH, c.KW, c.Stride, c.Pad)
-	c.out2d = tensor.Reuse2(c.out2d, c.OutC, n)
+	c.out2d = tensor.Reuse(c.out2d, c.OutC, n)
 	out := tensor.MatMulInto(c.out2d, c.weights, cols) // (OutC, outH*outW)
 	// Add per-output-channel bias.
 	bd := c.bias.Data()
@@ -80,7 +80,7 @@ func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 			row[i] += b
 		}
 	}
-	c.outView = tensor.ViewOf3(c.outView, out.Data(), c.OutC, c.lastOutH, c.lastOutW)
+	c.outView = tensor.ViewOf(c.outView, out.Data(), c.OutC, c.lastOutH, c.lastOutW)
 	return c.outView
 }
 
@@ -91,7 +91,7 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		auerr.Failf("nn: Conv2D Backward before Forward")
 	}
 	n := c.lastOutH * c.lastOutW
-	c.gView = tensor.ViewOf2(c.gView, gradOut.Data(), c.OutC, n)
+	c.gView = tensor.ViewOf(c.gView, gradOut.Data(), c.OutC, n)
 	g := c.gView
 	// dL/dW += g × colsᵀ via the transpose-free ABT kernel: no colsᵀ
 	// materialization, and the product lands in arena scratch rather than
@@ -101,7 +101,7 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	// adds per-example products exactly this way, and the two paths must
 	// associate identically to stay bit-equal at any worker count.
 	pw := tensor.Scratch.Get(c.gradW.Size())
-	c.gradWProd = tensor.ViewOf2(c.gradWProd, *pw, c.OutC, c.InC*c.KH*c.KW)
+	c.gradWProd = tensor.ViewOf(c.gradWProd, *pw, c.OutC, c.InC*c.KH*c.KW)
 	tensor.MatMulABTInto(c.gradWProd, g, c.lastCols)
 	c.gradW.AddInPlace(c.gradWProd)
 	tensor.Scratch.Put(pw)
@@ -115,9 +115,9 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	// dL/dcols = Wᵀ × g via the transpose-free ATB kernel, then scatter
 	// back to the input shape.
-	c.gradCols = tensor.Reuse2(c.gradCols, c.InC*c.KH*c.KW, n)
+	c.gradCols = tensor.Reuse(c.gradCols, c.InC*c.KH*c.KW, n)
 	tensor.MatMulATBInto(c.gradCols, c.weights, g)
-	c.gradIn = tensor.Reuse3(c.gradIn, c.InC, c.inH, c.inW)
+	c.gradIn = tensor.Reuse(c.gradIn, c.InC, c.inH, c.inW)
 	return tensor.Col2ImInto(c.gradIn, c.gradCols, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
 }
 
@@ -169,7 +169,7 @@ func (m *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 		auerr.Failf("nn: MaxPool2D window %d too large for %dx%d input", m.Size, h, w)
 	}
 	m.inShape = append(m.inShape[:0], s...)
-	m.out = tensor.Reuse3(m.out, c, oh, ow)
+	m.out = tensor.Reuse(m.out, c, oh, ow)
 	out := m.out
 	if cap(m.argmax) < out.Size() {
 		m.argmax = make([]int, out.Size())

@@ -58,8 +58,8 @@ func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if in.Size() != d.InSize {
 		auerr.Failf("nn: Dense expects %d inputs, got %d", d.InSize, in.Size())
 	}
-	d.lastIn = tensor.ViewOf1(d.lastIn, in.Data())
-	d.out = tensor.Reuse1(d.out, d.OutSize)
+	d.lastIn = tensor.ViewOf(d.lastIn, in.Data(), in.Size())
+	d.out = tensor.Reuse(d.out, d.OutSize)
 	out := d.out
 	w := d.weights.Data()
 	x := d.lastIn.Data()
@@ -91,7 +91,7 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			row[i] += go_ * x[i]
 		}
 	}
-	d.gradIn = tensor.Reuse1(d.gradIn, d.InSize)
+	d.gradIn = tensor.Reuse(d.gradIn, d.InSize)
 	gradIn := d.gradIn
 	gradIn.Fill(0)
 	w := d.weights.Data()

@@ -151,7 +151,7 @@ func (n *Network) PredictInto(dst, in []float64, shape ...int) []float64 {
 	if len(shape) > 0 {
 		n.inScratch = tensor.Reuse(n.inScratch, shape...)
 	} else {
-		n.inScratch = tensor.Reuse1(n.inScratch, len(in))
+		n.inScratch = tensor.Reuse(n.inScratch, len(in))
 	}
 	if n.inScratch.Size() != len(in) {
 		auerr.Failf("nn: Predict shape %v needs %d elements, got %d", shape, n.inScratch.Size(), len(in))

@@ -174,7 +174,7 @@ func (a *Agent) stateTensor(view *tensor.Tensor, s []float64) *tensor.Tensor {
 	if len(a.cfg.StateShape) > 0 {
 		return tensor.ViewOf(view, s, a.cfg.StateShape...)
 	}
-	return tensor.ViewOf1(view, s)
+	return tensor.ViewOf(view, s, len(s))
 }
 
 // seqView returns the sequential-path view header, allocating it once.

@@ -29,6 +29,13 @@ type engine struct {
 	// chunking prevents.
 	pool     chan func(in, out []float64) []float64
 	replicas int
+
+	// packed records that the model's serving plan compiled at engine
+	// build time — weights BLIS-packed once, before the engine was
+	// published — so the first request after a hot reload pays no packing
+	// or compilation cost. False only for architectures the plan compiler
+	// does not support, which serve through network replicas instead.
+	packed bool
 }
 
 // buildEngine constructs a servable engine from a model spec and a
@@ -54,6 +61,10 @@ func buildEngine(name string, spec core.ModelSpec, data []byte, version, replica
 		inSize: inSize, outSize: outSize,
 		pool: make(chan func(in, out []float64) []float64, replicas), replicas: replicas,
 	}
+	// Compile the serving plan before the engine is published: the swap
+	// installs an engine whose weights are already packed, so a hot
+	// reload never shows a first-request packing spike.
+	e.packed = rt.CompileModel(name) == nil
 	for i := 0; i < replicas; i++ {
 		fn, err := rt.PredictorInto(name)
 		if err != nil {

@@ -462,3 +462,49 @@ func BenchmarkServePredict(b *testing.B) {
 		})
 	})
 }
+
+// TestHotReloadInstallsPackedEngine pins the pack-at-install contract of
+// the two-representation architecture: every engine — initial install
+// and hot reload alike — has its serving plan compiled (weights packed
+// into the active kernel layout) before the atomic swap publishes it,
+// so no request ever pays a first-call packing or compilation spike.
+func TestHotReloadInstallsPackedEngine(t *testing.T) {
+	spec, data1, _ := trainModel(t, 31)
+	_, data2, ref2 := trainModel(t, 32)
+	srv, _ := newTestServer(t, Config{MaxBatch: 4, MaxDelay: time.Millisecond}, spec, data1)
+
+	srv.mu.RLock()
+	sm := srv.models["m"]
+	srv.mu.RUnlock()
+	first := sm.eng.Load()
+	if !first.packed {
+		t.Fatal("freshly installed engine is not packed")
+	}
+
+	if _, err := srv.Install("m", spec, data2); err != nil {
+		t.Fatal(err)
+	}
+	eng := sm.eng.Load()
+	if eng == first {
+		t.Fatal("reload did not swap the engine")
+	}
+	if !eng.packed {
+		t.Error("hot-reloaded engine is not packed: the first request after the swap would pay the packing cost")
+	}
+
+	// The packed engine must still serve the new snapshot bit-exactly.
+	in := []float64{0.6, 0.3}
+	want, err := ref2.PredictCtx(context.Background(), "m", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.predictBatch([][]float64{in})
+	if len(got) != 1 || len(got[0]) != len(want) {
+		t.Fatalf("predictBatch shape %v", got)
+	}
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Fatalf("packed engine output %v, want %v", got[0], want)
+		}
+	}
+}

@@ -62,25 +62,48 @@ func Im2ColInto(out, in *Tensor, kh, kw, stride, pad int) *Tensor {
 		}
 	}
 	parallel.For(rows, grain, func(lo, hi int) {
-		for row := lo; row < hi; row++ {
-			ch := row / (kh * kw)
-			ky := (row / kw) % kh
-			kx := row % kw
-			dst := out.data[row*rowLen:]
-			for oy := 0; oy < outH; oy++ {
-				iy := oy*stride + ky - pad
-				for ox := 0; ox < outW; ox++ {
-					ix := ox*stride + kx - pad
-					var v float64
-					if iy >= 0 && iy < h && ix >= 0 && ix < w {
-						v = in.data[(ch*h+iy)*w+ix]
-					}
-					dst[oy*outW+ox] = v
-				}
-			}
-		}
+		im2colRows(out.data, in.data, lo, hi, h, w, kh, kw, stride, pad, outH, outW)
 	})
 	return out
+}
+
+// Im2ColSeqInto is Im2ColInto without the worker pool: it lowers the
+// whole input on the calling goroutine and allocates nothing. Compiled
+// plans use it — their ops run sequentially by contract (parallelism
+// lives above the plan, one instance per goroutine), and the sharding
+// closure Im2ColInto builds per call would be their only allocation.
+// Results are identical: sharding never changes what each row holds.
+func Im2ColSeqInto(out, in *Tensor, kh, kw, stride, pad int) *Tensor {
+	c, h, w := im2colDims(in, kh, kw, stride, pad)
+	outH := ConvOutputSize(h, kh, stride, pad)
+	outW := ConvOutputSize(w, kw, stride, pad)
+	checkDst(out, c*kh*kw, outH*outW)
+	im2colRows(out.data, in.data, 0, c*kh*kw, h, w, kh, kw, stride, pad, outH, outW)
+	return out
+}
+
+// im2colRows fills im2col rows [lo, hi): row (ch·kh+ky)·kw+kx holds the
+// input value under kernel tap (ky, kx) of channel ch at every output
+// position, zero where the tap lands in padding.
+func im2colRows(out, in []float64, lo, hi, h, w, kh, kw, stride, pad, outH, outW int) {
+	rowLen := outH * outW
+	for row := lo; row < hi; row++ {
+		ch := row / (kh * kw)
+		ky := (row / kw) % kh
+		kx := row % kw
+		dst := out[row*rowLen:]
+		for oy := 0; oy < outH; oy++ {
+			iy := oy*stride + ky - pad
+			for ox := 0; ox < outW; ox++ {
+				ix := ox*stride + kx - pad
+				var v float64
+				if iy >= 0 && iy < h && ix >= 0 && ix < w {
+					v = in[(ch*h+iy)*w+ix]
+				}
+				dst[oy*outW+ox] = v
+			}
+		}
+	}
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters a (channels*kh*kw,

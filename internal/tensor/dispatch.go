@@ -1,0 +1,116 @@
+// dispatch.go is the init-time CPU-feature dispatch behind the kernel
+// layer (DESIGN.md §5g). PR 5's micro-kernels guarded every math.FMA with
+// a per-call CPU-feature branch on the default (GOAMD64=v1) build, which
+// cost the 4×4 register tile most of its win. Instead of paying that
+// branch per multiply, the feature check now runs exactly once, at
+// package init, and selects a kernelImpl — a table binding the packed
+// matmul micro-kernel (GEBP), the lane-blocked dense forward (GEMV) and
+// their packing geometry. amd64 hosts with FMA+AVX2 get hand-written
+// assembly kernels with a wider 4×8 tile; every other host gets the
+// portable Go kernels.
+//
+// Determinism contract: every implementation folds each output element's
+// terms in ascending-k order with the exact operations of the reference
+// kernels (math.FMA for the matmul family, separate multiply-then-add for
+// the Dot-based dense forward), so results are bit-identical across
+// implementations, builds and worker counts. Packing geometry (panel
+// width nr, dense lane count) varies per implementation, but geometry
+// only decides which elements are computed together — never the
+// per-element fold order.
+package tensor
+
+import "os"
+
+// kernelImpl is one selectable kernel implementation. All fields are
+// bound once at package init; pack-once callers (PackDense, PackB) bake
+// the implementation's geometry into their packed buffers, which is safe
+// precisely because the selection never changes after init.
+type kernelImpl struct {
+	// name identifies the implementation ("generic", "avx2") for
+	// diagnostics and the AUTONOMIZER_KERNEL override.
+	name string
+
+	// nr is the packed-B panel width of the GEBP micro-kernel. The
+	// micro-tile is microM×nr.
+	nr int
+
+	// gebp computes rows [lo, hi) of dst = a×b from packed operands:
+	// packedA holds a's full microM-row blocks (kk-major), packedB holds
+	// b in nr-wide zero-padded column panels (kk-major), and a is the
+	// plain row-major matrix, read only for the ragged row tail past the
+	// last full block. lo must be a multiple of microM.
+	gebp func(dst, a, packedA, packedB []float64, lo, hi, k, n int)
+
+	// lanes is the dense-forward output block width: gemv processes
+	// blocks of this many outputs at once, one independent
+	// multiply-then-add chain per output lane.
+	lanes int
+
+	// gemv computes dst[0:blocks*lanes] = W·x + bias over lane-packed
+	// weights: packedW[blk*k*lanes + kk*lanes + lane] = W[blk*lanes+lane][kk].
+	// Each output folds ascending-k with separate multiply and add — the
+	// exact semantics of Dot(row, x) + bias[o].
+	gemv func(dst, packedW, x, bias []float64, blocks, k int)
+}
+
+// genericImpl is the portable Go implementation, available everywhere:
+// the 4×4 math.FMA GEBP tile from PR 5 and a 4-lane dense forward.
+var genericImpl = &kernelImpl{
+	name:  "generic",
+	nr:    microN,
+	gebp:  matMulPackedRange,
+	lanes: 4,
+	gemv:  gemvGeneric,
+}
+
+// kern is the implementation selected at package init. Immutable
+// afterwards (tests that need to exercise a specific implementation call
+// its functions directly).
+var kern = pickKernel()
+
+// KernelName reports which kernel implementation was selected at init
+// ("avx2", "generic"), for diagnostics and bench provenance.
+func KernelName() string { return kern.name }
+
+// pickKernel selects the kernel implementation: the architecture's
+// accelerated kernels when the CPU supports them, the generic Go kernels
+// otherwise. AUTONOMIZER_KERNEL=generic forces the portable kernels (the
+// escape hatch for A/B benchmarking and for diagnosing a miscompiled
+// accelerated path); AUTONOMIZER_KERNEL=<name> selects an accelerated
+// implementation only if it is actually available.
+func pickKernel() *kernelImpl {
+	want := os.Getenv("AUTONOMIZER_KERNEL")
+	if want == genericImpl.name {
+		return genericImpl
+	}
+	if k := archKernel(); k != nil && (want == "" || want == k.name) {
+		return k
+	}
+	return genericImpl
+}
+
+// gemvGeneric is the portable lane-blocked dense forward: 4 independent
+// multiply-then-add chains, one per output lane, folding ascending-k —
+// bit-identical to Dot(W[o], x) + bias[o] per output.
+func gemvGeneric(dst, packedW, x, bias []float64, blocks, k int) {
+	const lanes = 4
+	for blk := 0; blk < blocks; blk++ {
+		p := packedW[blk*k*lanes : (blk+1)*k*lanes]
+		var c0, c1, c2, c3 float64
+		for kk := 0; kk < k; kk++ {
+			q := p[kk*lanes:]
+			_ = q[3]
+			xv := x[kk]
+			c0 += q[0] * xv
+			c1 += q[1] * xv
+			c2 += q[2] * xv
+			c3 += q[3] * xv
+		}
+		o := blk * lanes
+		b := bias[o:]
+		_ = b[3]
+		d := dst[o:]
+		_ = d[3]
+		d[0], d[1], d[2], d[3] = c0+b[0], c1+b[1], c2+b[2], c3+b[3]
+	}
+}

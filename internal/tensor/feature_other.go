@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package tensor
+
+// archKernel reports no accelerated kernels on architectures without an
+// assembly implementation; pickKernel falls back to the generic Go
+// kernels, which are bit-identical by the dispatch contract.
+func archKernel() *kernelImpl { return nil }

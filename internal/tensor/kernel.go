@@ -97,10 +97,10 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 		matMulNaiveRange(dst.data, a.data, b.data, 0, m, k, n)
 		return dst
 	}
-	panels := (n + microN - 1) / microN
-	pb := Scratch.Get(panels * microN * k)
+	panels := (n + kern.nr - 1) / kern.nr
+	pb := Scratch.Get(panels * kern.nr * k)
 	packedB := *pb
-	packPanels(packedB, b.data, k, n)
+	packPanels(packedB, b.data, k, n, kern.nr)
 	// Pack the full row-blocks of a the same way, so the micro-kernel
 	// streams both operands from contiguous memory. The ragged row tail
 	// (m % 4 rows) reads a directly in the scalar path.
@@ -113,7 +113,7 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 		packRows(packedA, a.data, k, rowBlocks)
 	}
 	parallel.ForAligned(m, rowGrain(k, n), microM, func(lo, hi int) {
-		matMulPackedRange(dst.data, a.data, packedA, packedB, lo, hi, k, n)
+		kern.gebp(dst.data, a.data, packedA, packedB, lo, hi, k, n)
 	})
 	if pa != nil {
 		Scratch.Put(pa)
@@ -156,34 +156,25 @@ func matMulNaiveRange(dst, a, b []float64, lo, hi, k, n int) {
 	}
 }
 
-// packPanels packs b (k×n, row-major) into panel-major micro-panels: for
-// panel p covering columns [p·4, p·4+4), packed[p·k·4 + kk·4 + jj] =
-// b[kk][p·4+jj]. The ragged last panel is zero-padded; the padding only
-// feeds accumulators that are never stored.
-func packPanels(packed, b []float64, k, n int) {
-	panels := (n + microN - 1) / microN
+// packPanels packs b (k×n, row-major) into panel-major micro-panels of
+// the active kernel's width nr: for panel p covering columns
+// [p·nr, p·nr+nr), packed[p·k·nr + kk·nr + jj] = b[kk][p·nr+jj]. The
+// ragged last panel is zero-padded; the padding only feeds accumulators
+// that are never stored.
+func packPanels(packed, b []float64, k, n, nr int) {
+	panels := (n + nr - 1) / nr
 	for p := 0; p < panels; p++ {
-		j0 := p * microN
-		dst := packed[p*k*microN : (p+1)*k*microN]
-		if j0+microN <= n {
-			for kk := 0; kk < k; kk++ {
-				src := b[kk*n+j0:]
-				_ = src[3]
-				d := dst[kk*microN:]
-				_ = d[3]
-				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
-			}
-		} else {
-			w := n - j0
-			for kk := 0; kk < k; kk++ {
-				d := dst[kk*microN : kk*microN+microN]
-				for jj := 0; jj < microN; jj++ {
-					if jj < w {
-						d[jj] = b[kk*n+j0+jj]
-					} else {
-						d[jj] = 0
-					}
-				}
+		j0 := p * nr
+		w := n - j0
+		if w > nr {
+			w = nr
+		}
+		dst := packed[p*k*nr : (p+1)*k*nr]
+		for kk := 0; kk < k; kk++ {
+			d := dst[kk*nr : kk*nr+nr]
+			copy(d, b[kk*n+j0:kk*n+j0+w])
+			for jj := w; jj < nr; jj++ {
+				d[jj] = 0
 			}
 		}
 	}

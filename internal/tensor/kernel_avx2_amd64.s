@@ -1,0 +1,136 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// CPUID/XGETBV feature probes (feature_amd64.go).
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dgemm4x8(dst, pa, pb *float64, k, n int)
+//
+// One full GEBP micro-tile: 4 packed rows of a (pa, kk-major, 4 doubles
+// per k step) against one 8-wide packed panel of b (pb, kk-major, 8
+// doubles per k step). Eight YMM accumulators hold the 4×8 tile across
+// the whole k loop; each k step is 2 panel loads, 4 row broadcasts and
+// 8 fused multiply-adds. Every accumulator lane folds ascending-k with
+// a single rounding per term — the vector form of the scalar math.FMA
+// fold, so stored results are bit-identical to the naive reference.
+// Stores write straight to dst with row stride n (caller guarantees the
+// full tile is in bounds).
+TEXT ·dgemm4x8(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DX
+	MOVQ k+24(FP), CX
+	MOVQ n+32(FP), R8
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+kloop:
+	VMOVUPD      (DX), Y8       // b panel, lanes 0-3
+	VMOVUPD      32(DX), Y9     // b panel, lanes 4-7
+	VBROADCASTSD (SI), Y10      // a row 0
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 8(SI), Y11     // a row 1
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 16(SI), Y12    // a row 2
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD 24(SI), Y13    // a row 3
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $64, DX
+	ADDQ         $32, SI
+	DECQ         CX
+	JNZ          kloop
+
+	SHLQ    $3, R8              // row stride in bytes
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ    R8, DI
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func gemv16(dst, w, x, bias *float64, k int)
+//
+// One 16-output dense-forward block over lane-packed weights (w,
+// kk-major, 16 doubles per k step). Four YMM accumulators run four
+// independent multiply-THEN-add chains — deliberately not FMA: the
+// reference fold is Dot's s += w*x with two roundings per term, and the
+// compiled plan must be bit-identical to the uncompiled layer. Bias is
+// added once after the k loop, matching Dot(row, x) + bias[o].
+TEXT ·gemv16(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ w+8(FP), SI
+	MOVQ x+16(FP), DX
+	MOVQ bias+24(FP), BX
+	MOVQ k+32(FP), CX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+kloop16:
+	VBROADCASTSD (DX), Y4       // x[kk]
+	VMOVUPD      (SI), Y5
+	VMOVUPD      32(SI), Y6
+	VMOVUPD      64(SI), Y7
+	VMOVUPD      96(SI), Y8
+	VMULPD       Y4, Y5, Y5     // w*x, one rounding
+	VMULPD       Y4, Y6, Y6
+	VMULPD       Y4, Y7, Y7
+	VMULPD       Y4, Y8, Y8
+	VADDPD       Y5, Y0, Y0     // s += ·, second rounding
+	VADDPD       Y6, Y1, Y1
+	VADDPD       Y7, Y2, Y2
+	VADDPD       Y8, Y3, Y3
+	ADDQ         $128, SI
+	ADDQ         $8, DX
+	DECQ         CX
+	JNZ          kloop16
+
+	VADDPD  (BX), Y0, Y0        // + bias, after the fold like Dot
+	VADDPD  32(BX), Y1, Y1
+	VADDPD  64(BX), Y2, Y2
+	VADDPD  96(BX), Y3, Y3
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET

@@ -212,51 +212,6 @@ func Reuse(t *Tensor, shape ...int) *Tensor {
 	return t
 }
 
-// Reuse1, Reuse2 and Reuse3 are fixed-arity forms of Reuse for hot
-// paths: a literal variadic call like Reuse(t, 4, 8) constructs a []int
-// argument per call, which would be the only heap traffic left in an
-// otherwise zero-allocation forward/backward pass. (Spreading an
-// existing slice — Reuse(t, s...) — is already allocation-free.)
-func Reuse1(t *Tensor, d0 int) *Tensor {
-	if d0 < 0 {
-		panic(fmt.Sprintf("tensor: negative dimension %d", d0))
-	}
-	if t == nil || cap(t.data) < d0 {
-		return New(d0)
-	}
-	t.data = t.data[:d0]
-	t.shape = append(t.shape[:0], d0)
-	return t
-}
-
-// Reuse2 is the rank-2 fixed-arity Reuse; see Reuse1.
-func Reuse2(t *Tensor, d0, d1 int) *Tensor {
-	if d0 < 0 || d1 < 0 {
-		panic(fmt.Sprintf("tensor: negative dimension in [%d %d]", d0, d1))
-	}
-	n := d0 * d1
-	if t == nil || cap(t.data) < n {
-		return New(d0, d1)
-	}
-	t.data = t.data[:n]
-	t.shape = append(t.shape[:0], d0, d1)
-	return t
-}
-
-// Reuse3 is the rank-3 fixed-arity Reuse; see Reuse1.
-func Reuse3(t *Tensor, d0, d1, d2 int) *Tensor {
-	if d0 < 0 || d1 < 0 || d2 < 0 {
-		panic(fmt.Sprintf("tensor: negative dimension in [%d %d %d]", d0, d1, d2))
-	}
-	n := d0 * d1 * d2
-	if t == nil || cap(t.data) < n {
-		return New(d0, d1, d2)
-	}
-	t.data = t.data[:n]
-	t.shape = append(t.shape[:0], d0, d1, d2)
-	return t
-}
-
 // View repoints view at src's backing data with the given shape and
 // returns it: an allocation-free Reshape for hot paths (a nil view
 // allocates the header once, then it is recycled on every call). The
@@ -268,56 +223,25 @@ func View(view, src *Tensor, shape ...int) *Tensor {
 
 // ViewOf is View over a raw slice: it repoints view at data with the
 // given shape. The element count must match len(data).
+//
+// Like Reuse, a literal variadic call — ViewOf(v, data, 4, 8) — is
+// allocation-free: the shape argument never escapes, so it stays on the
+// caller's stack. The panic path copies the shape before formatting it
+// precisely to preserve that property; handing the parameter itself to
+// fmt would make every call site heap-allocate its shape literal.
 func ViewOf(view *Tensor, data []float64, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
 	if n != len(data) {
-		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d",
+			append([]int(nil), shape...), n, len(data)))
 	}
 	if view == nil {
 		view = &Tensor{}
 	}
 	view.shape = append(view.shape[:0], shape...)
-	view.data = data
-	return view
-}
-
-// ViewOf1, ViewOf2 and ViewOf3 are fixed-arity forms of ViewOf for hot
-// paths, for the same reason as Reuse1..3: a literal variadic shape
-// argument allocates per call. ViewOf1 wraps data as a rank-1 vector.
-func ViewOf1(view *Tensor, data []float64) *Tensor {
-	if view == nil {
-		view = &Tensor{}
-	}
-	view.shape = append(view.shape[:0], len(data))
-	view.data = data
-	return view
-}
-
-// ViewOf2 wraps data as a d0×d1 matrix; the element count must match.
-func ViewOf2(view *Tensor, data []float64, d0, d1 int) *Tensor {
-	if d0*d1 != len(data) {
-		panic(fmt.Sprintf("tensor: shape [%d %d] needs %d elements, got %d", d0, d1, d0*d1, len(data)))
-	}
-	if view == nil {
-		view = &Tensor{}
-	}
-	view.shape = append(view.shape[:0], d0, d1)
-	view.data = data
-	return view
-}
-
-// ViewOf3 wraps data as a rank-3 d0×d1×d2 tensor.
-func ViewOf3(view *Tensor, data []float64, d0, d1, d2 int) *Tensor {
-	if d0*d1*d2 != len(data) {
-		panic(fmt.Sprintf("tensor: shape [%d %d %d] needs %d elements, got %d", d0, d1, d2, d0*d1*d2, len(data)))
-	}
-	if view == nil {
-		view = &Tensor{}
-	}
-	view.shape = append(view.shape[:0], d0, d1, d2)
 	view.data = data
 	return view
 }

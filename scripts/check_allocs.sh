@@ -7,7 +7,11 @@
 # allocs/op figure exceeds its budget:
 #
 #   NetworkForward  0  (DNN 64-[128,64]-16 Forward)
-#   ServedPredict   0  (replica PredictInto, the serving engine's path)
+#   ServedPredict   0  (compiled plan PredictInto, the serving engine's
+#                       path)
+#   CNNForward      0  (compiled CNN plan — sequential packed ops, no
+#                       parallel-dispatch closures; the uncompiled
+#                       training forward is CNNForwardTrain, ungated)
 #   TrainBatch      8  (0 on one core; on multicore the data-parallel
 #                       batch path pays a few WaitGroup/closure headers
 #                       per parallel.Run call — fixed-size dispatch
@@ -21,9 +25,10 @@ cd "$(dirname "$0")/.."
 
 MAX_ALLOCS_NETWORKFORWARD="${MAX_ALLOCS_NETWORKFORWARD:-0}"
 MAX_ALLOCS_SERVEDPREDICT="${MAX_ALLOCS_SERVEDPREDICT:-0}"
+MAX_ALLOCS_CNNFORWARD="${MAX_ALLOCS_CNNFORWARD:-0}"
 MAX_ALLOCS_TRAINBATCH="${MAX_ALLOCS_TRAINBATCH:-8}"
 
-out=$(go test -bench 'BenchmarkKernels/(NetworkForward|ServedPredict|TrainBatch)' \
+out=$(go test -bench 'BenchmarkKernels/(NetworkForward|ServedPredict|CNNForward|TrainBatch)$' \
     -benchmem -benchtime 100x -run '^$' ./internal/bench/)
 printf '%s\n' "$out"
 
@@ -48,5 +53,6 @@ check() {
 
 check NetworkForward "$MAX_ALLOCS_NETWORKFORWARD"
 check ServedPredict "$MAX_ALLOCS_SERVEDPREDICT"
+check CNNForward "$MAX_ALLOCS_CNNFORWARD"
 check TrainBatch "$MAX_ALLOCS_TRAINBATCH"
 exit "$fail"

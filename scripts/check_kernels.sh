@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# check_kernels.sh — the kernel-speedup gate for the default build.
+#
+# ROADMAP: the blocked matmul must beat the naive reference on the
+# DEFAULT build (no GOAMD64 flags), because that is what `go build`
+# gives every user. The init-time CPU-feature dispatch (tensor/dispatch.go)
+# selects the AVX2+FMA assembly kernels at package init when the host
+# supports them, so the default build should see the same speedups as a
+# GOAMD64=v3 build. This gate fails if the blocked/naive ratio at
+# 192x192 (single-core) drops below a floor — e.g. if the dispatch
+# silently regresses to the generic kernels on a machine that has AVX2,
+# or a kernel change loses the advantage.
+#
+# The floor is deliberately below the observed ~7x with the assembly
+# kernels but above the ~1.2x the generic path manages, so it trips on
+# "dispatch broke", not on benchmark noise. On hosts without AVX2 the
+# generic kernels cannot reach the floor; the gate detects the active
+# kernel via AUTONOMIZER_KERNEL-aware TestKernelSelected logging and
+# applies the generic floor instead. Both floors are overridable:
+#   MIN_SPEEDUP_192      (default 3.0, accelerated kernels)
+#   MIN_SPEEDUP_192_GENERIC (default 0.9, generic fallback)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP_192="${MIN_SPEEDUP_192:-3.0}"
+MIN_SPEEDUP_192_GENERIC="${MIN_SPEEDUP_192_GENERIC:-0.9}"
+
+# -count=1 defeats the test cache: the dispatch reads AUTONOMIZER_KERNEL
+# at package init, before the test runner's env tracking starts, so a
+# cached log can report the wrong kernel.
+kernel=$(go test -count=1 ./internal/tensor/ -run TestKernelSelected -v 2>/dev/null \
+    | awk -F'active kernel: ' '/active kernel:/ { split($2, a, " "); print a[1]; exit }')
+if [ -z "$kernel" ]; then
+    echo "FAIL: could not determine the active kernel implementation" >&2
+    exit 1
+fi
+
+floor="$MIN_SPEEDUP_192"
+if [ "$kernel" = "generic" ]; then
+    floor="$MIN_SPEEDUP_192_GENERIC"
+fi
+echo "kernel gate: active kernel '$kernel', speedup floor $floor"
+
+out=$(go test -bench 'BenchmarkKernels/MatMul(Naive|Blocked)192$' \
+    -benchtime 5x -run '^$' ./internal/bench/)
+printf '%s\n' "$out"
+
+naive=$(printf '%s\n' "$out" | awk '$1 ~ /MatMulNaive192(-|$)/ { print $3; exit }')
+blocked=$(printf '%s\n' "$out" | awk '$1 ~ /MatMulBlocked192(-|$)/ { print $3; exit }')
+if [ -z "$naive" ] || [ -z "$blocked" ]; then
+    echo "FAIL: missing benchmark output (naive='$naive' blocked='$blocked')" >&2
+    exit 1
+fi
+
+awk -v naive="$naive" -v blocked="$blocked" -v floor="$floor" -v kernel="$kernel" 'BEGIN {
+    speedup = naive / blocked
+    printf "kernel gate: blocked/naive speedup at 192x192 = %.2fx (floor %.1fx, kernel %s)\n",
+        speedup, floor, kernel
+    if (speedup < floor) {
+        printf "FAIL: default-build speedup %.2fx below floor %.1fx.\n", speedup, floor > "/dev/stderr"
+        print "The init-time kernel dispatch may have regressed (see internal/tensor/dispatch.go)." > "/dev/stderr"
+        exit 1
+    }
+}'
