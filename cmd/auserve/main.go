@@ -9,9 +9,10 @@
 //	auserve -demo                                 serve a built-in demo model
 //	auserve -demo -snapshot demo.ausn             also export the demo snapshot (enables source reloads)
 //
-// Endpoints: POST /v1/predict, POST /v1/act, GET /v1/models,
-// POST /models/{name}/reload, GET /healthz, plus the obs telemetry
-// surface (/metrics, /debug/vars, /debug/pprof, /debug/spans).
+// Endpoints: POST /v1/predict, POST /v1/act, POST /v1/observe,
+// GET /v1/models, POST /models/{name}/reload, GET /healthz (?deep=1
+// adds readiness), GET /statusz, plus the obs telemetry surface
+// (/metrics, /debug/vars, /debug/pprof, /debug/spans).
 //
 // Flags:
 //
@@ -22,6 +23,8 @@
 //	-max-delay D        batching window (default 2ms)
 //	-queue N            per-model queue depth; overflow sheds 429 (default 256)
 //	-replicas N         predictor replicas per model (default: engine width)
+//	-drift-threshold T  rolling MSE above which a model turns not-ready (default: monitor-only)
+//	-drift-window D     rolling window drift loss is averaged over (default 1m)
 //	-log-format F       text (default) or json
 //	-log-level L        debug, info (default), warn, error
 //	-trace              record per-request spans (see /debug/spans)
@@ -52,6 +55,8 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 0, "batching window the first request of a batch waits (default 2ms)")
 	queue := flag.Int("queue", 0, "per-model queue depth before load shedding (default 256)")
 	replicas := flag.Int("replicas", 0, "predictor replicas per model (default: parallel engine width)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "rolling drift MSE above which a model flips /healthz?deep=1 not-ready (0: monitor-only, or AUTONOMIZER_DRIFT_THRESHOLD)")
+	driftWindow := flag.Duration("drift-window", 0, "rolling window drift loss is averaged over (default 1m)")
 	logFormat := flag.String("log-format", "text", "diagnostic log format: text|json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	traceSpans := flag.Bool("trace", false, "record per-request spans (exported on /debug/spans)")
@@ -75,6 +80,7 @@ func main() {
 	// The batch-size histogram and queue gauges are the whole point of
 	// running a server; telemetry is always on here.
 	reg := obs.Enable()
+	reg.PublishExpvar()
 	srv := serve.NewServer(serve.Config{
 		MaxBatch:   *maxBatch,
 		MaxDelay:   *maxDelay,
@@ -83,6 +89,9 @@ func main() {
 		Source:     snapshotSource(*snapshot),
 		Registry:   reg,
 		Logger:     log,
+
+		DriftThreshold: *driftThreshold,
+		DriftWindow:    *driftWindow,
 	})
 	defer srv.Close()
 

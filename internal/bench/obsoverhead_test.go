@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"testing"
+	"time"
 
 	"github.com/autonomizer/autonomizer/internal/obs"
 )
@@ -14,8 +15,11 @@ import (
 //     metric site is one nil-check branch. Must be within noise of the
 //     pre-telemetry baseline in BENCH_ctx.json.
 //   - enabled: a live private registry — counters, latency histogram
-//     timers and (for Fit) per-step timings all recording, which bounds
-//     the cost a -telemetry run actually pays.
+//     timers, sliding-window quantile summaries and (for Fit) per-step
+//     timings all recording, which bounds the cost a -telemetry run
+//     actually pays.
+//   - traced: enabled plus span recording (-trace), which additionally
+//     pays per-request span allocation and ring insertion.
 func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("Predict/disabled", func(b *testing.B) {
 		rt, in := ctxOverheadRuntime(b)
@@ -31,6 +35,19 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("Predict/enabled", func(b *testing.B) {
 		rt, in := ctxOverheadRuntime(b)
 		rt.Instrument(obs.NewRegistry())
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.PredictCtx(ctx, "Ctx", in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Predict/traced", func(b *testing.B) {
+		rt, in := ctxOverheadRuntime(b)
+		rt.Instrument(obs.NewRegistry())
+		prev := obs.SetTracing(true)
+		defer obs.SetTracing(prev)
 		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -57,6 +74,48 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := rt.FitCtx(ctx, "Ctx", 1, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuantileObserve prices the sliding-window quantile
+// estimator's hot path: one live Observe is a clock read, a log-bucket
+// index computation and a handful of atomic adds; the nil variant is
+// what a disabled instrumentation site pays.
+func BenchmarkQuantileObserve(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var s *obs.Summary
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Observe(1e-3)
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		s := obs.NewSummary(time.Minute, 6)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Observe(1e-3)
+		}
+	})
+}
+
+// BenchmarkTraceparent prices one hop of W3C trace-context
+// propagation: rendering the header for an outbound request and
+// validating/parsing it back on the receiving side.
+func BenchmarkTraceparent(b *testing.B) {
+	h := obs.FormatTraceparent("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+	b.Run("format", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			obs.FormatTraceparent("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+		}
+	})
+	b.Run("parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := obs.ParseTraceparent(h); err != nil {
 				b.Fatal(err)
 			}
 		}

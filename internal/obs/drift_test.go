@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDriftThresholdFlip pins the verdict lifecycle: healthy below the
+// sample floor however bad the loss, unhealthy once MinSamples
+// high-loss observations accumulate, healthy again after the window
+// slides past them.
+func TestDriftThresholdFlip(t *testing.T) {
+	window := time.Minute
+	m := NewDriftMonitor(DriftConfig{Window: window, Slices: 6, Threshold: 0.01, MinSamples: 4}, nil)
+	now := time.Now().UnixNano()
+
+	// Three terrible observations: below the floor, still healthy.
+	var st DriftStatus
+	for i := 0; i < 3; i++ {
+		st = m.recordAt("m", 1.0, now)
+	}
+	if !st.Healthy || st.Samples != 3 {
+		t.Fatalf("below sample floor: %+v, want healthy with 3 samples", st)
+	}
+	if err := m.Healthy(); err != nil {
+		t.Fatalf("Healthy below floor: %v", err)
+	}
+
+	// The fourth crosses MinSamples: verdict flips.
+	st = m.recordAt("m", 1.0, now)
+	if st.Healthy {
+		t.Fatalf("at sample floor with loss 1.0 > 0.01: %+v, want unhealthy", st)
+	}
+	err := m.Healthy()
+	if err == nil || !strings.Contains(err.Error(), `"m"`) {
+		t.Fatalf("Healthy while drifting: %v, want an error naming the model", err)
+	}
+
+	// A full window later the bad cohort has expired; fresh good
+	// observations render a healthy verdict again.
+	later := now + 2*int64(window)
+	for i := 0; i < 5; i++ {
+		st = m.recordAt("m", 0.001, later)
+	}
+	if !st.Healthy || st.Loss > 0.01 {
+		t.Fatalf("after recovery: %+v, want healthy with the bad cohort expired", st)
+	}
+	if err := m.Healthy(); err != nil {
+		t.Fatalf("Healthy after recovery: %v", err)
+	}
+}
+
+// TestDriftMonitorOnly checks threshold 0: drift is measured and
+// reported but the verdict never flips.
+func TestDriftMonitorOnly(t *testing.T) {
+	m := NewDriftMonitor(DriftConfig{MinSamples: 1}, nil)
+	now := time.Now().UnixNano()
+	var st DriftStatus
+	for i := 0; i < 100; i++ {
+		st = m.recordAt("m", 1e9, now)
+	}
+	if !st.Healthy {
+		t.Fatalf("monitor-only mode flipped the verdict: %+v", st)
+	}
+	if st.Loss != 1e9 {
+		t.Errorf("loss %v, want 1e9 (still measured)", st.Loss)
+	}
+	if err := m.Healthy(); err != nil {
+		t.Errorf("Healthy in monitor-only mode: %v", err)
+	}
+}
+
+// TestDriftRecord checks the MSE computation and the vector validation.
+func TestDriftRecord(t *testing.T) {
+	m := NewDriftMonitor(DriftConfig{MinSamples: 1}, nil)
+	st, err := m.Record("m", []float64{1, 2}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSE of (0, -2) is 2.
+	if math.Abs(st.Loss-2) > 1e-12 || st.Samples != 1 {
+		t.Fatalf("Record status %+v, want loss 2 over 1 sample", st)
+	}
+
+	if _, err := m.Record("m", nil, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+	if _, err := m.Record("m", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched vectors accepted")
+	}
+	// Failed records must not pollute the window.
+	if st, ok := m.Status("m"); !ok || st.Samples != 1 {
+		t.Errorf("after rejected records: %+v, want the single valid sample", st)
+	}
+}
+
+// TestDriftStatuses checks multi-model reporting order and the unknown
+// model answer.
+func TestDriftStatuses(t *testing.T) {
+	m := NewDriftMonitor(DriftConfig{MinSamples: 1}, nil)
+	now := time.Now().UnixNano()
+	m.recordAt("b", 0.1, now)
+	m.recordAt("a", 0.2, now)
+	sts := m.Statuses()
+	if len(sts) != 2 || sts[0].Model != "a" || sts[1].Model != "b" {
+		t.Fatalf("Statuses = %+v, want [a b] sorted", sts)
+	}
+	if _, ok := m.Status("ghost"); ok {
+		t.Error("unknown model reported ok=true")
+	}
+}
+
+// TestDriftMetricsExport checks the per-model gauge/counter series land
+// in the registry.
+func TestDriftMetricsExport(t *testing.T) {
+	reg := NewRegistry()
+	m := NewDriftMonitor(DriftConfig{Threshold: 0.01, MinSamples: 1}, reg)
+	if _, err := m.Record("m", []float64{1}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`autonomizer_drift_loss{model="m"} 1`,
+		`autonomizer_drift_healthy{model="m"} 0`,
+		`autonomizer_drift_observations_total{model="m"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+// TestDriftNilSafe checks the nil-monitor no-op contract.
+func TestDriftNilSafe(t *testing.T) {
+	var m *DriftMonitor
+	st, err := m.Record("m", []float64{1}, []float64{2})
+	if err != nil || !st.Healthy {
+		t.Errorf("nil Record = (%+v, %v), want healthy no-op", st, err)
+	}
+	if err := m.Healthy(); err != nil {
+		t.Errorf("nil Healthy = %v", err)
+	}
+	if got := m.Statuses(); got != nil {
+		t.Errorf("nil Statuses = %v", got)
+	}
+	if m.Threshold() != 0 || m.Window() != 0 {
+		t.Error("nil accessors returned non-zero")
+	}
+}

@@ -12,6 +12,8 @@ import (
 // Handler returns the telemetry endpoint mux:
 //
 //	/metrics              Prometheus text exposition of the default registry
+//	/statusz              JSON process status (uptime, telemetry posture, registered sections)
+//	/healthz              liveness; ?deep=1 additionally runs registered readiness checks
 //	/debug/vars           expvar JSON (includes autonomizer_metrics once published)
 //	/debug/pprof/...      the standard net/http/pprof profiling endpoints
 //	/debug/spans          recent traced spans as JSON (see SetTracing)
@@ -20,6 +22,13 @@ import (
 // Enable is called (it serves 503 until then).
 func Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(StatusSnapshot()); err != nil {
+			Logger().Error("statusz write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", HealthzHandler(ReadinessReport))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		reg := Default()
 		if reg == nil {
@@ -44,6 +53,40 @@ func Handler() http.Handler {
 		}
 	})
 	return mux
+}
+
+// healthResponse is the /healthz body: ok is liveness (always true
+// when the process can answer at all), ready and checks appear only on
+// deep queries.
+type healthResponse struct {
+	OK     bool              `json:"ok"`
+	Ready  *bool             `json:"ready,omitempty"`
+	Checks map[string]string `json:"checks,omitempty"`
+}
+
+// HealthzHandler builds the liveness/readiness split endpoint around a
+// readiness report function: a plain GET answers 200 {"ok":true}
+// (liveness — the process is up), and ?deep=1 runs the checks,
+// answering 200 while all pass and 503 with per-check verdicts once
+// any fails, so a fleet router can drain on readiness without killing
+// on liveness. The obs handler uses ReadinessReport; the serving layer
+// wires in its own report (drift verdicts, shutdown state).
+func HealthzHandler(report func() (bool, map[string]string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		resp := healthResponse{OK: true}
+		deep := r.URL.Query().Get("deep")
+		if deep != "" && deep != "0" {
+			ready, checks := report()
+			resp.Ready, resp.Checks = &ready, checks
+			if !ready {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+		}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			Logger().Error("healthz write failed", "err", err)
+		}
+	}
 }
 
 // Serve runs the telemetry endpoints on addr until ctx is done, then

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Summary is a sliding-window quantile estimator rendered as a
+// Prometheus summary: p50/p95/p99/p999 of the observations made during
+// the last window, plus cumulative _sum and _count.
+//
+// Histograms answer "what does the all-time latency distribution look
+// like"; a drained fleet router needs "what is p99 *right now*". The
+// estimator is log-bucketed: observations land in one of ~120
+// geometric buckets (4 per octave from 1µs, so quantile answers carry
+// at most ~9% relative error — plenty for latency SLOs spanning five
+// orders of magnitude) held in S time slices that rotate every
+// window/S. Observation is lock-free (one atomic add per bucket hit
+// plus the cumulative sum CAS); rotation and queries take a mutex.
+//
+// A nil *Summary is a no-op, matching the other instruments'
+// zero-cost-when-disabled contract.
+type Summary struct {
+	sliceDur int64 // nanoseconds per slice
+	window   int64 // nanoseconds covered by all slices
+
+	mu     sync.Mutex // guards rotation and queries
+	cur    atomic.Int64
+	start  atomic.Int64 // unixnano start of the current slice
+	slices []summarySlice
+
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Log-bucket layout: bucket 0 is the sub-floor bucket; bucket i >= 1
+// covers (qFloor*2^((i-1)/K), qFloor*2^(i/K)] with K buckets per
+// octave. 30 octaves above the 1µs floor reach ~1073s, past any
+// latency this runtime can produce.
+const (
+	qFloor        = 1e-6
+	qPerOctave    = 4
+	qOctaves      = 30
+	qBucketCount  = 1 + qOctaves*qPerOctave
+	defaultWindow = time.Minute
+	defaultSlices = 6
+)
+
+type summarySlice struct {
+	counts [qBucketCount]atomic.Uint64
+}
+
+// SummaryQuantiles are the objectives every Summary renders, the
+// p50/p95/p99/p999 ladder of the serving SLOs.
+var SummaryQuantiles = []float64{0.5, 0.95, 0.99, 0.999}
+
+// NewSummary builds an estimator over the given window split into
+// slices time slices. Non-positive arguments select the defaults
+// (1 minute, 6 slices).
+func NewSummary(window time.Duration, slices int) *Summary {
+	if window <= 0 {
+		window = defaultWindow
+	}
+	if slices < 1 {
+		slices = defaultSlices
+	}
+	s := &Summary{
+		sliceDur: int64(window) / int64(slices),
+		window:   int64(window),
+		slices:   make([]summarySlice, slices),
+	}
+	if s.sliceDur < 1 {
+		s.sliceDur = 1
+	}
+	s.start.Store(time.Now().UnixNano())
+	return s
+}
+
+// qBucketIdx maps a value in seconds to its log bucket.
+func qBucketIdx(v float64) int {
+	if !(v > qFloor) { // catches v <= qFloor, NaN, negatives
+		return 0
+	}
+	i := 1 + int(math.Log2(v/qFloor)*qPerOctave)
+	if i >= qBucketCount {
+		return qBucketCount - 1
+	}
+	return i
+}
+
+// qBucketValue is the representative value reported for a bucket: the
+// geometric midpoint of its bounds.
+func qBucketValue(i int) float64 {
+	if i <= 0 {
+		return qFloor
+	}
+	return qFloor * math.Exp2((float64(i)-0.5)/qPerOctave)
+}
+
+// Observe records one value (in seconds for latency summaries).
+func (s *Summary) Observe(v float64) {
+	if s == nil {
+		return
+	}
+	s.observeAt(v, time.Now().UnixNano())
+}
+
+func (s *Summary) observeAt(v float64, now int64) {
+	s.maybeRotate(now)
+	// An observation racing a rotation may land in a slice that was just
+	// cleared or is about to be — one sample attributed one slice off,
+	// harmless for a sliding-window estimate.
+	s.slices[s.cur.Load()].counts[qBucketIdx(v)].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sumBits.Load()
+		if s.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// maybeRotate advances the slice ring to cover now, clearing expired
+// slices. The unlocked check keeps the hot path to one atomic load.
+func (s *Summary) maybeRotate(now int64) {
+	if now-s.start.Load() < s.sliceDur {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now-s.start.Load() >= s.window+s.sliceDur {
+		// Idle gap longer than the whole window: everything expired.
+		for i := range s.slices {
+			s.clearSlice(i)
+		}
+		s.start.Store(now)
+		return
+	}
+	for now-s.start.Load() >= s.sliceDur {
+		next := (s.cur.Load() + 1) % int64(len(s.slices))
+		s.clearSlice(int(next))
+		s.cur.Store(next)
+		s.start.Add(s.sliceDur)
+	}
+}
+
+func (s *Summary) clearSlice(i int) {
+	for b := range s.slices[i].counts {
+		s.slices[i].counts[b].Store(0)
+	}
+}
+
+// Count returns the cumulative number of observations (0 on nil).
+func (s *Summary) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Sum returns the cumulative sum of observed values (0 on nil).
+func (s *Summary) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observations in
+// the sliding window. It returns NaN when the window is empty, which
+// Prometheus renders as an explicit unknown.
+func (s *Summary) Quantile(q float64) float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	return s.quantileAt(q, time.Now().UnixNano())
+}
+
+func (s *Summary) quantileAt(q float64, now int64) float64 {
+	s.maybeRotate(now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var merged [qBucketCount]uint64
+	var total uint64
+	for i := range s.slices {
+		for b := range merged {
+			c := s.slices[i].counts[b].Load()
+			merged[b] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for b, c := range merged {
+		cum += c
+		if cum >= rank {
+			return qBucketValue(b)
+		}
+	}
+	return qBucketValue(qBucketCount - 1)
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSummaryQuantileAccuracy feeds a known distribution and checks
+// every rendered quantile lands within the estimator's documented ~9%
+// relative error (one log bucket at 4 buckets/octave).
+func TestSummaryQuantileAccuracy(t *testing.T) {
+	s := NewSummary(time.Minute, 6)
+	const n = 10000
+	// Uniform 1ms..101ms: the true q-quantile is 1ms + q*100ms.
+	now := time.Now().UnixNano()
+	for i := 0; i < n; i++ {
+		v := 0.001 + 0.1*float64(i)/float64(n)
+		s.observeAt(v, now)
+	}
+	for _, q := range SummaryQuantiles {
+		want := 0.001 + 0.1*q
+		got := s.quantileAt(q, now)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("q%.3f = %.6f, want %.6f within 10%% (off by %.1f%%)", q, got, want, 100*rel)
+		}
+	}
+	if got := s.Count(); got != n {
+		t.Errorf("Count = %d, want %d", got, n)
+	}
+	wantSum := 0.0
+	for i := 0; i < n; i++ {
+		wantSum += 0.001 + 0.1*float64(i)/float64(n)
+	}
+	if got := s.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestSummaryWindowSlides pins the sliding-window semantics with an
+// injected clock: old observations rotate out slice by slice, a long
+// idle gap empties the window entirely, and an empty window answers
+// NaN.
+func TestSummaryWindowSlides(t *testing.T) {
+	window := time.Minute
+	s := NewSummary(window, 6)
+	t0 := s.start.Load()
+
+	if !math.IsNaN(s.quantileAt(0.5, t0)) {
+		t.Fatal("empty window must answer NaN")
+	}
+
+	// A slow cohort lands now; a fast cohort lands half a window later.
+	for i := 0; i < 100; i++ {
+		s.observeAt(0.5, t0) // 500ms
+	}
+	half := t0 + int64(window)/2
+	for i := 0; i < 100; i++ {
+		s.observeAt(0.001, half) // 1ms
+	}
+	// Mid-window the p99 still sees the slow cohort.
+	if got := s.quantileAt(0.99, half); got < 0.3 {
+		t.Errorf("p99 mid-window = %v, want the 500ms cohort still visible", got)
+	}
+	// One full window after the slow cohort, only the fast one remains.
+	later := t0 + int64(window) + int64(window)/4
+	if got := s.quantileAt(0.99, later); got > 0.01 {
+		t.Errorf("p99 after slide = %v, want the 500ms cohort expired", got)
+	}
+	// An idle gap longer than the window empties everything.
+	idle := later + 3*int64(window)
+	if got := s.quantileAt(0.5, idle); !math.IsNaN(got) {
+		t.Errorf("p50 after idle gap = %v, want NaN (empty window)", got)
+	}
+	// Cumulative count survives the slide (it is a counter, not a window).
+	if got := s.Count(); got != 200 {
+		t.Errorf("cumulative Count = %d, want 200", got)
+	}
+}
+
+// TestSummaryBuckets pins the log-bucket layout: sub-floor and
+// overflow values clamp to the edge buckets, and the representative
+// value stays within one bucket of the input.
+func TestSummaryBuckets(t *testing.T) {
+	if got := qBucketIdx(0); got != 0 {
+		t.Errorf("qBucketIdx(0) = %d, want the sub-floor bucket", got)
+	}
+	if got := qBucketIdx(math.NaN()); got != 0 {
+		t.Errorf("qBucketIdx(NaN) = %d, want the sub-floor bucket", got)
+	}
+	if got := qBucketIdx(-1); got != 0 {
+		t.Errorf("qBucketIdx(-1) = %d, want the sub-floor bucket", got)
+	}
+	if got := qBucketIdx(1e12); got != qBucketCount-1 {
+		t.Errorf("qBucketIdx(1e12) = %d, want the top bucket %d", got, qBucketCount-1)
+	}
+	for _, v := range []float64{2e-6, 1e-3, 0.02, 0.5, 3, 60} {
+		i := qBucketIdx(v)
+		rep := qBucketValue(i)
+		if rel := math.Abs(rep-v) / v; rel > 0.10 {
+			t.Errorf("bucket %d representative %.6g for %.6g is off by %.1f%%", i, rep, v, 100*rel)
+		}
+	}
+}
+
+// TestSummaryNilSafe checks the nil-instrument contract.
+func TestSummaryNilSafe(t *testing.T) {
+	var s *Summary
+	s.Observe(1)
+	if got := s.Count(); got != 0 {
+		t.Errorf("nil Count = %d", got)
+	}
+	if got := s.Sum(); got != 0 {
+		t.Errorf("nil Sum = %v", got)
+	}
+	if got := s.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil Quantile = %v, want NaN", got)
+	}
+}
+
+// TestSummaryPrometheusRender checks the registry-side exposition: one
+// {quantile="..."} series per objective plus _sum and _count, and NaN
+// for an empty window.
+func TestSummaryPrometheusRender(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Summary("autonomizer_test_latency_seconds", "h", Labels{"model": "m"})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `autonomizer_test_latency_seconds{model="m",quantile="0.5"} NaN`) {
+		t.Fatalf("empty summary must render NaN quantiles:\n%s", sb.String())
+	}
+
+	for i := 0; i < 100; i++ {
+		s.Observe(0.010)
+	}
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE autonomizer_test_latency_seconds summary") {
+		t.Errorf("missing summary TYPE line:\n%s", out)
+	}
+	for _, q := range []string{"0.5", "0.95", "0.99", "0.999"} {
+		if !strings.Contains(out, `{model="m",quantile="`+q+`"}`) {
+			t.Errorf("missing quantile=%s series:\n%s", q, out)
+		}
+	}
+	if !strings.Contains(out, `autonomizer_test_latency_seconds_count{model="m"} 100`) {
+		t.Errorf("missing _count series:\n%s", out)
+	}
+	if !strings.Contains(out, `autonomizer_test_latency_seconds_sum{model="m"}`) {
+		t.Errorf("missing _sum series:\n%s", out)
+	}
+	// Re-lookup returns the same instrument (registry identity).
+	if again := reg.Summary("autonomizer_test_latency_seconds", "h", Labels{"model": "m"}); again != s {
+		t.Error("re-registration returned a different Summary")
+	}
+}
+
+// TestSummaryConcurrentObserve hammers lock-free observation against
+// rotation and queries; run under -race in CI. The cumulative count
+// must see every observation exactly once.
+func TestSummaryConcurrentObserve(t *testing.T) {
+	s := NewSummary(50*time.Millisecond, 5)
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = s.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	if got := s.Count(); got != workers*per {
+		t.Errorf("Count = %d, want %d", got, workers*per)
+	}
+}

@@ -2,6 +2,11 @@ package obs
 
 import (
 	"context"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,10 +15,14 @@ import (
 // Span tracing is the third leg of the telemetry layer: each primitive
 // Ctx form opens a span, so a trace of one au_NN call shows its parent
 // (the fit, the suite runner) and its duration without a profiler
-// attached. Tracing is opt-in separately from metrics (SetTracing /
-// the -trace flag) because span records cost a context allocation per
-// call; when off, StartSpan returns the context untouched and a nil
-// *Span whose End is a no-op.
+// attached. Since PR 8 spans also carry W3C-style trace identity
+// (TraceID / SpanID / ParentID), so a trace survives the client's
+// socket: serve.Client injects a traceparent header, the server
+// continues the same TraceID, and the batcher links the engine-predict
+// span to every request span it served. Tracing is opt-in separately
+// from metrics (SetTracing / the -trace flag) because span records cost
+// a context allocation per call; when off, StartSpan returns the
+// context untouched and a nil *Span whose End is a no-op.
 
 // tracing gates span recording; off by default.
 var tracing atomic.Bool
@@ -25,21 +34,110 @@ func SetTracing(on bool) bool { return tracing.Swap(on) }
 // TracingEnabled reports whether spans are being recorded.
 func TracingEnabled() bool { return tracing.Load() }
 
+// NewTraceID returns a random non-zero 32-hex-digit W3C trace id.
+func NewTraceID() string {
+	var hi, lo uint64
+	for hi == 0 && lo == 0 {
+		hi, lo = rand.Uint64(), rand.Uint64()
+	}
+	return fmt.Sprintf("%016x%016x", hi, lo)
+}
+
+// NewSpanID returns a random non-zero 16-hex-digit W3C span id.
+func NewSpanID() string {
+	var v uint64
+	for v == 0 {
+		v = rand.Uint64()
+	}
+	return fmt.Sprintf("%016x", v)
+}
+
+// SpanLink points at another span (typically in another trace): the
+// batch-coalescing link from one engine-predict span to the N request
+// spans whose inputs it served.
+type SpanLink struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
 // Span is one timed operation. A nil *Span (tracing disabled) is safe
 // to End.
 type Span struct {
-	name   string
-	parent string
-	start  time.Time
+	name     string
+	parent   string // parent span name, "" for roots and remote parents
+	traceID  string
+	spanID   string
+	parentID string
+	links    []SpanLink
+	start    time.Time
 }
 
-// spanKey carries the current span name through the context for parent
-// attribution.
+// TraceID returns the span's 32-hex trace id ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's 16-hex span id ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
+}
+
+// AddLink attaches a link to another span (see SpanLink). Nil-safe;
+// links must be added by the span's owning goroutine before End.
+func (s *Span) AddLink(traceID, spanID string) {
+	if s == nil || traceID == "" || spanID == "" {
+		return
+	}
+	s.links = append(s.links, SpanLink{TraceID: traceID, SpanID: spanID})
+}
+
+// spanContext carries the current span's identity through the context
+// for parent attribution and wire propagation. name is "" for remote
+// parents (continued from a traceparent header).
+type spanContext struct {
+	name    string
+	traceID string
+	spanID  string
+}
+
+// spanKey is the context key for the current *spanContext.
 type spanKey struct{}
 
+// SpanContextFrom extracts the current span identity from ctx: the
+// trace and span ids a child (or an outbound request header) should
+// reference. ok is false when ctx carries no span.
+func SpanContextFrom(ctx context.Context) (traceID, spanID string, ok bool) {
+	if ctx == nil {
+		return "", "", false
+	}
+	sc, ok := ctx.Value(spanKey{}).(*spanContext)
+	if !ok {
+		return "", "", false
+	}
+	return sc.traceID, sc.spanID, true
+}
+
+// ContextWithRemoteParent installs a remote span identity (parsed from
+// a traceparent header) as the current span context, so the next
+// StartSpan continues the caller's trace. The remote parent has no
+// local name; records parented on it carry only ParentID.
+func ContextWithRemoteParent(ctx context.Context, traceID, spanID string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanKey{}, &spanContext{traceID: traceID, spanID: spanID})
+}
+
 // StartSpan opens a span and returns a context carrying it for child
-// attribution. With tracing disabled it returns ctx unchanged and a nil
-// span, allocating nothing.
+// attribution. The span inherits the context's trace id (starting a
+// fresh trace at roots) and records the parent span's id. With tracing
+// disabled it returns ctx unchanged and a nil span, allocating nothing.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if !tracing.Load() {
 		return ctx, nil
@@ -47,28 +145,111 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	parent, _ := ctx.Value(spanKey{}).(string)
-	sp := &Span{name: name, parent: parent, start: time.Now()}
-	return context.WithValue(ctx, spanKey{}, name), sp
+	sp := &Span{name: name, spanID: NewSpanID(), start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*spanContext); ok {
+		sp.parent = parent.name
+		sp.traceID = parent.traceID
+		sp.parentID = parent.spanID
+	} else {
+		sp.traceID = NewTraceID()
+	}
+	return context.WithValue(ctx, spanKey{}, &spanContext{name: name, traceID: sp.traceID, spanID: sp.spanID}), sp
 }
 
 // SpanRecord is one finished span in the in-memory ring.
 type SpanRecord struct {
 	Name     string        `json:"name"`
 	Parent   string        `json:"parent,omitempty"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	SpanID   string        `json:"span_id,omitempty"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Links    []SpanLink    `json:"links,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Err      string        `json:"err,omitempty"`
 }
 
-// spanRing keeps the most recent spans for /debug/spans and tests.
-const spanRingSize = 256
+// Span-ring capacity bounds: the default matches the pre-configurable
+// ring, the maximum keeps a runaway env value from pinning memory
+// (1<<20 records ≈ 300 MB of spans is already absurd).
+const (
+	defaultSpanBuffer = 256
+	maxSpanBuffer     = 1 << 20
+)
 
+// spanRing keeps the most recent spans for /debug/spans and tests.
+// Capacity comes from AUTONOMIZER_SPAN_BUFFER (or SetSpanBuffer),
+// resolved lazily on first use like the parallel pool's width.
 var spanRing struct {
+	once sync.Once
 	mu   sync.Mutex
-	buf  [spanRingSize]SpanRecord
+	buf  []SpanRecord
 	next int
 	n    int
+}
+
+// parseSpanBuffer validates an AUTONOMIZER_SPAN_BUFFER value: a
+// positive decimal integer no larger than maxSpanBuffer.
+func parseSpanBuffer(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("obs: AUTONOMIZER_SPAN_BUFFER=%q is not an integer", s)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("obs: AUTONOMIZER_SPAN_BUFFER=%d must be positive", n)
+	}
+	if n > maxSpanBuffer {
+		return 0, fmt.Errorf("obs: AUTONOMIZER_SPAN_BUFFER=%d exceeds the cap of %d", n, maxSpanBuffer)
+	}
+	return n, nil
+}
+
+// ensureSpanRing resolves the initial ring capacity on first use:
+// AUTONOMIZER_SPAN_BUFFER when valid, else the default — a malformed
+// value is rejected loudly (logged warning) rather than silently
+// resizing the ring, mirroring AUTONOMIZER_WORKERS.
+func ensureSpanRing() {
+	spanRing.once.Do(func() {
+		size := defaultSpanBuffer
+		if s := os.Getenv("AUTONOMIZER_SPAN_BUFFER"); s != "" {
+			n, err := parseSpanBuffer(s)
+			if err != nil {
+				Logger().Warn("bad AUTONOMIZER_SPAN_BUFFER; falling back to default",
+					"err", err, "default", defaultSpanBuffer)
+			} else {
+				size = n
+			}
+		}
+		spanRing.buf = make([]SpanRecord, size)
+	})
+}
+
+// SetSpanBuffer resizes the recent-span ring to hold n records,
+// keeping the newest records that fit. It returns an error (and leaves
+// the ring untouched) when n is out of bounds.
+func SetSpanBuffer(n int) error {
+	if n < 1 || n > maxSpanBuffer {
+		return fmt.Errorf("obs: span buffer size %d out of range [1, %d]", n, maxSpanBuffer)
+	}
+	ensureSpanRing()
+	spanRing.mu.Lock()
+	defer spanRing.mu.Unlock()
+	old := recentSpansLocked()
+	if len(old) > n {
+		old = old[len(old)-n:]
+	}
+	spanRing.buf = make([]SpanRecord, n)
+	spanRing.n = copy(spanRing.buf, old)
+	spanRing.next = spanRing.n % n
+	return nil
+}
+
+// SpanBufferSize reports the ring's current capacity.
+func SpanBufferSize() int {
+	ensureSpanRing()
+	spanRing.mu.Lock()
+	defer spanRing.mu.Unlock()
+	return len(spanRing.buf)
 }
 
 // End closes the span: its duration lands in the
@@ -83,28 +264,39 @@ func (s *Span) End(err error) {
 		r.Histogram("autonomizer_span_duration_seconds",
 			"Duration of traced runtime spans.", nil, Labels{"span": s.name}).Observe(d.Seconds())
 	}
-	rec := SpanRecord{Name: s.name, Parent: s.parent, Start: s.start, Duration: d}
+	rec := SpanRecord{
+		Name: s.name, Parent: s.parent,
+		TraceID: s.traceID, SpanID: s.spanID, ParentID: s.parentID,
+		Links: s.links, Start: s.start, Duration: d,
+	}
 	if err != nil {
 		rec.Err = err.Error()
 	}
+	ensureSpanRing()
 	spanRing.mu.Lock()
 	spanRing.buf[spanRing.next] = rec
-	spanRing.next = (spanRing.next + 1) % spanRingSize
-	if spanRing.n < spanRingSize {
+	spanRing.next = (spanRing.next + 1) % len(spanRing.buf)
+	if spanRing.n < len(spanRing.buf) {
 		spanRing.n++
 	}
 	spanRing.mu.Unlock()
-	Logger().Debug("span", "name", s.name, "parent", s.parent, "dur", d, "err", err)
+	Logger().Debug("span", "name", s.name, "parent", s.parent, "trace", s.traceID, "dur", d, "err", err)
+}
+
+// recentSpansLocked copies the ring oldest-first; callers hold the lock.
+func recentSpansLocked() []SpanRecord {
+	out := make([]SpanRecord, 0, spanRing.n)
+	start := spanRing.next - spanRing.n
+	for i := 0; i < spanRing.n; i++ {
+		out = append(out, spanRing.buf[(start+i+len(spanRing.buf))%len(spanRing.buf)])
+	}
+	return out
 }
 
 // RecentSpans returns the most recent finished spans, oldest first.
 func RecentSpans() []SpanRecord {
+	ensureSpanRing()
 	spanRing.mu.Lock()
 	defer spanRing.mu.Unlock()
-	out := make([]SpanRecord, 0, spanRing.n)
-	start := spanRing.next - spanRing.n
-	for i := 0; i < spanRing.n; i++ {
-		out = append(out, spanRing.buf[(start+i+spanRingSize)%spanRingSize])
-	}
-	return out
+	return recentSpansLocked()
 }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// W3C Trace Context propagation (the traceparent header,
+// https://www.w3.org/TR/trace-context/). The serving layer injects the
+// header on outbound requests (serve.Client) and continues the trace on
+// inbound ones (auserve), so one client call and the server spans it
+// fans into share a TraceID and chain through ParentID. Only the
+// traceparent header is implemented — tracestate carries vendor baggage
+// this runtime has no use for.
+
+// TraceparentHeader is the canonical header name (HTTP header names are
+// case-insensitive; the spec spells it lowercase).
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders the version-00 traceparent value for a span
+// identity, with the sampled flag set (a recorded span is by definition
+// sampled here — tracing is all-or-nothing).
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// isLowerHex reports whether s is entirely lowercase hexadecimal, the
+// only alphabet the traceparent grammar admits.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isZero reports whether s is all '0' digits (the grammar forbids
+// all-zero trace and span ids).
+func isZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent validates a traceparent header value and returns the
+// trace and parent span ids. Per the W3C grammar it rejects: wrong
+// field count, non-hex or wrong-length fields, the invalid version ff,
+// and all-zero trace or span ids. Version 00 must have exactly four
+// fields; higher versions may append fields (forward compatibility).
+func ParseTraceparent(h string) (traceID, spanID string, err error) {
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return "", "", fmt.Errorf("obs: traceparent %q has %d fields, want 4", h, len(parts))
+	}
+	version := parts[0]
+	if len(version) != 2 || !isLowerHex(version) {
+		return "", "", fmt.Errorf("obs: traceparent version %q is not 2 lowercase hex digits", version)
+	}
+	if version == "ff" {
+		return "", "", fmt.Errorf("obs: traceparent version ff is invalid")
+	}
+	if version == "00" && len(parts) != 4 {
+		return "", "", fmt.Errorf("obs: version-00 traceparent %q has %d fields, want exactly 4", h, len(parts))
+	}
+	traceID, spanID, flags := parts[1], parts[2], parts[3]
+	if len(traceID) != 32 || !isLowerHex(traceID) || isZero(traceID) {
+		return "", "", fmt.Errorf("obs: traceparent trace-id %q is not 32 non-zero lowercase hex digits", traceID)
+	}
+	if len(spanID) != 16 || !isLowerHex(spanID) || isZero(spanID) {
+		return "", "", fmt.Errorf("obs: traceparent parent-id %q is not 16 non-zero lowercase hex digits", spanID)
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return "", "", fmt.Errorf("obs: traceparent flags %q are not 2 lowercase hex digits", flags)
+	}
+	return traceID, spanID, nil
+}
+
+// InjectTraceparent sets the traceparent header for the current span
+// context. A no-op when tracing is disabled or ctx carries no span, so
+// instrumented clients pay one atomic load on the disabled path.
+func InjectTraceparent(ctx context.Context, h http.Header) {
+	if !tracing.Load() {
+		return
+	}
+	if traceID, spanID, ok := SpanContextFrom(ctx); ok {
+		h.Set(TraceparentHeader, FormatTraceparent(traceID, spanID))
+	}
+}
+
+// ContinueFromHeader installs the remote parent named by a traceparent
+// header value as ctx's span context, so the next StartSpan continues
+// the caller's trace. An empty value returns ctx unchanged (a fresh
+// root trace); a malformed value returns ctx unchanged and the parse
+// error, which servers log-and-ignore rather than failing the request
+// (observability must never break serving).
+func ContinueFromHeader(ctx context.Context, header string) (context.Context, error) {
+	if header == "" {
+		return ctx, nil
+	}
+	traceID, spanID, err := ParseTraceparent(header)
+	if err != nil {
+		return ctx, err
+	}
+	return ContextWithRemoteParent(ctx, traceID, spanID), nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/obs"
 )
 
 // batchCall is one request's slot in the batching queue. The submitter
@@ -36,6 +37,11 @@ type batcher struct {
 	maxDelay time.Duration
 	met      *metricsSet
 
+	// shed counts requests rejected by backpressure for this model —
+	// the /statusz shed figure; shedC is its metric twin (nil-safe).
+	shed  atomic.Uint64
+	shedC *obs.Counter
+
 	stop    chan struct{}
 	stopped sync.WaitGroup
 	closed  atomic.Bool
@@ -48,6 +54,7 @@ func newBatcher(m *servedModel, maxBatch int, maxDelay time.Duration, depth int,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
 		met:      met,
+		shedC:    met.shedCounter(m.name),
 		stop:     make(chan struct{}),
 	}
 	b.stopped.Add(1)
@@ -71,6 +78,8 @@ func (b *batcher) submit(ctx context.Context, in []float64) ([]float64, error) {
 	select {
 	case b.queue <- c:
 	default:
+		b.shed.Add(1)
+		b.shedC.Inc()
 		b.met.overloaded()
 		return nil, auerr.E(auerr.ErrOverloaded, "serve: model %q queue full (%d waiting)",
 			b.model.name, cap(b.queue))
@@ -140,6 +149,13 @@ func (b *batcher) loop() {
 // as one minibatch on the replica pool. A panic escaping the kernels is
 // recovered here and surfaced as ErrInvariant on every member — one
 // poisoned batch must not take down the collector.
+//
+// Observability: every member's queue wait and the batch's assembly
+// window land in the per-stage histograms, and — when tracing is on —
+// the batch opens a serve.batch span continuing the first live
+// request's trace, with a serve.engine_predict child carrying one span
+// link per coalesced request, so a trace shows exactly which
+// batchmates shared the forward pass.
 func (b *batcher) execute(batch []*batchCall) {
 	eng := b.model.eng.Load()
 	now := time.Now()
@@ -148,6 +164,12 @@ func (b *batcher) execute(batch []*batchCall) {
 		waits[i] = now.Sub(c.enq).Seconds()
 	}
 	b.met.observeBatch(len(batch), waits)
+	if b.met != nil {
+		for _, w := range waits {
+			b.met.stageObserve(stageQueueWait, w)
+		}
+		b.met.stageObserve(stageBatchAssemble, now.Sub(batch[0].enq).Seconds())
+	}
 
 	live := batch[:0]
 	for _, c := range batch {
@@ -165,6 +187,17 @@ func (b *batcher) execute(batch []*batchCall) {
 	if len(live) == 0 {
 		return
 	}
+	var bsp, psp *obs.Span
+	if obs.TracingEnabled() {
+		bctx, sp := obs.StartSpan(live[0].ctx, "serve.batch")
+		bsp = sp
+		_, psp = obs.StartSpan(bctx, "serve.engine_predict")
+		for _, c := range live {
+			if tid, sid, ok := obs.SpanContextFrom(c.ctx); ok {
+				psp.AddLink(tid, sid)
+			}
+		}
+	}
 	// One flat allocation per batch holds every member's output; the
 	// replica closures write straight into the per-request slots, so the
 	// cost amortizes over the whole batch instead of one alloc per call.
@@ -175,12 +208,14 @@ func (b *batcher) execute(batch []*batchCall) {
 		ins[i] = c.in
 		outs[i] = flat[i*eng.outSize : (i+1)*eng.outSize]
 	}
+	var batchErr error
+	tm := b.met.stageTimer(stageEnginePredict)
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				err := auerr.FromPanic(r)
+				batchErr = auerr.FromPanic(r)
 				for _, c := range live {
-					c.err = err
+					c.err = batchErr
 				}
 			}
 		}()
@@ -189,6 +224,9 @@ func (b *batcher) execute(batch []*batchCall) {
 			c.out = outs[i]
 		}
 	}()
+	tm.Stop()
+	psp.End(batchErr)
+	bsp.End(batchErr)
 	for _, c := range live {
 		close(c.done)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/obs"
 )
 
 // Client is the remote counterpart of the in-process Runtime's query
@@ -155,10 +156,15 @@ func (c *Client) WriteBackAction(name string) (int, error) {
 // across all clients coalesce into server-side minibatches. Results are
 // bit-identical to the embedded Runtime.PredictCtx on the same
 // snapshot.
-func (c *Client) PredictCtx(ctx context.Context, mdName string, in []float64) ([]float64, error) {
+func (c *Client) PredictCtx(ctx context.Context, mdName string, in []float64) (out []float64, err error) {
 	if err := live(ctx); err != nil {
 		return nil, err
 	}
+	// The client span roots (or continues) the trace; its span ID rides
+	// the traceparent header so the server-side serve.predict span joins
+	// the same trace. One atomic load when tracing is off.
+	ctx, sp := obs.StartSpan(ctx, "client.predict")
+	defer func() { sp.End(err) }()
 	if c.binary {
 		return c.predictBinary(ctx, mdName, in)
 	}
@@ -214,7 +220,7 @@ func (c *Client) NN(mdName, extName string, wbNames ...string) error {
 // action for the state in the local store. reward and terminal are
 // accepted for Querier parity and ignored — served snapshots do not
 // learn online.
-func (c *Client) NNRLCtx(ctx context.Context, mdName, extName string, reward float64, terminal bool, wbName string) error {
+func (c *Client) NNRLCtx(ctx context.Context, mdName, extName string, reward float64, terminal bool, wbName string) (err error) {
 	_ = reward
 	_ = terminal
 	if err := live(ctx); err != nil {
@@ -224,6 +230,8 @@ func (c *Client) NNRLCtx(ctx context.Context, mdName, extName string, reward flo
 	if !ok || len(state) == 0 {
 		return auerr.E(auerr.ErrMissingInput, "serve: au_NN input %q is empty; call au_extract first", extName)
 	}
+	ctx, sp := obs.StartSpan(ctx, "client.act")
+	defer func() { sp.End(err) }()
 	var resp ActResponse
 	if err := c.postJSON(ctx, "/v1/act", ActRequest{Model: mdName, State: state}, &resp); err != nil {
 		return err
@@ -259,6 +267,23 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	return out, nil
 }
 
+// ObserveCtx reports the ground-truth outcome for a prediction this
+// client served earlier: the server's drift monitor folds the pair's
+// mean squared error into the model's rolling window and returns the
+// updated verdict. Call it when the host program learns the true value
+// (the same moment it would WriteBack), closing the loop that lets the
+// fleet notice a model drifting away from reality.
+func (c *Client) ObserveCtx(ctx context.Context, mdName string, predicted, observed []float64) (ObserveResponse, error) {
+	var resp ObserveResponse
+	if err := live(ctx); err != nil {
+		return resp, err
+	}
+	err := c.postJSON(ctx, "/v1/observe", ObserveRequest{
+		Model: mdName, Predicted: predicted, Observed: observed,
+	}, &resp)
+	return resp, err
+}
+
 // Reload asks the server to hot-reload one model from its snapshot
 // source (data nil) or from the given SaveModel image. It returns the
 // new version.
@@ -292,6 +317,7 @@ func (c *Client) predictBinary(ctx context.Context, mdName string, in []float64)
 		return nil, err
 	}
 	req.Header.Set("Content-Type", BinaryContentType)
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, c.transportError(ctx, err)
@@ -317,6 +343,7 @@ func (c *Client) postJSON(ctx context.Context, path string, body, out any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return c.transportError(ctx, err)

@@ -6,6 +6,24 @@ import (
 	"github.com/autonomizer/autonomizer/internal/obs"
 )
 
+// serveStage enumerates the per-stage latency decomposition of one
+// served request: time queued, time the batch window spent assembling,
+// time inside the engine forward pass, time encoding the response. The
+// names are the closed vocabulary of the "stage" label.
+type serveStage int
+
+const (
+	stageQueueWait serveStage = iota
+	stageBatchAssemble
+	stageEnginePredict
+	stageResponseEncode
+	nServeStages
+)
+
+var stageName = [nServeStages]string{
+	"queue_wait", "batch_assemble", "engine_predict", "response_encode",
+}
+
 // metricsSet holds the serving layer's pre-registered instruments. A nil
 // *metricsSet (no registry — telemetry disabled) short-circuits every
 // method, matching the zero-cost-when-disabled contract of the rest of
@@ -20,13 +38,14 @@ type metricsSet struct {
 	batches   *obs.Counter
 	coalesce  *obs.Histogram
 	overloads *obs.Counter
+	stages    [nServeStages]*obs.Histogram
 }
 
 func newMetricsSet(reg *obs.Registry) *metricsSet {
 	if reg == nil {
 		return nil
 	}
-	return &metricsSet{
+	m := &metricsSet{
 		reg: reg,
 		batchSize: reg.Histogram("autonomizer_serve_batch_size",
 			"Requests coalesced into each dispatched inference batch.",
@@ -39,6 +58,49 @@ func newMetricsSet(reg *obs.Registry) *metricsSet {
 		overloads: reg.Counter("autonomizer_serve_overloaded_total",
 			"Requests rejected by backpressure (bounded queue full).", nil),
 	}
+	for st := serveStage(0); st < nServeStages; st++ {
+		m.stages[st] = reg.Histogram("autonomizer_serve_stage_duration_seconds",
+			"Per-stage latency decomposition of served requests (queue wait, batch assembly, engine predict, response encode).",
+			nil, obs.Labels{"stage": stageName[st]})
+	}
+	return m
+}
+
+// stageObserve records one stage duration in seconds.
+func (m *metricsSet) stageObserve(st serveStage, secs float64) {
+	if m == nil {
+		return
+	}
+	m.stages[st].Observe(secs)
+}
+
+// stageTimer starts a stage timer (zero Timer when disabled).
+func (m *metricsSet) stageTimer(st serveStage) obs.Timer {
+	if m == nil {
+		return obs.Timer{}
+	}
+	return m.stages[st].Timer()
+}
+
+// modelLatency returns the per-model end-to-end latency summary — the
+// p50/p95/p99/p999 {quantile=...} series the fleet SLOs scrape.
+func (m *metricsSet) modelLatency(model string) *obs.Summary {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Summary("autonomizer_serve_model_latency_seconds",
+		"Sliding-window latency quantiles of served predict requests, per model (submit to batch completion).",
+		obs.Labels{"model": model})
+}
+
+// shedCounter returns the per-model load-shed counter.
+func (m *metricsSet) shedCounter(model string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("autonomizer_serve_shed_total",
+		"Requests shed by backpressure, per model (bounded queue full).",
+		obs.Labels{"model": model})
 }
 
 // request counts one finished HTTP request by endpoint and status code

@@ -66,6 +66,22 @@ type (
 		Model   string `json:"model"`
 		Version int    `json:"version"`
 	}
+	// ObserveRequest reports ground truth for a prediction a client
+	// served earlier: the drift monitor folds the pair's mean squared
+	// error into the model's rolling window (POST /v1/observe).
+	ObserveRequest struct {
+		Model     string    `json:"model"`
+		Predicted []float64 `json:"predicted"`
+		Observed  []float64 `json:"observed"`
+	}
+	// ObserveResponse carries the model's updated drift verdict.
+	ObserveResponse struct {
+		Model     string  `json:"model"`
+		Loss      float64 `json:"loss"`
+		Samples   int     `json:"samples"`
+		Threshold float64 `json:"threshold"`
+		Healthy   bool    `json:"healthy"`
+	}
 	// errorResponse is the uniform error body: a human-readable message
 	// plus the machine-readable auerr class.
 	errorResponse struct {

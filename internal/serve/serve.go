@@ -8,7 +8,9 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +46,18 @@ type Config struct {
 	Registry *obs.Registry
 	// Logger overrides the structured logger (default obs.Logger()).
 	Logger *slog.Logger
+	// DriftThreshold is the rolling mean-squared-error above which a
+	// model's drift verdict flips unhealthy, turning /healthz?deep=1
+	// not-ready (DESIGN.md §5h). Zero reads AUTONOMIZER_DRIFT_THRESHOLD,
+	// and with that unset too the monitor records and exports drift but
+	// never flips readiness. Negative forces monitor-only mode.
+	DriftThreshold float64
+	// DriftWindow is the rolling window drift loss is averaged over
+	// (default 1 minute).
+	DriftWindow time.Duration
+	// DriftMinSamples is how many observations the window must hold
+	// before a drift verdict is rendered (default 8).
+	DriftMinSamples int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,15 +76,33 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = obs.Logger()
 	}
+	if c.DriftThreshold == 0 {
+		if s := os.Getenv("AUTONOMIZER_DRIFT_THRESHOLD"); s != "" {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v < 0 {
+				obs.Logger().Warn("bad AUTONOMIZER_DRIFT_THRESHOLD; drift monitor stays monitor-only",
+					"value", s, "err", err)
+			} else {
+				c.DriftThreshold = v
+			}
+		}
+	}
+	if c.DriftThreshold < 0 {
+		c.DriftThreshold = 0
+	}
 	return c
 }
 
 // servedModel is one model's serving state: the atomically swappable
-// engine (the live snapshot) and the micro-batcher feeding it.
+// engine (the live snapshot), the micro-batcher feeding it, the
+// per-model latency summary and the installation timestamp /statusz
+// reports as time-since-last-reload.
 type servedModel struct {
-	name string
-	eng  atomic.Pointer[engine]
-	b    *batcher
+	name       string
+	eng        atomic.Pointer[engine]
+	b          *batcher
+	lat        *obs.Summary // nil when telemetry is off
+	lastReload atomic.Int64 // unixnano of the most recent Install
 }
 
 // Server is the network inference service: it exposes the query-side
@@ -82,13 +114,17 @@ type servedModel struct {
 //
 //	POST /v1/predict            one forward pass (JSON, or the binary fast path)
 //	POST /v1/act                greedy action of a QLearn model (remote RL au_NN)
+//	POST /v1/observe            ground-truth observation against a served prediction (drift)
 //	GET  /v1/models             served models with versions and sizes
 //	POST /models/{name}/reload  atomic hot reload (body = SaveModel image, or empty to pull from Source)
-//	GET  /healthz               liveness
+//	GET  /healthz               liveness; ?deep=1 adds readiness (drift verdicts, shutdown)
+//	GET  /statusz               JSON serving status (per-model queue/shed/drift/reload state)
 type Server struct {
-	cfg Config
-	log *slog.Logger
-	met *metricsSet
+	cfg   Config
+	log   *slog.Logger
+	met   *metricsSet
+	drift *obs.DriftMonitor
+	start time.Time
 
 	mu     sync.RWMutex
 	models map[string]*servedModel
@@ -99,12 +135,22 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:    cfg,
-		log:    cfg.Logger.With("component", "serve"),
-		met:    newMetricsSet(cfg.Registry),
+		cfg: cfg,
+		log: cfg.Logger.With("component", "serve"),
+		met: newMetricsSet(cfg.Registry),
+		drift: obs.NewDriftMonitor(obs.DriftConfig{
+			Window:     cfg.DriftWindow,
+			Threshold:  cfg.DriftThreshold,
+			MinSamples: cfg.DriftMinSamples,
+		}, cfg.Registry),
+		start:  time.Now(),
 		models: make(map[string]*servedModel),
 	}
 }
+
+// Drift exposes the server's drift monitor (synthetic injection in
+// tests, future online-learning rollback hooks).
+func (s *Server) Drift() *obs.DriftMonitor { return s.drift }
 
 // Install makes a model servable (or hot-reloads it): spec describes
 // the network family, data is a SaveModel image. On an existing name
@@ -133,12 +179,14 @@ func (s *Server) Install(name string, spec core.ModelSpec, data []byte) (int, er
 	if !ok {
 		m = &servedModel{name: name}
 		m.eng.Store(eng)
+		m.lat = s.met.modelLatency(name)
 		m.b = newBatcher(m, s.cfg.MaxBatch, s.cfg.MaxDelay, s.cfg.QueueDepth, s.met)
 		s.models[name] = m
 		s.met.queueDepth(name, func() float64 { return float64(m.b.depth()) })
 	} else {
 		m.eng.Store(eng)
 	}
+	m.lastReload.Store(time.Now().UnixNano())
 	s.met.modelVersion(name, version)
 	s.log.Info("model installed", "model", name, "version", version,
 		"in", eng.inSize, "out", eng.outSize, "replicas", eng.replicas)
@@ -206,13 +254,28 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/act", s.handleAct)
+	mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /models/{name}/reload", s.handleReload)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
-	})
+	mux.HandleFunc("GET /healthz", obs.HealthzHandler(s.readiness))
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return mux
+}
+
+// traced continues the caller's trace from the request's traceparent
+// header. A malformed header is rejected (logged, debug level) and the
+// request starts a fresh root trace — observability never fails a
+// request. One atomic load when tracing is off.
+func (s *Server) traced(r *http.Request) context.Context {
+	ctx := r.Context()
+	if !obs.TracingEnabled() {
+		return ctx
+	}
+	ctx, err := obs.ContinueFromHeader(ctx, r.Header.Get(obs.TraceparentHeader))
+	if err != nil {
+		s.log.Debug("rejected malformed traceparent", "err", err)
+	}
+	return ctx
 }
 
 // writeJSON writes a 200 JSON body.
@@ -233,18 +296,28 @@ func writeError(w http.ResponseWriter, err error) int {
 	return code
 }
 
-// submit resolves the model and runs one input through its batcher.
+// submit resolves the model and runs one input through its batcher,
+// feeding the per-model latency summary (submit to batch completion —
+// the latency a remote caller actually experiences server-side).
 func (s *Server) submit(ctx context.Context, model string, in []float64) ([]float64, error) {
 	m, ok := s.model(model)
 	if !ok {
 		return nil, auerr.E(auerr.ErrUnknownModel, "serve: unknown model %q", model)
 	}
-	return m.b.submit(ctx, in)
+	if s.met == nil {
+		return m.b.submit(ctx, in)
+	}
+	t0 := time.Now()
+	out, err := m.b.submit(ctx, in)
+	if err == nil {
+		m.lat.Observe(time.Since(t0).Seconds())
+	}
+	return out, err
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	tm := s.met.timer("predict")
-	ctx, sp := obs.StartSpan(r.Context(), "serve.predict")
+	ctx, sp := obs.StartSpan(s.traced(r), "serve.predict")
 	code := http.StatusOK
 	var spanErr error
 	defer func() { sp.End(spanErr); s.met.request("predict", code, tm) }()
@@ -277,19 +350,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		code = writeError(w, err)
 		return
 	}
+	enc := s.met.stageTimer(stageResponseEncode)
 	if binaryReq {
 		w.Header().Set("Content-Type", BinaryContentType)
 		if _, err := w.Write(appendVector(nil, out)); err != nil {
 			s.log.Debug("predict response write failed", "err", err)
 		}
+		enc.Stop()
 		return
 	}
 	writeJSON(w, PredictResponse{Output: out})
+	enc.Stop()
 }
 
 func (s *Server) handleAct(w http.ResponseWriter, r *http.Request) {
 	tm := s.met.timer("act")
-	ctx, sp := obs.StartSpan(r.Context(), "serve.act")
+	ctx, sp := obs.StartSpan(s.traced(r), "serve.act")
 	code := http.StatusOK
 	var spanErr error
 	defer func() { sp.End(spanErr); s.met.request("act", code, tm) }()
@@ -308,7 +384,44 @@ func (s *Server) handleAct(w http.ResponseWriter, r *http.Request) {
 	}
 	// Greedy argmax over the Q-vector — the TS-mode rl.Agent.Act path,
 	// so remote NNRL picks exactly the action the embedded runtime would.
+	enc := s.met.stageTimer(stageResponseEncode)
 	writeJSON(w, ActResponse{Action: stats.ArgMax(q)})
+	enc.Stop()
+}
+
+// handleObserve records one ground-truth observation against a served
+// prediction: the drift monitor folds the pair's mean squared error
+// into the model's rolling window and answers with the updated verdict
+// (DESIGN.md §5h). Clients report through Client.ObserveCtx after the
+// host program learns the true outcome of a prediction.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	tm := s.met.timer("observe")
+	_, sp := obs.StartSpan(s.traced(r), "serve.observe")
+	code := http.StatusOK
+	var spanErr error
+	defer func() { sp.End(spanErr); s.met.request("observe", code, tm) }()
+
+	var req ObserveRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxJSONBody)).Decode(&req); err != nil {
+		spanErr = auerr.E(auerr.ErrSpecInvalid, "serve: bad observe request: %v", err)
+		code = writeError(w, spanErr)
+		return
+	}
+	if _, ok := s.model(req.Model); !ok {
+		spanErr = auerr.E(auerr.ErrUnknownModel, "serve: unknown model %q", req.Model)
+		code = writeError(w, spanErr)
+		return
+	}
+	st, err := s.drift.Record(req.Model, req.Predicted, req.Observed)
+	if err != nil {
+		spanErr = auerr.E(auerr.ErrSpecInvalid, "serve: %v", err)
+		code = writeError(w, spanErr)
+		return
+	}
+	writeJSON(w, ObserveResponse{
+		Model: st.Model, Loss: st.Loss, Samples: st.Samples,
+		Threshold: st.Threshold, Healthy: st.Healthy,
+	})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
