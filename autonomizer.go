@@ -175,6 +175,11 @@ func WithLogger(l *slog.Logger) Option { return core.WithLogger(l) }
 // telemetry entirely, even when EnableTelemetry was called.
 func WithMetrics(reg *TelemetryRegistry) Option { return core.WithMetrics(reg) }
 
+// WithDriftConfig tunes an embedded Runtime's drift monitor (fed by
+// Observe/ObserveCtx) — the counterpart of auserve's -drift-threshold
+// and -drift-window flags. The default is monitor-only.
+func WithDriftConfig(cfg DriftConfig) Option { return core.WithDriftConfig(cfg) }
+
 // NewRuntime creates an embedded runtime in the given mode:
 //
 //	rt := autonomizer.NewRuntime(autonomizer.Train,

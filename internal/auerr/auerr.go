@@ -58,6 +58,13 @@ var (
 	// caller should shed load or retry later. The HTTP surface maps it to
 	// 429 Too Many Requests.
 	ErrOverloaded = errors.New("autonomizer: overloaded")
+	// ErrUnavailable marks work that could not reach a live backend: the
+	// fleet router had no healthy owner for the model, or a backend died
+	// mid-request. Like ErrOverloaded it is transient — retry with
+	// backoff; the supervisor is already restarting the backend and the
+	// router is rehashing its models away. The HTTP surface maps it to
+	// 503 Service Unavailable.
+	ErrUnavailable = errors.New("autonomizer: no backend available")
 	// ErrInvariant marks a recovered internal invariant violation — a bug
 	// in the runtime (or a panicking user callback), surfaced as an error
 	// instead of a crash.
@@ -113,6 +120,8 @@ func Class(err error) string {
 		return "corrupt_store"
 	case errors.Is(err, ErrOverloaded):
 		return "overloaded"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
 	case errors.Is(err, ErrInvariant):
 		return "invariant"
 	default:
@@ -131,6 +140,7 @@ var classSentinel = map[string]error{
 	"corrupt_model":    ErrCorruptModel,
 	"corrupt_store":    ErrCorruptStore,
 	"overloaded":       ErrOverloaded,
+	"unavailable":      ErrUnavailable,
 	"invariant":        ErrInvariant,
 }
 

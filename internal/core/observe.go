@@ -1,0 +1,46 @@
+package core
+
+import (
+	"context"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/obs"
+)
+
+// The embedded drift pathway (DESIGN.md §5h, §5i): the same
+// Observe/ObserveCtx primitive the remote Client exposes, feeding this
+// runtime's own obs.DriftMonitor instead of a server's. A host written
+// against the Querier interface closes the prediction→ground-truth
+// loop identically whether the model runs in-process, behind one
+// auserve, or across a fleet — which is what makes the drift monitor
+// testable without a network and lets an embedded deployment graduate
+// to a served one without touching the host's observation code.
+
+// ObserveCtx records one ground-truth observation against an earlier
+// prediction of the named model: the pair's mean squared error joins
+// the model's rolling drift window and the updated verdict is
+// returned. The model must be configured (or loaded) on this runtime;
+// mismatched or empty vectors wrap auerr.ErrSpecInvalid.
+func (rt *Runtime) ObserveCtx(ctx context.Context, mdName string, predicted, observed []float64) (st obs.DriftStatus, err error) {
+	defer guard(&err)
+	if err = live(ctx); err != nil {
+		return obs.DriftStatus{}, err
+	}
+	if _, ok := rt.getModel(mdName); !ok {
+		return obs.DriftStatus{}, auerr.E(auerr.ErrUnknownModel, "au_observe of unknown model %q", mdName)
+	}
+	st, rerr := rt.drift.Record(mdName, predicted, observed)
+	if rerr != nil {
+		return obs.DriftStatus{}, auerr.E(auerr.ErrSpecInvalid, "%v", rerr)
+	}
+	return st, nil
+}
+
+// Observe is ObserveCtx with context.Background().
+func (rt *Runtime) Observe(mdName string, predicted, observed []float64) (obs.DriftStatus, error) {
+	return rt.ObserveCtx(context.Background(), mdName, predicted, observed)
+}
+
+// Drift exposes the runtime's drift monitor (verdict inspection in
+// tests and hosts, mirroring serve.Server.Drift).
+func (rt *Runtime) Drift() *obs.DriftMonitor { return rt.drift }

@@ -18,6 +18,7 @@ type runtimeOptions struct {
 	logger *slog.Logger
 	reg    *obs.Registry
 	regSet bool
+	drift  obs.DriftConfig
 }
 
 // Option configures Runtime construction (see NewRuntimeWith). Options
@@ -45,6 +46,14 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(o *runtimeOptions) { o.reg = reg; o.regSet = true }
 }
 
+// WithDriftConfig tunes the runtime's drift monitor (window, threshold,
+// sample floor) — the embedded twin of serve.Config's drift knobs. The
+// default is monitor-only: Observe records and reports rolling loss
+// but no verdict ever flips unhealthy.
+func WithDriftConfig(cfg obs.DriftConfig) Option {
+	return func(o *runtimeOptions) { o.drift = cfg }
+}
+
 // NewRuntimeWith creates a runtime in the given mode, configured by
 // functional options. It is the canonical constructor; NewRuntime(mode,
 // seed) remains as a thin compatible wrapper equivalent to
@@ -70,5 +79,6 @@ func NewRuntimeWith(mode Mode, opts ...Option) *Runtime {
 		saved:  make(map[string][]byte),
 		log:    log.With("mode", mode.String()),
 	}
+	rt.drift = obs.NewDriftMonitor(o.drift, o.reg)
 	return rt.Instrument(o.reg)
 }

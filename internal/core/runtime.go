@@ -12,6 +12,7 @@ import (
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/ckpt"
 	"github.com/autonomizer/autonomizer/internal/db"
+	"github.com/autonomizer/autonomizer/internal/obs"
 	"github.com/autonomizer/autonomizer/internal/stats"
 )
 
@@ -62,6 +63,11 @@ type Runtime struct {
 	// log is the per-runtime structured logger carrying the mode.
 	tel *telemetry
 	log *slog.Logger
+
+	// drift is this runtime's model-faithfulness monitor, fed by
+	// Observe/ObserveCtx — the embedded twin of the serving layer's
+	// drift pathway (see internal/core/observe.go).
+	drift *obs.DriftMonitor
 
 	// saved is the model registry standing in for on-disk model files:
 	// Test-mode au_config loads weights from here by name (the

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/autonomizer/autonomizer/internal/auerr"
+	"github.com/autonomizer/autonomizer/internal/serve"
+)
+
+// DefaultCooldown is how long the client-side resolver keeps a backend
+// out of the ring after a transport failure before probing it again.
+// Long enough that a retry burst doesn't hammer a corpse, short enough
+// that a supervisor-restarted backend rejoins within a human blink.
+const DefaultCooldown = 2 * time.Second
+
+// resolver is the fleet-aware serve.Resolver: a consistent-hash ring
+// over the configured backends, minus the ones currently marked down.
+// Endpoint is called once per attempt, so the serve.Client retry loop
+// composes into rehash-on-retry: attempt 1 hits the old owner, the
+// transport failure marks it down, attempt 2 resolves against the
+// shrunken ring and lands on the model's new owner.
+type resolver struct {
+	cooldown time.Duration
+
+	mu   sync.Mutex
+	all  []string             // configured membership, in Dial order
+	ring *Ring                // live members only
+	down map[string]time.Time // backend → when it may be probed again
+}
+
+func newResolver(endpoints []string, vnodes int, cooldown time.Duration) *resolver {
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	r := &resolver{
+		cooldown: cooldown,
+		all:      append([]string(nil), endpoints...),
+		ring:     NewRing(vnodes),
+		down:     make(map[string]time.Time),
+	}
+	for _, e := range endpoints {
+		r.ring.Add(e)
+	}
+	return r
+}
+
+// Endpoint implements serve.Resolver: the live owner of model. Expired
+// cooldowns revive their backends first, so a restarted backend wins
+// its models back without any success signal — the next resolution
+// probes it. An empty live ring (every backend down) fails fast with
+// ErrUnavailable, the class the retry policy backs off on.
+func (r *resolver) Endpoint(model string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	for b, until := range r.down {
+		if now.After(until) {
+			delete(r.down, b)
+			r.ring.Add(b)
+		}
+	}
+	owner, ok := r.ring.Owner(model)
+	if !ok {
+		return "", auerr.E(auerr.ErrUnavailable, "fleet: all %d backends are down", len(r.all))
+	}
+	return owner, nil
+}
+
+// Report implements serve.Resolver. Only ErrUnavailable — the process
+// behind the URL is gone (connection refused/reset) or answered 503 —
+// demotes a backend; request-level failures (unknown model, shed load,
+// bad input) say nothing about the backend's health and must not
+// trigger a rehash that would send every model elsewhere.
+func (r *resolver) Report(endpoint string, err error) {
+	if err == nil || !errors.Is(err, auerr.ErrUnavailable) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.ring.Has(endpoint) {
+		return
+	}
+	r.ring.Remove(endpoint)
+	r.down[endpoint] = time.Now().Add(r.cooldown)
+}
+
+// Live reports the currently-live backends (tests, diagnostics).
+func (r *resolver) Live() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Members()
+}
+
+// NewClient returns a fleet-aware *serve.Client: model names are
+// consistent-hashed across the endpoints, every retry re-resolves (so
+// a dead backend's models rehash to the survivors), and the usual
+// client options apply on top. It implements the root package's
+// Querier exactly like the single-server client — it IS the
+// single-server client, with a ring where the fixed base URL was.
+//
+// Pair it with serve.WithRetry for the self-healing behaviour: without
+// retry the first request after a backend death still fails with
+// ErrUnavailable (and marks the backend down); with retry that same
+// call transparently lands on the rehashed owner.
+func NewClient(endpoints []string, opts ...serve.ClientOption) *serve.Client {
+	trimmed := make([]string, 0, len(endpoints))
+	for _, e := range endpoints {
+		for len(e) > 0 && e[len(e)-1] == '/' {
+			e = e[:len(e)-1]
+		}
+		if e != "" {
+			trimmed = append(trimmed, e)
+		}
+	}
+	endpoints = trimmed
+	res := newResolver(endpoints, DefaultVNodes, DefaultCooldown)
+	base := ""
+	if len(endpoints) > 0 {
+		base = endpoints[0]
+	}
+	return serve.NewClient(base, append([]serve.ClientOption{serve.WithResolver(res)}, opts...)...)
+}

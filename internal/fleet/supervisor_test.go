@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collectStates wires OnStateChange into a buffered channel so tests
+// observe the worker state machine without polling.
+func collectStates() (chan WorkerState, func(string, WorkerState)) {
+	ch := make(chan WorkerState, 64)
+	return ch, func(_ string, st WorkerState) { ch <- st }
+}
+
+func waitState(t *testing.T, ch <-chan WorkerState, want WorkerState, within time.Duration) {
+	t.Helper()
+	deadline := time.After(within)
+	for {
+		select {
+		case st := <-ch:
+			if st == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("state %q not reached within %v", want, within)
+		}
+	}
+}
+
+// TestSupervisorRestartsCrashedWorker: a worker that crashes once and
+// then stays up walks starting → up → backoff → starting → up, with
+// the supervisor doing the respawning.
+func TestSupervisorRestartsCrashedWorker(t *testing.T) {
+	marker := filepath.Join(t.TempDir(), "ran-once")
+	states, onChange := collectStates()
+	s := NewSupervisor(SupervisorConfig{
+		BackoffBase:   10 * time.Millisecond,
+		OnStateChange: onChange,
+	})
+	defer s.Close()
+	// First run: create the marker and exit 1. Second run: sleep.
+	script := "if [ -f " + marker + " ]; then sleep 60; else : > " + marker + "; exit 1; fi"
+	if err := s.Start(WorkerSpec{Name: "w", Command: []string{"/bin/sh", "-c", script}}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, states, WorkerUp, 5*time.Second)      // first spawn
+	waitState(t, states, WorkerBackoff, 5*time.Second) // crash observed
+	waitState(t, states, WorkerUp, 5*time.Second)      // respawned
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("marker not written: %v", err)
+	}
+	sts := s.States()
+	if len(sts) != 1 || sts[0].Restarts < 1 {
+		t.Fatalf("States = %+v, want one worker with >=1 restart", sts)
+	}
+}
+
+// TestSupervisorCrashLoopGivesUp: a worker that always crashes hits
+// the crash-loop rule and lands in the terminal dead state instead of
+// burning CPU forever.
+func TestSupervisorCrashLoopGivesUp(t *testing.T) {
+	states, onChange := collectStates()
+	s := NewSupervisor(SupervisorConfig{
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       5 * time.Millisecond,
+		CrashLoopWindow:  10 * time.Second,
+		CrashLoopCrashes: 3,
+		OnStateChange:    onChange,
+	})
+	defer s.Close()
+	if err := s.Start(WorkerSpec{Name: "w", Command: []string{"/bin/false"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, states, WorkerDead, 10*time.Second)
+	sts := s.States()
+	if sts[0].State != WorkerDead {
+		t.Fatalf("state = %q, want dead", sts[0].State)
+	}
+	if sts[0].Restarts != 3 {
+		t.Fatalf("restarts = %d, want 3 (the crash-loop threshold)", sts[0].Restarts)
+	}
+	// A dead name may be restarted explicitly (operator intervention).
+	if err := s.Start(WorkerSpec{Name: "w", Command: []string{"/bin/sh", "-c", "sleep 60"}}); err != nil {
+		t.Fatalf("restarting a dead worker: %v", err)
+	}
+	waitState(t, states, WorkerUp, 5*time.Second)
+}
+
+// TestSupervisorStop: Stop terminates a running worker promptly and
+// leaves it stopped (no respawn), and a duplicate Start of a live name
+// is refused.
+func TestSupervisorStop(t *testing.T) {
+	states, onChange := collectStates()
+	s := NewSupervisor(SupervisorConfig{OnStateChange: onChange})
+	defer s.Close()
+	if err := s.Start(WorkerSpec{Name: "w", Command: []string{"/bin/sh", "-c", "sleep 60"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, states, WorkerUp, 5*time.Second)
+	if err := s.Start(WorkerSpec{Name: "w", Command: []string{"/bin/sh", "-c", "sleep 60"}}); err == nil {
+		t.Fatal("duplicate Start of a live worker succeeded")
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Stop("w") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop hung")
+	}
+	if st := s.States()[0].State; st != WorkerStopped {
+		t.Fatalf("state = %q after Stop, want stopped", st)
+	}
+}

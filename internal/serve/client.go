@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"time"
 
 	"github.com/autonomizer/autonomizer/internal/auerr"
 	"github.com/autonomizer/autonomizer/internal/db"
@@ -32,11 +35,86 @@ import (
 // error class travels in the response body and is rebuilt into the
 // same auerr sentinel, so errors.Is dispatch works identically against
 // a Runtime or a Client.
+//
+// Endpoint selection is pluggable: by default every request goes to
+// the base URL NewClient was given, but a Resolver (see WithResolver,
+// used by the fleet-aware client internal/fleet builds) can pick the
+// backend per model — the mechanism behind autonomizer.Dial's
+// "fleet:" targets, where models are consistent-hashed across N
+// backends and a dead backend's models rehash to the survivors.
 type Client struct {
-	base   string
-	hc     *http.Client
-	store  *db.Store
-	binary bool
+	base     string
+	hc       *http.Client
+	store    *db.Store
+	binary   bool
+	resolver Resolver
+	retry    RetryPolicy
+}
+
+// Resolver picks the backend base URL that serves a model. The
+// default resolver returns the client's fixed base URL; the fleet
+// client substitutes a consistent-hash ring over N backends. Endpoint
+// is called once per attempt (so a retry after a backend death
+// re-resolves against the updated ring), and Report feeds every
+// attempt's outcome back so the resolver can mark a backend down on
+// transport failure. Implementations must be safe for concurrent use.
+type Resolver interface {
+	// Endpoint returns the base URL for one model's request. model is
+	// "" for requests not tied to a model (GET /v1/models).
+	Endpoint(model string) (string, error)
+	// Report records the outcome of one attempt against endpoint (err
+	// nil on success). Called after every attempt, before any retry.
+	Report(endpoint string, err error)
+}
+
+// staticResolver is the single-server Resolver: every model lives at
+// the one base URL.
+type staticResolver string
+
+func (r staticResolver) Endpoint(string) (string, error) { return string(r), nil }
+func (r staticResolver) Report(string, error)            {}
+
+// RetryPolicy tunes WithRetry: jittered exponential backoff around
+// transient serving failures (a shed request, a dead backend). The
+// zero value of each field selects the documented default.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first
+	// (default 4). 1 means no retry.
+	Attempts int
+	// Base is the first backoff delay (default 10ms); each further
+	// retry doubles it.
+	Base time.Duration
+	// Max caps a single backoff delay (default 1s).
+	Max time.Duration
+	// Budget bounds the whole retrying call, sleeps included (default
+	// 0: only the caller's context limits it). When the budget runs
+	// out mid-backoff the last transient error is returned, not
+	// ErrCanceled — the caller's own context was still live.
+	Budget time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	return p
+}
+
+// delay computes the jittered exponential backoff before retry number
+// try (0-based): min(Max, Base<<try) scaled by a uniform [0.5, 1.5)
+// jitter so a fleet of retrying clients does not thunder back in step.
+func (p RetryPolicy) delay(try int) time.Duration {
+	d := p.Base << uint(try)
+	if d <= 0 || d > p.Max {
+		d = p.Max
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
 }
 
 // ClientOption configures NewClient.
@@ -55,6 +133,23 @@ func WithJSONPredict() ClientOption {
 	return func(c *Client) { c.binary = false }
 }
 
+// WithRetry makes the client retry transient failures — shed requests
+// (ErrOverloaded/429) and dead or missing backends (ErrUnavailable,
+// transport errors) — with jittered exponential backoff under p.
+// Non-transient failures (unknown model, malformed input) never
+// retry, and a canceled context stops the loop immediately. Combined
+// with a fleet Resolver each retry re-resolves the owner, so a
+// request caught by a backend death lands on the rehashed owner.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithResolver substitutes the endpoint resolver (see Resolver). The
+// fleet client uses this to consistent-hash models across backends.
+func WithResolver(r Resolver) ClientOption {
+	return func(c *Client) { c.resolver = r }
+}
+
 // NewClient returns a Client talking to an auserve (or embedded
 // serve.Server) at baseURL, e.g. "http://127.0.0.1:8080".
 func NewClient(baseURL string, opts ...ClientOption) *Client {
@@ -65,6 +160,9 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.resolver == nil {
+		c.resolver = staticResolver(c.base)
+	}
 	return c
 }
 
@@ -72,12 +170,61 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 // harnesses and tests, mirroring Runtime.DB).
 func (c *Client) DB() *db.Store { return c.store }
 
+// Retry reports the client's retry policy (zero value: no retry).
+func (c *Client) Retry() RetryPolicy { return c.retry }
+
 // live mirrors the runtime's entry-point cancellation check.
 func live(ctx context.Context) error {
 	if ctx != nil && ctx.Err() != nil {
 		return auerr.Canceled(ctx)
 	}
 	return nil
+}
+
+// retryable reports whether an error is transient serving trouble —
+// worth a backoff and another attempt (against a possibly re-resolved
+// backend) rather than a hard failure.
+func retryable(err error) bool {
+	return errors.Is(err, auerr.ErrOverloaded) || errors.Is(err, auerr.ErrUnavailable)
+}
+
+// do runs one remote operation through the resolver/retry machinery:
+// resolve the model's endpoint, attempt, report the outcome, and — for
+// transient failures under a WithRetry policy — back off and go again.
+// Every attempt re-resolves, so a fleet resolver that just marked a
+// backend down steers the retry to the model's new owner.
+func (c *Client) do(ctx context.Context, model string, attempt func(base string) error) error {
+	pol := c.retry
+	caller := ctx
+	if pol.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pol.Budget)
+		defer cancel()
+	}
+	var err error
+	for try := 0; ; try++ {
+		var base string
+		base, err = c.resolver.Endpoint(model)
+		if err == nil {
+			err = attempt(base)
+			c.resolver.Report(base, err)
+		}
+		if err == nil || try+1 >= pol.Attempts || !retryable(err) {
+			return err
+		}
+		timer := time.NewTimer(pol.delay(try))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			if cerr := live(caller); cerr != nil {
+				return cerr
+			}
+			// The retry budget (not the caller) ran out: the last
+			// transient error is the honest answer.
+			return err
+		case <-timer.C:
+		}
+	}
 }
 
 // ---- local primitives (the π side) ----
@@ -166,10 +313,15 @@ func (c *Client) PredictCtx(ctx context.Context, mdName string, in []float64) (o
 	ctx, sp := obs.StartSpan(ctx, "client.predict")
 	defer func() { sp.End(err) }()
 	if c.binary {
-		return c.predictBinary(ctx, mdName, in)
+		err = c.do(ctx, mdName, func(base string) error {
+			var aerr error
+			out, aerr = c.predictBinary(ctx, base, mdName, in)
+			return aerr
+		})
+		return out, err
 	}
 	var resp PredictResponse
-	if err := c.postJSON(ctx, "/v1/predict", PredictRequest{Model: mdName, Input: in}, &resp); err != nil {
+	if err := c.postJSON(ctx, mdName, "/v1/predict", PredictRequest{Model: mdName, Input: in}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Output, nil
@@ -233,7 +385,7 @@ func (c *Client) NNRLCtx(ctx context.Context, mdName, extName string, reward flo
 	ctx, sp := obs.StartSpan(ctx, "client.act")
 	defer func() { sp.End(err) }()
 	var resp ActResponse
-	if err := c.postJSON(ctx, "/v1/act", ActRequest{Model: mdName, State: state}, &resp); err != nil {
+	if err := c.postJSON(ctx, mdName, "/v1/act", ActRequest{Model: mdName, State: state}, &resp); err != nil {
 		return err
 	}
 	c.store.Put(wbName, []float64{float64(resp.Action)})
@@ -246,25 +398,30 @@ func (c *Client) NNRL(mdName, extName string, reward float64, terminal bool, wbN
 	return c.NNRLCtx(context.Background(), mdName, extName, reward, terminal, wbName)
 }
 
-// Models lists the models the server is currently serving.
-func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/models", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, c.transportError(ctx, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, errorFromResponse(resp)
-	}
-	var out []ModelInfo
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("serve: decode models response: %w", err)
-	}
-	return out, nil
+// Models lists the models the server is currently serving. Against a
+// fleet resolver this reports one healthy backend's view; a fleet
+// router's GET /v1/models aggregates the whole fleet.
+func (c *Client) Models(ctx context.Context) (out []ModelInfo, err error) {
+	err = c.do(ctx, "", func(base string) error {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/models", nil)
+		if rerr != nil {
+			return rerr
+		}
+		resp, rerr := c.hc.Do(req)
+		if rerr != nil {
+			return c.transportError(ctx, rerr)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return errorFromResponse(resp)
+		}
+		out = out[:0]
+		if rerr := json.NewDecoder(resp.Body).Decode(&out); rerr != nil {
+			return fmt.Errorf("serve: decode models response: %w", rerr)
+		}
+		return nil
+	})
+	return out, err
 }
 
 // ObserveCtx reports the ground-truth outcome for a prediction this
@@ -273,46 +430,94 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 // updated verdict. Call it when the host program learns the true value
 // (the same moment it would WriteBack), closing the loop that lets the
 // fleet notice a model drifting away from reality.
-func (c *Client) ObserveCtx(ctx context.Context, mdName string, predicted, observed []float64) (ObserveResponse, error) {
-	var resp ObserveResponse
+func (c *Client) ObserveCtx(ctx context.Context, mdName string, predicted, observed []float64) (obs.DriftStatus, error) {
 	if err := live(ctx); err != nil {
-		return resp, err
+		return obs.DriftStatus{}, err
 	}
-	err := c.postJSON(ctx, "/v1/observe", ObserveRequest{
+	var resp ObserveResponse
+	if err := c.postJSON(ctx, mdName, "/v1/observe", ObserveRequest{
 		Model: mdName, Predicted: predicted, Observed: observed,
-	}, &resp)
-	return resp, err
+	}, &resp); err != nil {
+		return obs.DriftStatus{}, err
+	}
+	return obs.DriftStatus{
+		Model: resp.Model, Loss: resp.Loss, Samples: resp.Samples,
+		Threshold: resp.Threshold, Healthy: resp.Healthy,
+	}, nil
+}
+
+// Observe is ObserveCtx with context.Background().
+func (c *Client) Observe(mdName string, predicted, observed []float64) (obs.DriftStatus, error) {
+	return c.ObserveCtx(context.Background(), mdName, predicted, observed)
 }
 
 // Reload asks the server to hot-reload one model from its snapshot
 // source (data nil) or from the given SaveModel image. It returns the
 // new version.
-func (c *Client) Reload(ctx context.Context, mdName string, data []byte) (int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/models/"+mdName+"/reload", bytes.NewReader(data))
-	if err != nil {
-		return 0, err
+func (c *Client) Reload(ctx context.Context, mdName string, data []byte) (version int, err error) {
+	err = c.do(ctx, mdName, func(base string) error {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/models/"+mdName+"/reload", bytes.NewReader(data))
+		if rerr != nil {
+			return rerr
+		}
+		resp, rerr := c.hc.Do(req)
+		if rerr != nil {
+			return c.transportError(ctx, rerr)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return errorFromResponse(resp)
+		}
+		var ack ReloadResponse
+		if rerr := json.NewDecoder(resp.Body).Decode(&ack); rerr != nil {
+			return fmt.Errorf("serve: decode reload response: %w", rerr)
+		}
+		version = ack.Version
+		return nil
+	})
+	return version, err
+}
+
+// InstallSnapshot installs models over the network (POST /v1/snapshot).
+// Each model ships as its own one-model AUSN image resolved through the
+// endpoint resolver, so against a fleet every model lands on the
+// backend the hash ring assigns it to.
+func (c *Client) InstallSnapshot(ctx context.Context, models []SnapshotModel) error {
+	for _, m := range models {
+		var img bytes.Buffer
+		if err := WriteSnapshot(&img, []SnapshotModel{m}); err != nil {
+			return err
+		}
+		err := c.do(ctx, m.Name, func(base string) error {
+			req, rerr := http.NewRequestWithContext(ctx, http.MethodPost,
+				base+"/v1/snapshot", bytes.NewReader(img.Bytes()))
+			if rerr != nil {
+				return rerr
+			}
+			resp, rerr := c.hc.Do(req)
+			if rerr != nil {
+				return c.transportError(ctx, rerr)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return errorFromResponse(resp)
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("serve: install %q: %w", m.Name, err)
+		}
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return 0, c.transportError(ctx, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, errorFromResponse(resp)
-	}
-	var ack ReloadResponse
-	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
-		return 0, fmt.Errorf("serve: decode reload response: %w", err)
-	}
-	return ack.Version, nil
+	return nil
 }
 
 // ---- transport plumbing ----
 
-func (c *Client) predictBinary(ctx context.Context, mdName string, in []float64) ([]float64, error) {
+func (c *Client) predictBinary(ctx context.Context, base, mdName string, in []float64) ([]float64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/v1/predict", bytes.NewReader(encodePredictFrame(mdName, in)))
+		base+"/v1/predict", bytes.NewReader(encodePredictFrame(mdName, in)))
 	if err != nil {
 		return nil, err
 	}
@@ -333,39 +538,44 @@ func (c *Client) predictBinary(ctx context.Context, mdName string, in []float64)
 	return out, nil
 }
 
-func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+func (c *Client) postJSON(ctx context.Context, model, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	obs.InjectTraceparent(ctx, req.Header)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return c.transportError(ctx, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return errorFromResponse(resp)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("serve: decode %s response: %w", path, err)
-	}
-	return nil
+	return c.do(ctx, model, func(base string) error {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(payload))
+		if rerr != nil {
+			return rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		obs.InjectTraceparent(ctx, req.Header)
+		resp, rerr := c.hc.Do(req)
+		if rerr != nil {
+			return c.transportError(ctx, rerr)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return errorFromResponse(resp)
+		}
+		if rerr := json.NewDecoder(resp.Body).Decode(out); rerr != nil {
+			return fmt.Errorf("serve: decode %s response: %w", path, rerr)
+		}
+		return nil
+	})
 }
 
-// transportError keeps the cancellation contract across the network: a
+// transportError keeps the typed-error contract across the network: a
 // request that died because the caller's context did reports the same
-// typed ErrCanceled an in-process primitive would.
+// typed ErrCanceled an in-process primitive would, and one that died
+// because the backend did (connection refused/reset — the process is
+// gone or never there) reports ErrUnavailable, the transient class the
+// retry policy and the fleet resolver act on.
 func (c *Client) transportError(ctx context.Context, err error) error {
 	if ctx != nil && ctx.Err() != nil {
 		return auerr.Canceled(ctx)
 	}
-	return fmt.Errorf("serve: request failed: %w", err)
+	return auerr.E(auerr.ErrUnavailable, "serve: request failed: %v", err)
 }
 
 // errorFromResponse rebuilds the typed error from the uniform error

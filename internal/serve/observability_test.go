@@ -168,7 +168,7 @@ func TestDriftFlipsReadiness(t *testing.T) {
 	}
 
 	// Synthetic drift: ground truth far from the prediction.
-	var ack ObserveResponse
+	var ack obs.DriftStatus
 	for i := 0; i < 6; i++ {
 		ack, err = cli.ObserveCtx(ctx, "m", pred, []float64{pred[0] + 10})
 		if err != nil {

@@ -66,6 +66,11 @@ type (
 		Model   string `json:"model"`
 		Version int    `json:"version"`
 	}
+	// SnapshotResponse acknowledges a snapshot install (POST
+	// /v1/snapshot) with how many models the image carried.
+	SnapshotResponse struct {
+		Models int `json:"models"`
+	}
 	// ObserveRequest reports ground truth for a prediction a client
 	// served earlier: the drift monitor folds the pair's mean squared
 	// error into the model's rolling window (POST /v1/observe).
@@ -153,6 +158,13 @@ func decodePredictFrame(r io.Reader) (model string, in []float64, err error) {
 	return string(name), in, nil
 }
 
+// DecodePredictFrame parses the binary Predict request framing. The
+// fleet router uses it to sniff the model name off a frame it then
+// forwards byte-for-byte to the model's owner.
+func DecodePredictFrame(r io.Reader) (model string, in []float64, err error) {
+	return decodePredictFrame(r)
+}
+
 // appendVector appends the length-prefixed float64 encoding of v.
 func appendVector(buf []byte, v []float64) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
@@ -189,6 +201,8 @@ func statusFor(err error) int {
 	switch auerr.Class(err) {
 	case "overloaded":
 		return 429
+	case "unavailable":
+		return 503
 	case "unknown_model":
 		return 404
 	case "spec_invalid", "missing_input", "mode_violation", "not_materialized":

@@ -257,6 +257,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /models/{name}/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", obs.HealthzHandler(s.readiness))
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return mux
@@ -422,6 +423,30 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		Model: st.Model, Loss: st.Loss, Samples: st.Samples,
 		Threshold: st.Threshold, Healthy: st.Healthy,
 	})
+}
+
+// handleSnapshot installs every model of an AUSN snapshot image posted
+// in the body — the network twin of auserve's -snapshot startup load,
+// and the path a fleet router uses to ship models to the backend the
+// hash ring assigns them to. Installs are atomic per model (the usual
+// engine swap); a corrupt image is rejected before anything installs.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	tm := s.met.timer("snapshot")
+	_, sp := obs.StartSpan(s.traced(r), "serve.snapshot")
+	code := http.StatusOK
+	var spanErr error
+	defer func() { sp.End(spanErr); s.met.request("snapshot", code, tm) }()
+
+	n, err := s.LoadSnapshot(io.LimitReader(r.Body, maxJSONBody))
+	if err != nil {
+		if errors.Is(err, auerr.ErrCorruptStore) || errors.Is(err, auerr.ErrCorruptModel) {
+			err = auerr.E(auerr.ErrSpecInvalid, "serve: snapshot install rejected: %v", err)
+		}
+		spanErr = err
+		code = writeError(w, err)
+		return
+	}
+	writeJSON(w, SnapshotResponse{Models: n})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

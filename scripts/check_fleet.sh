@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# check_fleet.sh — the fleet smoke gate (DESIGN.md §5i).
+#
+# Stands up an aufleet supervisor + router with 3 spawned auserve
+# workers, then proves the sharded-fleet contract end to end:
+#
+#   - the router's /healthz goes deep-ready once backends are probed up
+#   - a snapshot POSTed to the router is shipped to exactly the
+#     ring-assigned backend (placements in /statusz)
+#   - predictions through the router answer and stay bit-identical
+#   - SIGKILL of the owning backend costs ZERO failed requests while a
+#     concurrent client load runs (router-side failover + re-ship)
+#   - the supervisor restarts the killed worker and the router's health
+#     loop re-admits it (live_backends back to 3, restarts >= 1)
+#   - /statusz aggregates per-backend documents into one fleet posture
+#
+# Usage: check_fleet.sh AUFLEET_BIN AUSERVE_BIN
+set -euo pipefail
+
+AUFLEET="${1:?usage: check_fleet.sh AUFLEET_BIN AUSERVE_BIN}"
+AUSERVE="${2:?usage: check_fleet.sh AUFLEET_BIN AUSERVE_BIN}"
+BASE="http://127.0.0.1:8090"
+PORT_BASE=8100
+TRIES="${TRIES:-60}"
+CLIENTS="${CLIENTS:-8}"
+PER_CLIENT="${PER_CLIENT:-40}"
+WORK=$(mktemp -d /tmp/fleet-gate.XXXXXX)
+
+note() { echo "fleet gate: $*"; }
+die()  { echo "FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+    if [ -f "$WORK/aufleet.pid" ]; then
+        kill "$(cat "$WORK/aufleet.pid")" 2>/dev/null || true
+    fi
+    # The supervisor SIGTERMs its workers on shutdown; sweep stragglers.
+    sleep 1
+    pkill -f "fleet-demo-.*\.ausn" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Each worker trains the seeded demo model at startup (bit-identical
+# weights in every process) and exports its own snapshot file.
+"$AUFLEET" -addr 127.0.0.1:8090 -spawn 3 -port-base "$PORT_BASE" \
+    -worker "$AUSERVE -demo -snapshot $WORK/fleet-demo-{index}.ausn -addr {addr}" \
+    -health-interval 100ms -log-format json \
+    > "$WORK/aufleet.out" 2> "$WORK/aufleet.err" &
+echo $! > "$WORK/aufleet.pid"
+
+# Router liveness, then deep readiness (needs >=1 live backend).
+for i in $(seq 1 "$TRIES"); do
+    curl -fsS "$BASE/healthz?deep=1" >/dev/null 2>&1 && break
+    [ "$i" -eq "$TRIES" ] && die "router never went deep-ready"
+    sleep 0.5
+done
+note "router deep-ready"
+
+# All three workers must come up (the demo model is listed fleet-wide).
+for i in $(seq 1 "$TRIES"); do
+    live=$(curl -fsS "$BASE/statusz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["live_backends"])' 2>/dev/null || echo 0)
+    [ "$live" = "3" ] && break
+    [ "$i" -eq "$TRIES" ] && die "never saw 3 live backends (last: $live)"
+    sleep 0.5
+done
+note "3/3 backends live"
+
+curl -fsS "$BASE/v1/models" | grep -q '"name":"demo"' || die "/v1/models does not list demo fleet-wide"
+
+# Install via the router: POST a snapshot image, which the router must
+# store and ship to the ring-assigned owner.
+[ -s "$WORK/fleet-demo-0.ausn" ] || die "worker 0 never exported its snapshot"
+out=$(curl -fsS -X POST --data-binary "@$WORK/fleet-demo-0.ausn" "$BASE/v1/snapshot")
+grep -q '"models":1' <<<"$out" || die "router snapshot install answered: $out"
+
+owner=$(curl -fsS "$BASE/statusz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["placements"].get("demo",""))')
+[ -n "$owner" ] || die "router /statusz records no placement for demo"
+note "demo installed via router, placed on $owner"
+
+# Baseline prediction through the router.
+req='{"model":"demo","input":[0.1,0.2,0.3,0.4]}'
+baseline=$(curl -fsS -X POST "$BASE/v1/predict" -H 'Content-Type: application/json' -d "$req")
+grep -q '"output":\[' <<<"$baseline" || die "bad baseline predict answer: $baseline"
+
+# Typed errors cross the router: unknown model is a classed 404.
+code=$(curl -s -o "$WORK/err.json" -w '%{http_code}' -X POST "$BASE/v1/predict" \
+    -H 'Content-Type: application/json' -d '{"model":"ghost","input":[1]}')
+[ "$code" = "404" ] || die "unknown model through router answered HTTP $code, want 404"
+grep -q '"class":"unknown_model"' "$WORK/err.json" || die "router 404 not classed: $(cat "$WORK/err.json")"
+
+# SIGKILL the owning backend while concurrent clients hammer the
+# router. The fleet contract: zero failed requests, all answers
+# bit-identical to the baseline.
+owner_port=${owner##*:}
+note "driving $CLIENTS clients x $PER_CLIENT requests; SIGKILLing owner (port $owner_port) mid-run"
+(
+    sleep 0.3
+    pkill -KILL -f -- "-addr 127.0.0.1:$owner_port" || note "WARN: no process matched owner port"
+) &
+killer=$!
+clients=()
+for c in $(seq 1 "$CLIENTS"); do
+    (
+        for r in $(seq 1 "$PER_CLIENT"); do
+            got=$(curl -fsS -X POST "$BASE/v1/predict" -H 'Content-Type: application/json' -d "$req") \
+                || { echo "request failed (client $c round $r)" >> "$WORK/failures"; continue; }
+            [ "$got" = "$baseline" ] || echo "answer drifted (client $c round $r): $got" >> "$WORK/failures"
+        done
+    ) &
+    clients+=($!)
+done
+# Wait on the client PIDs only — a bare `wait` would also wait on the
+# aufleet server job, which never exits.
+wait "${clients[@]}" || true
+[ -s "$WORK/failures" ] && die "requests failed across the kill: $(head -5 "$WORK/failures")"
+note "zero failed requests across backend SIGKILL ($((CLIENTS * PER_CLIENT)) total), answers bit-identical"
+
+# Recovery: the supervisor restarts the worker; the router re-admits it.
+for i in $(seq 1 "$TRIES"); do
+    summary=$(curl -fsS "$BASE/statusz" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+restarts = sum(w.get("restarts", 0) for w in st.get("workers", []))
+print(st["live_backends"], restarts)
+' 2>/dev/null || echo "0 0")
+    live=${summary% *}; restarts=${summary#* }
+    if [ "$live" = "3" ] && [ "$restarts" -ge 1 ]; then
+        note "supervisor restarted the worker (restarts=$restarts); 3/3 backends live again"
+        break
+    fi
+    [ "$i" -eq "$TRIES" ] && die "fleet never recovered (live=$live restarts=$restarts)"
+    sleep 0.5
+done
+
+# The fleet still answers identically after the churn.
+got=$(curl -fsS -X POST "$BASE/v1/predict" -H 'Content-Type: application/json' -d "$req")
+[ "$got" = "$baseline" ] || die "prediction changed across kill/recovery: $got vs $baseline"
+
+# /statusz aggregation: three per-backend documents embedded, each with
+# its own models table, plus the supervisor's worker states.
+curl -fsS "$BASE/statusz" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+fleet = st["fleet"]
+assert len(fleet) == 3, f"fleet rows: {len(fleet)}"
+ups = [b for b in fleet if b["up"]]
+assert len(ups) == 3, f"live rows: {len(ups)}"
+embedded = [b for b in ups if b.get("statusz")]
+assert len(embedded) == 3, f"embedded statusz docs: {len(embedded)}"
+for b in embedded:
+    assert "models" in b["statusz"], f"backend {b['url']} statusz has no models table"
+workers = st.get("workers", [])
+assert len(workers) == 3, f"supervised workers: {len(workers)}"
+assert all(w["state"] == "up" for w in workers), workers
+print(f"statusz aggregation ok: {len(embedded)} backend docs, {len(workers)} workers up")
+' || die "/statusz aggregation check failed"
+
+wait "$killer" 2>/dev/null || true
+echo "fleet gate: all checks passed on $BASE"
