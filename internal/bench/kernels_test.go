@@ -107,6 +107,76 @@ func BenchmarkKernels(b *testing.B) {
 		}
 	})
 
+	// ConvForward/ConvBackward pairs: the materialized im2col+GEMM
+	// lowering versus the implicit-GEMM kernel on the same geometry,
+	// single-width so the comparison isolates the gather fusion from
+	// sharding. These rows back the conv speedup floor in
+	// scripts/check_kernels.sh.
+	convGeomRun := func() (in, w, gout *tensor.Tensor) {
+		in = tensor.New(4, 32, 32)
+		w = tensor.New(8, 4*3*3)
+		gout = tensor.New(8, 32*32)
+		fillKernel(in, 21)
+		fillKernel(w, 22)
+		fillKernel(gout, 23)
+		return in, w, gout
+	}
+
+	b.Run("ConvForwardIm2Col", func(b *testing.B) {
+		defer parallel.SetWorkers(parallel.SetWorkers(1))
+		in, w, _ := convGeomRun()
+		cols := tensor.New(4*3*3, 32*32)
+		out := tensor.New(8, 32*32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.Im2ColInto(cols, in, 3, 3, 1, 1)
+			tensor.MatMulInto(out, w, cols)
+		}
+	})
+
+	b.Run("ConvForwardImplicit", func(b *testing.B) {
+		defer parallel.SetWorkers(parallel.SetWorkers(1))
+		in, w, _ := convGeomRun()
+		ck := tensor.NewConvKernel(tensor.NewConvGeom(4, 32, 32, 3, 3, 1, 1, 8))
+		out := make([]float64, 8*32*32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ck.Forward(out, in.Data(), w.Data())
+		}
+	})
+
+	b.Run("ConvBackwardIm2Col", func(b *testing.B) {
+		defer parallel.SetWorkers(parallel.SetWorkers(1))
+		in, w, gout := convGeomRun()
+		cols := tensor.New(4*3*3, 32*32)
+		tensor.Im2ColInto(cols, in, 3, 3, 1, 1)
+		gradW := tensor.New(8, 4*3*3)
+		gradCols := tensor.New(4*3*3, 32*32)
+		gradIn := tensor.New(4, 32, 32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulABTInto(gradW, gout, cols)
+			tensor.MatMulATBInto(gradCols, w, gout)
+			tensor.Col2ImInto(gradIn, gradCols, 4, 32, 32, 3, 3, 1, 1)
+		}
+	})
+
+	b.Run("ConvBackwardImplicit", func(b *testing.B) {
+		defer parallel.SetWorkers(parallel.SetWorkers(1))
+		in, w, gout := convGeomRun()
+		ck := tensor.NewConvKernel(tensor.NewConvGeom(4, 32, 32, 3, 3, 1, 1, 8))
+		gradW := make([]float64, 8*4*3*3)
+		gradIn := make([]float64, 4*32*32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ck.Backward(gradW, gradIn, in.Data(), w.Data(), gout.Data())
+		}
+	})
+
 	b.Run("NetworkForward", func(b *testing.B) {
 		net := benchDNN()
 		in := tensor.New(64)

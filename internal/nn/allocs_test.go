@@ -33,14 +33,25 @@ func TestForwardZeroAllocs(t *testing.T) {
 		t.Errorf("DNN Forward allocs/op = %v, want 0", n)
 	}
 
-	// The conv stack pays a fixed 3 closure headers per pass — the shard
-	// bodies Im2ColInto and the blocked MatMulInto hand to parallel.For /
-	// ForAligned escape into the task queue. That cost is O(1) per call
-	// and data-independent; everything sized by the tensors is recycled.
+	// The conv stack is now fully allocation-free too: the implicit-GEMM
+	// ConvKernel dispatches persistent shard closures (built once at
+	// construction) instead of per-call closure literals, and every
+	// transient buffer comes from the scratch arena.
 	cin := tensor.New(4, 32, 32)
 	cnn.Forward(cin)
-	if n := testing.AllocsPerRun(100, func() { cnn.Forward(cin) }); n > 3 {
-		t.Errorf("CNN Forward allocs/op = %v, want <= 3 (kernel dispatch closures only)", n)
+	if n := testing.AllocsPerRun(100, func() { cnn.Forward(cin) }); n != 0 {
+		t.Errorf("CNN Forward allocs/op = %v, want 0", n)
+	}
+	// A training-style forward+backward over the conv stack must hold
+	// the same line.
+	cnn.ZeroGrads()
+	grad := tensor.New(16)
+	cnn.Backward(grad)
+	if n := testing.AllocsPerRun(100, func() {
+		cnn.Forward(cin)
+		cnn.Backward(grad)
+	}); n != 0 {
+		t.Errorf("CNN forward+backward allocs/op = %v, want 0", n)
 	}
 
 	flat := make([]float64, 64)

@@ -83,6 +83,17 @@ func Compile(net *Network, inShape ...int) (*Plan, error) {
 			return nil, err
 		}
 		if cl != nil { // identity layers compile to nothing
+			// Peephole: fold a ReLU straight into a preceding conv's
+			// bias pass. The fused op computes bias-add then the exact
+			// ReLU formula per element — the same two steps the separate
+			// ops perform, one 2·OutC·N-float memory sweep cheaper.
+			if m, ok := cl.(*cMap); ok && m.kind == mapReLU && len(p.layers) > 0 {
+				if cc, ok := p.layers[len(p.layers)-1].(*cConv); ok && !cc.fuseReLU {
+					cc.fuseReLU = true
+					shape = outShape
+					continue
+				}
+			}
 			p.layers = append(p.layers, cl)
 		}
 		shape = outShape
@@ -117,12 +128,10 @@ func compileLayer(l Layer, shape []int) (compiledLayer, []int, error) {
 		if outH <= 0 || outW <= 0 {
 			return nil, nil, fmt.Errorf("nn: compile conv2d kernel too large for %v", shape)
 		}
+		geom := tensor.NewConvGeom(l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad, l.OutC)
 		return &cConv{
-			w:    tensor.PackA(l.weights),
+			pc:   tensor.PrepackConv(l.weights, geom),
 			bias: append([]float64(nil), l.bias.Data()...),
-			inC:  l.InC, inH: h, inW: w,
-			kh: l.KH, kw: l.KW, stride: l.Stride, pad: l.Pad,
-			outC: l.OutC, outH: outH, outW: outW,
 		}, []int{l.OutC, outH, outW}, nil
 	case *MaxPool2D:
 		if len(shape) != 3 {
@@ -230,54 +239,58 @@ func (o *opDense) run(in []float64) []float64 {
 
 // --- conv2d ---
 
+// cConv holds the implicit-GEMM conv compile result: filter panels are
+// prepacked exactly once here (the conv analogue of PackDense), so a
+// steady-state op run gathers input columns straight into its pack
+// scratch and multiplies — no column matrix, no weight packing, no
+// allocation.
 type cConv struct {
-	w          *tensor.PackedA
-	bias       []float64
-	inC        int
-	inH, inW   int
-	kh, kw     int
-	stride     int
-	pad        int
-	outC       int
-	outH, outW int
+	pc       *tensor.PackedConv
+	bias     []float64
+	fuseReLU bool // apply ReLU inside the bias pass (compile peephole)
 }
 
 func (c *cConv) newOp() planOp {
-	rows := c.inC * c.kh * c.kw
-	n := c.outH * c.outW
+	g := c.pc.Geom()
 	return &opConv{
-		c:       c,
-		n:       n,
-		cols:    tensor.New(rows, n),
-		packedB: make([]float64, tensor.PackedBLen(rows, n)),
-		out2d:   tensor.New(c.outC, n),
+		c:          c,
+		n:          g.Cols(),
+		outC:       g.OutC,
+		packedCols: make([]float64, c.pc.PackedColsLen()),
+		out2d:      make([]float64, g.OutC*g.Cols()),
 	}
 }
 
 type opConv struct {
-	c       *cConv
-	n       int
-	inView  *tensor.Tensor
-	cols    *tensor.Tensor
-	packedB []float64
-	out2d   *tensor.Tensor
+	c          *cConv
+	n, outC    int
+	packedCols []float64
+	out2d      []float64
 }
 
 func (o *opConv) run(in []float64) []float64 {
-	c := o.c
-	o.inView = tensor.ViewOf(o.inView, in, c.inC, c.inH, c.inW)
-	tensor.Im2ColSeqInto(o.cols, o.inView, c.kh, c.kw, c.stride, c.pad)
-	tensor.PackB(o.packedB, o.cols)
-	c.w.MulInto(o.out2d, o.packedB, o.n)
-	od := o.out2d.Data()
-	for oc := 0; oc < c.outC; oc++ {
-		b := c.bias[oc]
-		row := od[oc*o.n : (oc+1)*o.n]
+	o.c.pc.Forward(o.out2d, in, o.packedCols)
+	for oc := 0; oc < o.outC; oc++ {
+		b := o.c.bias[oc]
+		row := o.out2d[oc*o.n : (oc+1)*o.n]
+		if o.c.fuseReLU {
+			// Bias add, then the exact mapReLU formula (x > 0 keeps x,
+			// everything else — including NaN — becomes 0), per element
+			// in the same order as the unfused op pair.
+			for i := range row {
+				if v := row[i] + b; v > 0 {
+					row[i] = v
+				} else {
+					row[i] = 0
+				}
+			}
+			continue
+		}
 		for i := range row {
 			row[i] += b
 		}
 	}
-	return od
+	return o.out2d
 }
 
 // --- maxpool ---
@@ -295,6 +308,36 @@ type opPool struct {
 
 func (o *opPool) run(in []float64) []float64 {
 	c := o.c
+	if c.size == 2 {
+		// The dominant CNN case (2×2 pool) unrolled: same comparison
+		// order as the general loop — (0,0),(0,1),(1,0),(1,1) against a
+		// -Inf start with strict >, so NaN never wins — hence
+		// bit-identical, without the window-loop overhead.
+		for ch := 0; ch < c.c; ch++ {
+			for oy := 0; oy < c.oh; oy++ {
+				r0 := in[(ch*c.h+2*oy)*c.w:]
+				r1 := in[(ch*c.h+2*oy+1)*c.w:]
+				orow := o.out[(ch*c.oh+oy)*c.ow:]
+				for ox := 0; ox < c.ow; ox++ {
+					best := math.Inf(-1)
+					if v := r0[2*ox]; v > best {
+						best = v
+					}
+					if v := r0[2*ox+1]; v > best {
+						best = v
+					}
+					if v := r1[2*ox]; v > best {
+						best = v
+					}
+					if v := r1[2*ox+1]; v > best {
+						best = v
+					}
+					orow[ox] = best
+				}
+			}
+		}
+		return o.out
+	}
 	for ch := 0; ch < c.c; ch++ {
 		for oy := 0; oy < c.oh; oy++ {
 			for ox := 0; ox < c.ow; ox++ {

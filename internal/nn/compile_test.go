@@ -282,3 +282,35 @@ func TestCompiledPlanSpecialValues(t *testing.T) {
 	in := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.0, 1e308, -1e-308, 2}
 	bitsEqual(t, "special", inst.Predict(in), net.Predict(in))
 }
+
+// TestCompiledCNNSpecialValues pushes NaN and ±Inf through the conv
+// stack: the fused conv-bias ReLU and the unrolled 2×2 pool must treat
+// NaN exactly like the uncompiled layers (ReLU maps NaN to 0 because
+// NaN > 0 is false; the pool's -Inf-seeded strict > never lets NaN
+// win), and the implicit-GEMM gather must keep padding as explicit
+// zeros so 0×NaN stays NaN inside the fold.
+func TestCompiledCNNSpecialValues(t *testing.T) {
+	rng := stats.NewRNG(17)
+	net := NewNetwork(
+		NewConv2D(2, 4, 3, 3, 1, 1, rng.Split()),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(4*4*4, 3, rng.Split()),
+	)
+	plan, err := Compile(net, 2, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := plan.NewInstance()
+	in := make([]float64, 2*8*8)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	in[0] = math.NaN()
+	in[9] = math.Inf(1)
+	in[17] = math.Inf(-1)
+	in[33] = 0
+	in[len(in)-1] = math.NaN()
+	bitsEqual(t, "cnn-special", inst.Predict(in), net.Predict(in, 2, 8, 8))
+}

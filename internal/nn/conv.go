@@ -10,7 +10,10 @@ import (
 )
 
 // Conv2D is a 2-D convolution layer over (channels, height, width)
-// inputs, lowered to matrix multiplication via im2col. The paper's "Raw"
+// inputs, executed by the implicit-GEMM kernel (tensor.ConvKernel): the
+// im2col column matrix is never materialized — receptive-field columns
+// are gathered tile-by-tile inside the GEMM's panel packing, for both
+// the forward product and the two backward products. The paper's "Raw"
 // configurations use three of these (each followed by max pooling) to
 // digest raw screen pixels, mirroring the DeepMind Atari architecture.
 type Conv2D struct {
@@ -23,17 +26,26 @@ type Conv2D struct {
 	gradW, gradB       *tensor.Tensor
 	lastOutH, lastOutW int
 
-	// Reused scratch (DESIGN.md §5e): the im2col column matrix, the 2-D
-	// output and its (OutC, outH, outW) view, the column gradient and the
-	// input gradient are all layer-owned and recycled across calls, so
-	// steady-state forward/backward allocates nothing. Outputs are valid
-	// until the next call on this layer.
-	lastCols  *tensor.Tensor
+	// kern is the implicit-GEMM execution state, built lazily on the
+	// first Forward (Replicate leaves it nil) and rebuilt when the input
+	// extent changes.
+	kern *tensor.ConvKernel
+
+	// lastIn is the input tensor passed to Forward; Backward re-gathers
+	// receptive fields from it for the weight gradient, so the caller
+	// must not mutate the input between Forward and the matching
+	// Backward (the same contract as Dense's saved input view). This
+	// replaces the materialized im2col cache, which was the layer's
+	// largest buffer.
+	lastIn *tensor.Tensor
+
+	// Reused scratch (DESIGN.md §5e): the 2-D output and its
+	// (OutC, outH, outW) view and the input gradient are layer-owned and
+	// recycled across calls, so steady-state forward/backward allocates
+	// nothing. Outputs are valid until the next call on this layer.
 	out2d     *tensor.Tensor
 	outView   *tensor.Tensor
-	gView     *tensor.Tensor
 	gradWProd *tensor.Tensor // view over arena scratch for the gradW product
-	gradCols  *tensor.Tensor
 	gradIn    *tensor.Tensor
 }
 
@@ -58,20 +70,26 @@ func NewConv2D(inC, outC, kh, kw, stride, pad int, rng *stats.RNG) *Conv2D {
 }
 
 // Forward convolves the (InC, H, W) input, returning (OutC, outH, outW).
+// The input must stay unchanged until the matching Backward (see lastIn).
 func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 	s := in.Shape()
 	if len(s) != 3 || s[0] != c.InC {
 		auerr.Failf("nn: Conv2D expects (%d,H,W) input, got %v", c.InC, s)
 	}
+	if c.kern == nil || c.inH != s[1] || c.inW != s[2] {
+		c.kern = tensor.NewConvKernel(tensor.NewConvGeom(
+			c.InC, s[1], s[2], c.KH, c.KW, c.Stride, c.Pad, c.OutC))
+	}
 	c.inH, c.inW = s[1], s[2]
-	c.lastOutH = tensor.ConvOutputSize(s[1], c.KH, c.Stride, c.Pad)
-	c.lastOutW = tensor.ConvOutputSize(s[2], c.KW, c.Stride, c.Pad)
+	geom := c.kern.Geom()
+	c.lastOutH, c.lastOutW = geom.OutH, geom.OutW
 	n := c.lastOutH * c.lastOutW
-	c.lastCols = tensor.Reuse(c.lastCols, c.InC*c.KH*c.KW, n)
-	cols := tensor.Im2ColInto(c.lastCols, in, c.KH, c.KW, c.Stride, c.Pad)
+	c.lastIn = in
 	c.out2d = tensor.Reuse(c.out2d, c.OutC, n)
-	out := tensor.MatMulInto(c.out2d, c.weights, cols) // (OutC, outH*outW)
-	// Add per-output-channel bias.
+	out := c.out2d
+	c.kern.Forward(out.Data(), in.Data(), c.weights.Data()) // (OutC, outH*outW)
+	// Add per-output-channel bias after the product, exactly like the
+	// im2col reference (bias never enters the FMA fold).
 	bd := c.bias.Data()
 	for oc := 0; oc < c.OutC; oc++ {
 		b := bd[oc]
@@ -85,40 +103,36 @@ func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward accumulates weight/bias gradients and returns the input
-// gradient via the col2im adjoint.
+// gradient via the fused implicit-GEMM adjoints (no column matrix, no
+// column-gradient matrix).
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if c.lastCols == nil {
+	if c.lastIn == nil {
 		auerr.Failf("nn: Conv2D Backward before Forward")
 	}
 	n := c.lastOutH * c.lastOutW
-	c.gView = tensor.ViewOf(c.gView, gradOut.Data(), c.OutC, n)
-	g := c.gView
-	// dL/dW += g × colsᵀ via the transpose-free ABT kernel: no colsᵀ
-	// materialization, and the product lands in arena scratch rather than
-	// a fresh allocation. The per-example product must be formed from zero
-	// and then added (not chained through the accumulator with
-	// MatMulABTAcc): the data-parallel reduction in Network.TrainBatch
-	// adds per-example products exactly this way, and the two paths must
-	// associate identically to stay bit-equal at any worker count.
+	g := gradOut.Data()
+	// dL/dW += g × im2col(in)ᵀ, gathered implicitly. The per-example
+	// product must be formed from zero and then added (not chained
+	// through the accumulator): the data-parallel reduction in
+	// Network.TrainBatch adds per-example products exactly this way, and
+	// the two paths must associate identically to stay bit-equal at any
+	// worker count. dL/dinput = col2im(Wᵀ × g), scattered directly from
+	// the kernel's per-channel stripes.
 	pw := tensor.Scratch.Get(c.gradW.Size())
 	c.gradWProd = tensor.ViewOf(c.gradWProd, *pw, c.OutC, c.InC*c.KH*c.KW)
-	tensor.MatMulABTInto(c.gradWProd, g, c.lastCols)
+	c.gradIn = tensor.Reuse(c.gradIn, c.InC, c.inH, c.inW)
+	c.kern.Backward(c.gradWProd.Data(), c.gradIn.Data(), c.lastIn.Data(), c.weights.Data(), g)
 	c.gradW.AddInPlace(c.gradWProd)
 	tensor.Scratch.Put(pw)
 	// dL/db = row sums of g
 	for oc := 0; oc < c.OutC; oc++ {
 		sum := 0.0
-		for _, v := range g.Data()[oc*n : (oc+1)*n] {
+		for _, v := range g[oc*n : (oc+1)*n] {
 			sum += v
 		}
 		c.gradB.Data()[oc] += sum
 	}
-	// dL/dcols = Wᵀ × g via the transpose-free ATB kernel, then scatter
-	// back to the input shape.
-	c.gradCols = tensor.Reuse(c.gradCols, c.InC*c.KH*c.KW, n)
-	tensor.MatMulATBInto(c.gradCols, c.weights, g)
-	c.gradIn = tensor.Reuse(c.gradIn, c.InC, c.inH, c.inW)
-	return tensor.Col2ImInto(c.gradIn, c.gradCols, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+	return c.gradIn
 }
 
 // Params returns the kernel and bias tensors.

@@ -109,6 +109,20 @@ func (b *panicBox) rethrow() {
 	}
 }
 
+// forState bundles the WaitGroup and panicBox a multi-chunk For shares
+// with its shards. Both are referenced from pooled helper goroutines, so
+// they escape to the heap; recycling the pair through a sync.Pool keeps
+// steady-state parallel kernels at zero allocations per call. Reuse is
+// safe because task.run signals the WaitGroup only after its panicBox
+// store (deferred later, so run earlier), so by the time Wait returns no
+// shard touches the state again.
+type forState struct {
+	wg  sync.WaitGroup
+	pnc panicBox
+}
+
+var forStates = sync.Pool{New: func() any { return new(forState) }}
+
 // poolMetrics holds the worker-pool instruments (tasks queued/running,
 // chunk counts, queue wait). They are resolved lazily on the first
 // multi-chunk For call after telemetry is enabled; while disabled,
@@ -217,19 +231,54 @@ func ensurePool(n int) {
 //
 // Small ranges (n <= grain) and width 1 run inline with zero overhead,
 // which is the sequential fallback below the size cutoff.
+//
+// fn escapes (shards run on pooled goroutines), so a closure literal at
+// the call site heap-allocates its header on every call even when the
+// range runs inline. Steady-state zero-allocation callers keep one
+// persistent closure over mutable per-call fields (see
+// tensor.ConvKernel) instead of building a fresh closure per call.
 func For(n, grain int, fn func(lo, hi int)) {
+	forChunks(n, grain, 1, fn)
+}
+
+// ForAligned is For with chunk boundaries rounded to multiples of align,
+// the grain math for tiled kernels: a cache-blocked matmul that processes
+// rows in register blocks of 4 wants every chunk (except the last) to
+// hold a whole number of blocks, so no worker pays the ragged-edge scalar
+// path in the middle of the range. Boundaries still depend only on
+// (n, grain, align, width) — never on scheduling — so the determinism
+// contract of For carries over unchanged.
+func ForAligned(n, grain, align int, fn func(lo, hi int)) {
+	if align <= 1 {
+		align = 1
+	}
+	forChunks(n, grain, align, fn)
+}
+
+// forChunks is the shared sharding engine behind For and ForAligned:
+// it computes chunk boundaries in units of align (1 for For) and scales
+// them back to elements when building tasks, so the aligned form needs
+// no wrapper closure around fn — one less per-call heap allocation.
+func forChunks(n, grain, align int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
+	units, ugrain := n, grain
+	if align > 1 {
+		units = (n + align - 1) / align
+		if ugrain = (grain + align - 1) / align; ugrain < 1 {
+			ugrain = 1
+		}
+	}
 	w := Workers()
-	if w <= 1 || n <= grain {
+	if w <= 1 || units <= ugrain {
 		fn(0, n)
 		return
 	}
-	chunks := (n + grain - 1) / grain
+	chunks := (units + ugrain - 1) / ugrain
 	if chunks > w {
 		chunks = w
 	}
@@ -242,18 +291,25 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if m != nil {
 		m.chunks.Add(uint64(chunks))
 	}
-	var wg sync.WaitGroup
-	var pnc panicBox
-	wg.Add(chunks)
-	// Even split: the first (n % chunks) chunks get one extra element.
-	base, rem := n/chunks, n%chunks
+	st := forStates.Get().(*forState)
+	st.pnc.val, st.pnc.set = nil, false
+	st.wg.Add(chunks)
+	// Even split: the first (units % chunks) chunks get one extra unit.
+	base, rem := units/chunks, units%chunks
 	lo := 0
 	for c := 0; c < chunks; c++ {
 		hi := lo + base
 		if c < rem {
 			hi++
 		}
-		t := task{fn: fn, lo: lo, hi: hi, wg: &wg, pnc: &pnc, m: m}
+		l, h := lo, hi
+		if align > 1 {
+			l *= align
+			if h *= align; h > n {
+				h = n
+			}
+		}
+		t := task{fn: fn, lo: l, hi: h, wg: &st.wg, pnc: &st.pnc, m: m}
 		if c == chunks-1 {
 			// Run the last chunk on the calling goroutine: the caller
 			// always contributes instead of idling at Wait.
@@ -273,36 +329,16 @@ func For(n, grain int, fn func(lo, hi int)) {
 		}
 		lo = hi
 	}
-	wg.Wait()
+	st.wg.Wait()
 	// A panic in any shard resurfaces here, on the calling goroutine,
 	// where the runtime's recover boundary can convert it to an error.
-	pnc.rethrow()
-}
-
-// ForAligned is For with chunk boundaries rounded to multiples of align,
-// the grain math for tiled kernels: a cache-blocked matmul that processes
-// rows in register blocks of 4 wants every chunk (except the last) to
-// hold a whole number of blocks, so no worker pays the ragged-edge scalar
-// path in the middle of the range. Boundaries still depend only on
-// (n, grain, align, width) — never on scheduling — so the determinism
-// contract of For carries over unchanged.
-func ForAligned(n, grain, align int, fn func(lo, hi int)) {
-	if align <= 1 {
-		For(n, grain, fn)
-		return
+	// Read the box before recycling the state, then rethrow.
+	r, set := st.pnc.val, st.pnc.set
+	st.pnc.val = nil
+	forStates.Put(st)
+	if set {
+		panic(r)
 	}
-	if n <= 0 {
-		return
-	}
-	blocks := (n + align - 1) / align
-	blockGrain := (grain + align - 1) / align
-	For(blocks, blockGrain, func(lo, hi int) {
-		l, h := lo*align, hi*align
-		if h > n {
-			h = n
-		}
-		fn(l, h)
-	})
 }
 
 // Run executes the given functions, possibly concurrently, returning when

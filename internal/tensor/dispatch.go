@@ -34,12 +34,17 @@ type kernelImpl struct {
 	// micro-tile is microM×nr.
 	nr int
 
-	// gebp computes rows [lo, hi) of dst = a×b from packed operands:
-	// packedA holds a's full microM-row blocks (kk-major), packedB holds
-	// b in nr-wide zero-padded column panels (kk-major), and a is the
-	// plain row-major matrix, read only for the ragged row tail past the
-	// last full block. lo must be a multiple of microM.
-	gebp func(dst, a, packedA, packedB []float64, lo, hi, k, n int)
+	// gebpTile computes an m×cols output tile from packed operands:
+	// dst[i*ldd+j] (i < m, j < cols) = packed(a)×packed(b), where dst
+	// points at the tile origin inside a row-major matrix of row stride
+	// ldd ≥ cols. packedA holds a's full microM-row blocks (kk-major),
+	// packedB holds ceil(cols/nr) nr-wide zero-padded column panels
+	// (kk-major) local to the tile, and a is the plain m×k row-major
+	// operand, read only for the ragged row tail past the last full
+	// block. The tile form is what lets implicit-GEMM convolution aim
+	// the micro-kernel at arbitrary strided sub-blocks of the output
+	// feature map; gebpRows adapts it back to whole-matrix row sharding.
+	gebpTile func(dst []float64, ldd int, a, packedA, packedB []float64, m, k, cols int)
 
 	// lanes is the dense-forward output block width: gemv processes
 	// blocks of this many outputs at once, one independent
@@ -56,11 +61,11 @@ type kernelImpl struct {
 // genericImpl is the portable Go implementation, available everywhere:
 // the 4×4 math.FMA GEBP tile from PR 5 and a 4-lane dense forward.
 var genericImpl = &kernelImpl{
-	name:  "generic",
-	nr:    microN,
-	gebp:  matMulPackedRange,
-	lanes: 4,
-	gemv:  gemvGeneric,
+	name:     "generic",
+	nr:       microN,
+	gebpTile: matMulPackedTile,
+	lanes:    4,
+	gemv:     gemvGeneric,
 }
 
 // kern is the implementation selected at package init. Immutable

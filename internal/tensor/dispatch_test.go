@@ -37,7 +37,7 @@ func gebpVia(impl *kernelImpl, a, b *Tensor) *Tensor {
 		packedA = make([]float64, blocks*microM*k)
 		packRows(packedA, a.Data(), k, blocks)
 	}
-	impl.gebp(dst.Data(), a.Data(), packedA, packedB, 0, m, k, n)
+	gebpRows(impl, dst.Data(), a.Data(), packedA, packedB, 0, m, k, n)
 	return dst
 }
 

@@ -113,7 +113,7 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 		packRows(packedA, a.data, k, rowBlocks)
 	}
 	parallel.ForAligned(m, rowGrain(k, n), microM, func(lo, hi int) {
-		kern.gebp(dst.data, a.data, packedA, packedB, lo, hi, k, n)
+		gebpRows(kern, dst.data, a.data, packedA, packedB, lo, hi, k, n)
 	})
 	if pa != nil {
 		Scratch.Put(pa)
@@ -216,18 +216,34 @@ func storeClipped(drow []float64, j0, n int, c0, c1, c2, c3 float64) {
 	}
 }
 
-// matMulPackedRange computes rows [lo, hi) of dst = packed(a)×packed(b)
-// with the 4×4 register micro-kernel. Both operands stream from
-// contiguous micro-panels; the loop condition on the two slice lengths
-// lets the compiler drop every bounds check in the hot loop. Every
-// accumulator folds ascending-k from zero with math.FMA, so each stored
-// element is bit-identical to the naive loop. lo is always a multiple of
-// microM (ForAligned); the ragged row tail past the last full block
-// reads a directly in a scalar 1×4 kernel.
-func matMulPackedRange(dst, a, packedA, packedB []float64, lo, hi, k, n int) {
-	panels := (n + microN - 1) / microN
-	i := lo
-	for ; i+microM <= hi; i += microM {
+// gebpRows runs an implementation's GEBP tile kernel over output rows
+// [lo, hi) of an m×n product whose packed operands cover the full
+// matrix: the row-sharding adapter behind MatMulInto and MulInto. lo is
+// a multiple of microM (ForAligned), so the local view of packedA starts
+// on a block boundary.
+func gebpRows(impl *kernelImpl, dst, a, packedA, packedB []float64, lo, hi, k, n int) {
+	var pa []float64
+	if off := (lo / microM) * k * microM; off < len(packedA) {
+		pa = packedA[off:]
+	}
+	impl.gebpTile(dst[lo*n:], n, a[lo*k:], pa, packedB, hi-lo, k, n)
+}
+
+// matMulPackedTile computes the m×cols tile dst[i*ldd+j] (i < m,
+// j < cols) = packed(a)×packed(b) with the 4×4 register micro-kernel.
+// dst points at the tile origin inside a larger row-major matrix of row
+// stride ldd; packedB holds ceil(cols/4) zero-padded column panels local
+// to the tile; packedA holds a's full microM-row blocks and a is the
+// plain m×k row-major operand, read only for the ragged row tail. Both
+// packed operands stream from contiguous micro-panels; the loop
+// condition on the two slice lengths lets the compiler drop every bounds
+// check in the hot loop. Every accumulator folds ascending-k from zero
+// with math.FMA, so each stored element is bit-identical to the naive
+// loop.
+func matMulPackedTile(dst []float64, ldd int, a, packedA, packedB []float64, m, k, cols int) {
+	panels := (cols + microN - 1) / microN
+	i := 0
+	for ; i+microM <= m; i += microM {
 		r := i / microM
 		pa := packedA[r*k*microM : (r+1)*k*microM]
 		for p := 0; p < panels; p++ {
@@ -310,17 +326,17 @@ func matMulPackedRange(dst, a, packedA, packedB []float64, lo, hi, k, n int) {
 				c33 = math.FMA(av, b3, c33)
 			}
 			j0 := p * microN
-			storeClipped(dst[(i+0)*n:(i+1)*n], j0, n, c00, c01, c02, c03)
-			storeClipped(dst[(i+1)*n:(i+2)*n], j0, n, c10, c11, c12, c13)
-			storeClipped(dst[(i+2)*n:(i+3)*n], j0, n, c20, c21, c22, c23)
-			storeClipped(dst[(i+3)*n:(i+4)*n], j0, n, c30, c31, c32, c33)
+			storeClipped(dst[(i+0)*ldd:(i+0)*ldd+cols], j0, cols, c00, c01, c02, c03)
+			storeClipped(dst[(i+1)*ldd:(i+1)*ldd+cols], j0, cols, c10, c11, c12, c13)
+			storeClipped(dst[(i+2)*ldd:(i+2)*ldd+cols], j0, cols, c20, c21, c22, c23)
+			storeClipped(dst[(i+3)*ldd:(i+3)*ldd+cols], j0, cols, c30, c31, c32, c33)
 		}
 	}
 	// Ragged row tail: 1×4 kernel over the packed b panels, reading a
 	// directly (tail rows are never packed).
-	for ; i < hi; i++ {
+	for ; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
-		drow := dst[i*n : (i+1)*n]
+		drow := dst[i*ldd : i*ldd+cols]
 		for p := 0; p < panels; p++ {
 			pb := packedB[p*k*microN : (p+1)*k*microN]
 			var c0, c1, c2, c3 float64
@@ -333,7 +349,7 @@ func matMulPackedRange(dst, a, packedA, packedB []float64, lo, hi, k, n int) {
 				c2 = math.FMA(av, q[2], c2)
 				c3 = math.FMA(av, q[3], c3)
 			}
-			storeClipped(drow, p*microN, n, c0, c1, c2, c3)
+			storeClipped(drow, p*microN, cols, c0, c1, c2, c3)
 		}
 	}
 }

@@ -28,11 +28,11 @@ const (
 )
 
 var avx2Impl = &kernelImpl{
-	name:  "avx2",
-	nr:    avx2NR,
-	gebp:  gebpAVX2,
-	lanes: avx2Lanes,
-	gemv:  gemvAVX2,
+	name:     "avx2",
+	nr:       avx2NR,
+	gebpTile: gebpTileAVX2,
+	lanes:    avx2Lanes,
+	gemv:     gemvAVX2,
 }
 
 // dgemm4x8 computes a full 4×8 tile: dst[r][c] (row stride n) gets
@@ -48,35 +48,36 @@ func dgemm4x8(dst, pa, pb *float64, k, n int)
 //go:noescape
 func gemv16(dst, w, x, bias *float64, k int)
 
-// gebpAVX2 is the AVX2 GEBP driver: full 4-row × 8-column tiles go to
-// the assembly micro-kernel; the ragged column panel computes into a
-// stack tile and clips the store; the ragged row tail past the last full
-// row block runs a scalar 1×8 kernel reading a directly, exactly like
-// the generic implementation.
-func gebpAVX2(dst, a, packedA, packedB []float64, lo, hi, k, n int) {
-	panels := (n + avx2NR - 1) / avx2NR
+// gebpTileAVX2 is the AVX2 GEBP tile driver: full 4-row × 8-column
+// tiles go to the assembly micro-kernel (dgemm4x8's n operand is purely
+// the dst row stride, so ldd aims it at arbitrary sub-tiles); the
+// ragged column panel computes into a stack tile and clips the store;
+// the ragged row tail past the last full row block runs a scalar 1×8
+// kernel reading a directly, exactly like the generic implementation.
+func gebpTileAVX2(dst []float64, ldd int, a, packedA, packedB []float64, m, k, cols int) {
+	panels := (cols + avx2NR - 1) / avx2NR
 	var tile [microM * avx2NR]float64
-	i := lo
-	for ; i+microM <= hi; i += microM {
+	i := 0
+	for ; i+microM <= m; i += microM {
 		r := i / microM
 		pa := packedA[r*k*microM:]
 		for p := 0; p < panels; p++ {
 			pb := packedB[p*k*avx2NR:]
 			j0 := p * avx2NR
-			if j0+avx2NR <= n {
-				dgemm4x8(&dst[i*n+j0], &pa[0], &pb[0], k, n)
+			if j0+avx2NR <= cols {
+				dgemm4x8(&dst[i*ldd+j0], &pa[0], &pb[0], k, ldd)
 				continue
 			}
 			dgemm4x8(&tile[0], &pa[0], &pb[0], k, avx2NR)
-			w := n - j0
+			w := cols - j0
 			for ii := 0; ii < microM; ii++ {
-				copy(dst[(i+ii)*n+j0:(i+ii+1)*n], tile[ii*avx2NR:ii*avx2NR+w])
+				copy(dst[(i+ii)*ldd+j0:(i+ii)*ldd+cols], tile[ii*avx2NR:ii*avx2NR+w])
 			}
 		}
 	}
-	for ; i < hi; i++ {
+	for ; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
-		drow := dst[i*n : (i+1)*n]
+		drow := dst[i*ldd : i*ldd+cols]
 		for p := 0; p < panels; p++ {
 			pb := packedB[p*k*avx2NR:]
 			var c [avx2NR]float64
@@ -94,7 +95,7 @@ func gebpAVX2(dst, a, packedA, packedB []float64, lo, hi, k, n int) {
 				c[7] = math.FMA(av, q[7], c[7])
 			}
 			j0 := p * avx2NR
-			w := n - j0
+			w := cols - j0
 			if w > avx2NR {
 				w = avx2NR
 			}

@@ -80,7 +80,7 @@ func (p *PackedA) MulInto(dst *Tensor, packedB []float64, n int) *Tensor {
 		dst.Fill(0)
 		return dst
 	}
-	kern.gebp(dst.data, p.a, p.packed, packedB, 0, p.m, p.k, n)
+	kern.gebpTile(dst.data, n, p.a, p.packed, packedB, p.m, p.k, n)
 	return dst
 }
 

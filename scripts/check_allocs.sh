@@ -10,8 +10,10 @@
 #   ServedPredict   0  (compiled plan PredictInto, the serving engine's
 #                       path)
 #   CNNForward      0  (compiled CNN plan — sequential packed ops, no
-#                       parallel-dispatch closures; the uncompiled
-#                       training forward is CNNForwardTrain, ungated)
+#                       parallel-dispatch closures)
+#   CNNForwardTrain 0  (uncompiled training forward — the implicit-GEMM
+#                       ConvKernel dispatches persistent shard closures
+#                       and draws every transient from the scratch arena)
 #   TrainBatch      8  (0 on one core; on multicore the data-parallel
 #                       batch path pays a few WaitGroup/closure headers
 #                       per parallel.Run call — fixed-size dispatch
@@ -26,9 +28,10 @@ cd "$(dirname "$0")/.."
 MAX_ALLOCS_NETWORKFORWARD="${MAX_ALLOCS_NETWORKFORWARD:-0}"
 MAX_ALLOCS_SERVEDPREDICT="${MAX_ALLOCS_SERVEDPREDICT:-0}"
 MAX_ALLOCS_CNNFORWARD="${MAX_ALLOCS_CNNFORWARD:-0}"
+MAX_ALLOCS_CNNFORWARDTRAIN="${MAX_ALLOCS_CNNFORWARDTRAIN:-0}"
 MAX_ALLOCS_TRAINBATCH="${MAX_ALLOCS_TRAINBATCH:-8}"
 
-out=$(go test -bench 'BenchmarkKernels/(NetworkForward|ServedPredict|CNNForward|TrainBatch)$' \
+out=$(go test -bench 'BenchmarkKernels/(NetworkForward|ServedPredict|CNNForward|CNNForwardTrain|TrainBatch)$' \
     -benchmem -benchtime 100x -run '^$' ./internal/bench/)
 printf '%s\n' "$out"
 
@@ -54,5 +57,6 @@ check() {
 check NetworkForward "$MAX_ALLOCS_NETWORKFORWARD"
 check ServedPredict "$MAX_ALLOCS_SERVEDPREDICT"
 check CNNForward "$MAX_ALLOCS_CNNFORWARD"
+check CNNForwardTrain "$MAX_ALLOCS_CNNFORWARDTRAIN"
 check TrainBatch "$MAX_ALLOCS_TRAINBATCH"
 exit "$fail"

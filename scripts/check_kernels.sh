@@ -16,15 +16,26 @@
 # "dispatch broke", not on benchmark noise. On hosts without AVX2 the
 # generic kernels cannot reach the floor; the gate detects the active
 # kernel via AUTONOMIZER_KERNEL-aware TestKernelSelected logging and
-# applies the generic floor instead. Both floors are overridable:
-#   MIN_SPEEDUP_192      (default 3.0, accelerated kernels)
+# applies the generic floor instead. All floors are overridable:
+#   MIN_SPEEDUP_192         (default 3.0, accelerated kernels)
 #   MIN_SPEEDUP_192_GENERIC (default 0.9, generic fallback)
+#   MIN_CONV_SPEEDUP        (default 2.0, accelerated kernels)
+#   MIN_CONV_SPEEDUP_GENERIC (default 1.1, generic fallback)
+#
+# The conv gate compares the implicit-GEMM convolution (gather fused
+# into GEBP packing, DESIGN.md §5j) against the materialized im2col
+# lowering on the same geometry, forward and backward, inside one
+# benchmark process — a ratio, so host-speed jitter cancels. The fusion
+# helps the generic kernels too (it removes the column matrix and its
+# re-pack), hence a floor above 1x even without AVX2.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 MIN_SPEEDUP_192="${MIN_SPEEDUP_192:-3.0}"
 MIN_SPEEDUP_192_GENERIC="${MIN_SPEEDUP_192_GENERIC:-0.9}"
+MIN_CONV_SPEEDUP="${MIN_CONV_SPEEDUP:-2.0}"
+MIN_CONV_SPEEDUP_GENERIC="${MIN_CONV_SPEEDUP_GENERIC:-1.1}"
 
 # -count=1 defeats the test cache: the dispatch reads AUTONOMIZER_KERNEL
 # at package init, before the test runner's env tracking starts, so a
@@ -37,10 +48,12 @@ if [ -z "$kernel" ]; then
 fi
 
 floor="$MIN_SPEEDUP_192"
+conv_floor="$MIN_CONV_SPEEDUP"
 if [ "$kernel" = "generic" ]; then
     floor="$MIN_SPEEDUP_192_GENERIC"
+    conv_floor="$MIN_CONV_SPEEDUP_GENERIC"
 fi
-echo "kernel gate: active kernel '$kernel', speedup floor $floor"
+echo "kernel gate: active kernel '$kernel', matmul floor $floor, conv floor $conv_floor"
 
 out=$(go test -bench 'BenchmarkKernels/MatMul(Naive|Blocked)192$' \
     -benchtime 5x -run '^$' ./internal/bench/)
@@ -60,6 +73,33 @@ awk -v naive="$naive" -v blocked="$blocked" -v floor="$floor" -v kernel="$kernel
     if (speedup < floor) {
         printf "FAIL: default-build speedup %.2fx below floor %.1fx.\n", speedup, floor > "/dev/stderr"
         print "The init-time kernel dispatch may have regressed (see internal/tensor/dispatch.go)." > "/dev/stderr"
+        exit 1
+    }
+}'
+
+# Conv gate: implicit-GEMM vs materialized im2col, forward and backward.
+conv_out=$(go test -bench 'BenchmarkKernels/Conv(Forward|Backward)(Im2Col|Implicit)$' \
+    -benchtime 50x -run '^$' ./internal/bench/)
+printf '%s\n' "$conv_out"
+
+fwd_ref=$(printf '%s\n' "$conv_out" | awk '$1 ~ /ConvForwardIm2Col(-|$)/ { print $3; exit }')
+fwd_imp=$(printf '%s\n' "$conv_out" | awk '$1 ~ /ConvForwardImplicit(-|$)/ { print $3; exit }')
+bwd_ref=$(printf '%s\n' "$conv_out" | awk '$1 ~ /ConvBackwardIm2Col(-|$)/ { print $3; exit }')
+bwd_imp=$(printf '%s\n' "$conv_out" | awk '$1 ~ /ConvBackwardImplicit(-|$)/ { print $3; exit }')
+if [ -z "$fwd_ref" ] || [ -z "$fwd_imp" ] || [ -z "$bwd_ref" ] || [ -z "$bwd_imp" ]; then
+    echo "FAIL: missing conv benchmark output" >&2
+    exit 1
+fi
+
+awk -v fr="$fwd_ref" -v fi="$fwd_imp" -v br="$bwd_ref" -v bi="$bwd_imp" \
+    -v floor="$conv_floor" -v kernel="$kernel" 'BEGIN {
+    fwd = fr / fi
+    bwd = br / bi
+    printf "kernel gate: implicit-GEMM conv speedup forward %.2fx backward %.2fx (floor %.1fx, kernel %s)\n",
+        fwd, bwd, floor, kernel
+    if (fwd < floor || bwd < floor) {
+        printf "FAIL: conv speedup (fwd %.2fx, bwd %.2fx) below floor %.1fx.\n", fwd, bwd, floor > "/dev/stderr"
+        print "The implicit-GEMM packers may have regressed (see internal/tensor/convgemm.go)." > "/dev/stderr"
         exit 1
     }
 }'
